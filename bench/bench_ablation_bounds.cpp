@@ -1,0 +1,99 @@
+// Ablation (google-benchmark): per-access cost of the four bounds-check
+// strategies on a memory-intensive kernel, plus sandbox-instantiation cost
+// per strategy. This isolates the mechanism behind Figure 5's
+// aWsm / bounds-chk / mpx spread.
+#include <benchmark/benchmark.h>
+
+#include "apps/workloads.hpp"
+#include "engine/engine.hpp"
+#include "minicc/minicc.hpp"
+
+using namespace sledge;
+
+namespace {
+
+// Memory-heavy kernel: every loop iteration is a load+store.
+const char* kMemKernel = R"(
+int A[16384];
+int main() {
+  for (int i = 0; i < 16384; i++) A[i] = i;
+  int sum = 0;
+  for (int r = 0; r < 40; r++)
+    for (int i = 0; i < 16384; i++)
+      sum += A[(i * 7 + r) & 16383];
+  return sum;
+}
+)";
+
+engine::WasmModule* module_for(engine::BoundsStrategy strategy) {
+  static std::map<engine::BoundsStrategy,
+                  std::unique_ptr<engine::WasmModule>> cache;
+  auto it = cache.find(strategy);
+  if (it != cache.end()) return it->second.get();
+  auto wasm = minicc::compile_to_wasm(kMemKernel);
+  if (!wasm.ok()) return nullptr;
+  engine::WasmModule::Config cfg;
+  cfg.tier = engine::Tier::kAot;
+  cfg.strategy = strategy;
+  auto mod = engine::WasmModule::load(wasm.value(), cfg);
+  if (!mod.ok()) return nullptr;
+  auto owned = std::make_unique<engine::WasmModule>(mod.take());
+  engine::WasmModule* raw = owned.get();
+  cache[strategy] = std::move(owned);
+  return raw;
+}
+
+void BM_MemKernel(benchmark::State& state) {
+  auto strategy = static_cast<engine::BoundsStrategy>(state.range(0));
+  engine::WasmModule* mod = module_for(strategy);
+  if (!mod) {
+    state.SkipWithError("module load failed");
+    return;
+  }
+  auto sandbox = mod->instantiate();
+  if (!sandbox.ok()) {
+    state.SkipWithError("instantiate failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto out = sandbox->call("run", {});
+    if (!out.ok()) {
+      state.SkipWithError("trap");
+      return;
+    }
+    benchmark::DoNotOptimize(out.value->as_i32());
+  }
+  state.SetLabel(engine::to_string(strategy));
+}
+
+void BM_Instantiate(benchmark::State& state) {
+  auto strategy = static_cast<engine::BoundsStrategy>(state.range(0));
+  engine::WasmModule* mod = module_for(strategy);
+  if (!mod) {
+    state.SkipWithError("module load failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto sandbox = mod->instantiate();
+    benchmark::DoNotOptimize(sandbox.ok());
+  }
+  state.SetLabel(engine::to_string(strategy));
+}
+
+}  // namespace
+
+BENCHMARK(BM_MemKernel)
+    ->Arg(static_cast<int>(engine::BoundsStrategy::kNone))
+    ->Arg(static_cast<int>(engine::BoundsStrategy::kVmGuard))
+    ->Arg(static_cast<int>(engine::BoundsStrategy::kSoftware))
+    ->Arg(static_cast<int>(engine::BoundsStrategy::kMpxSim))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Instantiate)
+    ->Arg(static_cast<int>(engine::BoundsStrategy::kNone))
+    ->Arg(static_cast<int>(engine::BoundsStrategy::kVmGuard))
+    ->Arg(static_cast<int>(engine::BoundsStrategy::kSoftware))
+    ->Arg(static_cast<int>(engine::BoundsStrategy::kMpxSim))
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

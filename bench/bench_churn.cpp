@@ -1,0 +1,80 @@
+// Table 3: function churn — the cost of bringing up one invocation of
+// GPS-EKF:
+//   * Sledge sandbox: allocate linear memory + stack + context, run,
+//     teardown (the paper's "optimized function startup"), and
+//   * fork + exec + wait of the equivalent native function binary (the
+//     Nuclio-model per-invocation cost).
+// Reports avg and p99 over SLEDGE_BENCH_ITERS iterations (default 300;
+// paper used 10k), plus the creation-only component.
+#include "bench_util.hpp"
+#include "procfaas/procfaas.hpp"
+#include "sledge/runtime.hpp"
+
+using namespace sledge;
+using namespace sledge::bench;
+
+int main() {
+  print_header("Churn: Sledge sandbox vs fork+exec+wait (GPS-EKF)", "Table 3");
+
+  const int iters = static_cast<int>(env_long("SLEDGE_BENCH_ITERS", 300));
+  std::vector<uint8_t> request = apps::app_request("ekf");
+
+  auto wasm = apps::app_wasm("ekf");
+  if (!wasm.ok()) {
+    std::fprintf(stderr, "%s\n", wasm.error_message().c_str());
+    return 1;
+  }
+  engine::WasmModule::Config cfg;  // kAot + vm_guard
+  auto mod = engine::WasmModule::load(wasm.value(), cfg);
+  if (!mod.ok()) {
+    std::fprintf(stderr, "%s\n", mod.error_message().c_str());
+    return 1;
+  }
+
+  // Warm both paths.
+  {
+    auto sb = runtime::Sandbox::create(&mod.value(), request);
+    runtime::run_sandbox_inline(sb.get());
+    std::vector<uint8_t> resp;
+    procfaas::spawn_function_process(fn_path("ekf"), request, &resp);
+  }
+
+  LatencyHistogram create_only, sandbox_full, fork_exec;
+
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch sw;
+    auto sb = runtime::Sandbox::create(&mod.value(), request);
+    create_only.record(sw.elapsed_ns());
+    if (!sb) return 1;
+    runtime::run_sandbox_inline(sb.get());
+    sb.reset();  // teardown included
+    sandbox_full.record(sw.elapsed_ns());
+  }
+
+  for (int i = 0; i < iters; ++i) {
+    std::vector<uint8_t> resp;
+    Stopwatch sw;
+    if (!procfaas::spawn_function_process(fn_path("ekf"), request, &resp)) {
+      std::fprintf(stderr, "fork+exec failed at iteration %d\n", i);
+      return 1;
+    }
+    fork_exec.record(sw.elapsed_ns());
+  }
+
+  std::printf("%-36s %12s %12s\n", "", "Avg", "99%");
+  std::printf("%-36s %10.1fus %10.1fus\n", "Sledge sandbox create only",
+              create_only.mean_us(), create_only.p99_us());
+  std::printf("%-36s %10.1fus %10.1fus\n",
+              "Sledge sandbox create+run+teardown", sandbox_full.mean_us(),
+              sandbox_full.p99_us());
+  std::printf("%-36s %10.1fus %10.1fus\n", "fork + exec + wait (native)",
+              fork_exec.mean_us(), fork_exec.p99_us());
+  std::printf("%-36s %11.2fx %11.2fx\n", "fork+exec / sandbox ratio",
+              fork_exec.mean_us() / sandbox_full.mean_us(),
+              static_cast<double>(fork_exec.percentile_ns(0.99)) /
+                  sandbox_full.percentile_ns(0.99));
+
+  std::printf("\nPaper (Table 3): Sledge sandbox 61us avg / 146us p99; "
+              "fork+exec+wait 487us avg / 588us p99 (~8x avg).\n");
+  return 0;
+}

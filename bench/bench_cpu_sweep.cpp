@@ -1,0 +1,130 @@
+// §5.2 text experiment: "We additionally run experiments (not shown) with
+// CPU-bound functions of various computation times. As functions become
+// increasingly CPU-bound, the performance of Sledge gets closer to Nuclio."
+//
+// A spin function parameterized by its request (number of kilo-iterations)
+// sweeps from ~microseconds to ~tens of milliseconds of compute; the
+// Sledge-vs-procfaas throughput ratio must decay toward 1 as the
+// per-invocation framework overhead is amortized away.
+#include <unistd.h>
+
+#include "bench_server_util.hpp"
+
+using namespace sledge;
+using namespace sledge::bench;
+
+int main() {
+  print_header("CPU-bound function sweep: framework overhead amortization",
+               "paper 5.2 text (experiment not shown)");
+
+  const uint64_t base_reqs =
+      static_cast<uint64_t>(env_long("SLEDGE_BENCH_REQS", 200));
+  const int conc = static_cast<int>(env_long("SLEDGE_BENCH_CONC", 8));
+
+  // "spin" is shipped as an app-like source here: request = kiloiters (i32).
+  const char* kSpinSrc = R"(
+char out[1];
+int main() {
+  int kiloiters = req_i32(0);
+  double x = 1.0;
+  for (int k = 0; k < kiloiters; k++)
+    for (int i = 0; i < 1000; i++) { x += 0.5; if (x > 1e16) x = 1.0; }
+  out[0] = 115;
+  resp_write(out, 1);
+  return (int)x;
+}
+)";
+
+  auto wasm = minicc::compile_to_wasm(kSpinSrc);
+  if (!wasm.ok()) {
+    std::fprintf(stderr, "%s\n", wasm.error_message().c_str());
+    return 1;
+  }
+
+  runtime::RuntimeConfig scfg;
+  scfg.workers = 3;
+  runtime::Runtime rt(scfg);
+  if (!rt.register_module("spin", wasm.value()).is_ok() ||
+      !rt.start().is_ok()) {
+    return 1;
+  }
+
+  // The native twin for the baseline: a fn binary equivalent is not shipped,
+  // so reuse fn_fib-style spin via the generated native backend is overkill;
+  // procfaas runs the same Wasm-equivalent natively through fn_echo? No —
+  // fork+exec the natively compiled spin produced at runtime.
+  auto c = minicc::compile_to_c(kSpinSrc, "spin_");
+  if (!c.ok()) return 1;
+  std::string full = *c + R"(
+#include <unistd.h>
+#include <stdio.h>
+static unsigned char g_req[64]; static int g_len = 0;
+static unsigned char g_resp[64]; static int g_rlen = 0;
+int32_t mc_req_len(void){ return g_len; }
+int32_t mc_req_read(void* d, int32_t o, int32_t l){ (void)d;(void)o;(void)l; return 0; }
+int32_t mc_resp_write(const void* s, int32_t l){ for (int i=0;i<l&&g_rlen<64;i++) g_resp[g_rlen++]=((const unsigned char*)s)[i]; return l; }
+void mc_sleep_ms(int32_t m){(void)m;}
+void mc_debug_i32(int32_t v){(void)v;}
+double mc_req_f64(int32_t o){(void)o;return 0;}
+void mc_resp_f64(double v){(void)v;}
+int32_t mc_req_i32(int32_t o){ int32_t v=0; if (o>=0 && o+4<=g_len) __builtin_memcpy(&v, g_req+o, 4); return v; }
+void mc_resp_i32(int32_t v){(void)v;}
+int main(void){
+  g_len = (int)read(0, g_req, sizeof(g_req));
+  spin_main();
+  (void)!write(1, g_resp, (size_t)g_rlen);
+  return 0;
+}
+)";
+  // Build the standalone native spin binary for fork+exec.
+  engine::CcOptions cc;
+  cc.opt_level = 2;
+  auto so = engine::compile_c_to_so(full, cc);
+  if (!so.ok()) {
+    std::fprintf(stderr, "%s\n", so.error_message().c_str());
+    return 1;
+  }
+  // compile_c_to_so produced a shared object; relink as an executable.
+  std::string bin = so->work_dir + "/spin_bin";
+  {
+    std::string cmd = "cc -O2 -fno-math-errno -w -o " + bin + " " +
+                      so->work_dir + "/module.c -lm 2>/dev/null";
+    if (std::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "native spin build failed\n");
+      return 1;
+    }
+  }
+
+  procfaas::ProcFaasConfig pcfg;
+  pcfg.max_workers = 16;
+  procfaas::ProcFaas pf(pcfg);
+  if (!pf.register_function("spin", bin).is_ok() || !pf.start().is_ok()) {
+    return 1;
+  }
+
+  std::printf("%-10s | %12s %10s | %12s %10s | %7s\n", "kiloiters",
+              "sledge r/s", "avg ms", "procfs r/s", "avg ms", "ratio");
+
+  for (int kiloiters : {1, 10, 100, 1000, 5000}) {
+    std::vector<uint8_t> body(4);
+    std::memcpy(body.data(), &kiloiters, 4);
+    uint64_t reqs = base_reqs;
+    if (kiloiters >= 1000) reqs = base_reqs / 5 + 4;
+    auto s = drive(rt.bound_port(), "/spin", body, conc, reqs);
+    auto n = drive(pf.bound_port(), "/spin", body, conc, reqs);
+    double ratio =
+        n.throughput_rps > 0 ? s.throughput_rps / n.throughput_rps : 0;
+    std::printf("%-10d | %12.1f %10.3f | %12.1f %10.3f | %6.2fx\n",
+                kiloiters, s.throughput_rps, s.mean_ms(), n.throughput_rps,
+                n.mean_ms(), ratio);
+  }
+
+  std::printf("\nExpected shape: the ratio decays toward 1 as per-request "
+              "compute grows — framework overhead (Sledge's advantage) "
+              "amortizes away, the paper's stated result.\n");
+  rt.stop();
+  pf.stop();
+  engine::remove_work_dir(*so);
+  ::unlink(bin.c_str());
+  return 0;
+}

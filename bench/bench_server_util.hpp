@@ -1,0 +1,70 @@
+// Helpers for the end-to-end serverless benches: spin up a Sledge runtime
+// and a procfaas (Nuclio-model) baseline with the same functions, drive
+// both with the load generator, print paper-style rows.
+#pragma once
+
+#include "bench_util.hpp"
+#include "loadgen/loadgen.hpp"
+#include "procfaas/procfaas.hpp"
+#include "sledge/runtime.hpp"
+
+namespace sledge::bench {
+
+inline std::unique_ptr<runtime::Runtime> start_sledge(
+    const std::vector<std::string>& apps, int workers = 3) {
+  runtime::RuntimeConfig cfg;
+  cfg.workers = workers;
+  auto rt = std::make_unique<runtime::Runtime>(cfg);
+  for (const std::string& app : apps) {
+    auto wasm = apps::app_wasm(app);
+    if (!wasm.ok()) {
+      std::fprintf(stderr, "app %s: %s\n", app.c_str(),
+                   wasm.error_message().c_str());
+      return nullptr;
+    }
+    Status s = rt->register_module(app, wasm.value());
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "register %s: %s\n", app.c_str(),
+                   s.message().c_str());
+      return nullptr;
+    }
+  }
+  if (!rt->start().is_ok()) return nullptr;
+  return rt;
+}
+
+inline std::unique_ptr<procfaas::ProcFaas> start_procfaas(
+    const std::vector<std::string>& apps, int max_workers = 16) {
+  procfaas::ProcFaasConfig cfg;
+  cfg.max_workers = max_workers;
+  auto pf = std::make_unique<procfaas::ProcFaas>(cfg);
+  for (const std::string& app : apps) {
+    Status s = pf->register_function(app, fn_path(app));
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "procfaas %s: %s\n", app.c_str(),
+                   s.message().c_str());
+      return nullptr;
+    }
+  }
+  if (!pf->start().is_ok()) return nullptr;
+  return pf;
+}
+
+inline loadgen::Report drive(uint16_t port, const std::string& path,
+                             const std::vector<uint8_t>& body,
+                             int concurrency, uint64_t total) {
+  loadgen::Options opt;
+  opt.port = port;
+  opt.path = path;
+  opt.body = body;
+  opt.concurrency = concurrency;
+  opt.total_requests = total;
+  auto report = loadgen::run_load(opt);
+  if (!report.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", report.error_message().c_str());
+    return loadgen::Report{};
+  }
+  return report.take();
+}
+
+}  // namespace sledge::bench

@@ -1,0 +1,107 @@
+// Multi-tenant isolation demo: the paper's two core guarantees on one node.
+//
+//   Spatial isolation  — a hostile tenant's out-of-bounds accesses trap
+//                        inside its Wasm sandbox; other tenants and the
+//                        runtime are untouched (no process crash).
+//   Temporal isolation — a tenant that spins forever is preempted every
+//                        quantum; a latency-sensitive tenant sharing the
+//                        same worker core still gets millisecond responses.
+//
+//   $ ./examples/multi_tenant_isolation
+#include <cstdio>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "loadgen/loadgen.hpp"
+#include "minicc/minicc.hpp"
+#include "sledge/runtime.hpp"
+
+using namespace sledge;
+
+namespace {
+
+const char* kHostileSrc = R"(
+int arr[4];
+int main() {
+  // Classic buffer overrun: scribble far past the array. Every access is
+  // bounds-checked by the sandbox (vm_guard: the MMU does it for free).
+  int sum = 0;
+  for (int i = 0; i < 100000000; i += 65536) sum += arr[i];
+  return sum;
+}
+)";
+
+const char* kSpinSrc = R"(
+char out[1];
+int main() {
+  double x = 1.0;
+  for (int i = 0; i < 150000000; i++) { x += 0.5; if (x > 1e16) x = 1.0; }
+  out[0] = 100;
+  resp_write(out, 1);
+  return (int)x;
+}
+)";
+
+const char* kPingSrc = R"(
+char out[1];
+int main() { out[0] = 112; resp_write(out, 1); return 0; }
+)";
+
+std::vector<uint8_t> compile(const char* src) {
+  auto wasm = minicc::compile_to_wasm(src);
+  if (!wasm.ok()) {
+    std::fprintf(stderr, "%s\n", wasm.error_message().c_str());
+    std::exit(1);
+  }
+  return wasm.take();
+}
+
+}  // namespace
+
+int main() {
+  runtime::RuntimeConfig config;
+  config.workers = 1;  // all three tenants share one worker core
+  config.quantum_us = 5000;
+  runtime::Runtime rt(config);
+  rt.register_module("hostile", compile(kHostileSrc));
+  rt.register_module("spin", compile(kSpinSrc));
+  rt.register_module("ping", compile(kPingSrc));
+  if (!rt.start().is_ok()) return 1;
+  std::printf("one worker core, three tenants: /hostile /spin /ping\n\n");
+
+  // --- spatial isolation ---
+  int status = 0;
+  auto resp = loadgen::single_request("127.0.0.1", rt.bound_port(),
+                                      "/hostile", {}, &status);
+  std::printf("[spatial] hostile tenant's buffer overrun -> HTTP %d (%s)\n",
+              status,
+              resp.ok() ? std::string(resp->begin(), resp->end()).c_str()
+                        : "?");
+  resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/ping", {},
+                                 &status);
+  std::printf("[spatial] other tenant immediately after   -> HTTP %d "
+              "(runtime intact)\n\n",
+              status);
+
+  // --- temporal isolation ---
+  std::thread spinner([&] {
+    uint64_t t0 = now_ns();
+    loadgen::single_request("127.0.0.1", rt.bound_port(), "/spin", {});
+    std::printf("[temporal] spin tenant finished after %.0f ms (preempted "
+                "%llu times)\n",
+                ns_to_ms(now_ns() - t0),
+                static_cast<unsigned long long>(rt.totals().preemptions));
+  });
+  ::usleep(30000);  // the spinner now owns the core...
+
+  uint64_t t0 = now_ns();
+  resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/ping", {},
+                                 &status);
+  std::printf("[temporal] ping during the spin            -> HTTP %d in "
+              "%.1f ms (quantum-bounded, not spin-bounded)\n",
+              status, ns_to_ms(now_ns() - t0));
+  spinner.join();
+
+  rt.stop();
+  return 0;
+}

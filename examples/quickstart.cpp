@@ -1,0 +1,107 @@
+// Quickstart: compile a serverless function from (mini-)C source, load it
+// through the aWsm AoT pipeline, and run it in a sandbox — the minimal
+// end-to-end tour of the library's public API.
+//
+//   $ ./examples/quickstart
+//
+// Steps shown:
+//   1. minicc::compile_to_wasm  — C-subset source -> Wasm binary
+//   2. WasmModule::load         — decode + validate + AoT compile + dlopen
+//      (the once-per-module "heavyweight" path)
+//   3. WasmModule::instantiate  — a fresh sandbox (linear memory + state)
+//   4. WasmSandbox::run_serverless — request in, response out
+//   5. What a trap looks like   — sandboxed faults are contained errors
+#include <cstdio>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "minicc/minicc.hpp"
+
+using namespace sledge;
+
+// A little serverless function: parses an integer request, computes a
+// checksum over it, responds with text.
+const char* kFunctionSource = R"(
+char buf[256];
+char out[64];
+
+char tmp[16];
+
+int digits(int v) {
+  int n = 0;
+  if (v == 0) { out[n] = 48; return 1; }
+  int t = 0;
+  while (v > 0) { tmp[t] = 48 + v % 10; v /= 10; t++; }
+  while (t > 0) { t--; out[n] = tmp[t]; n++; }
+  return n;
+}
+
+int main() {
+  int len = req_len();
+  req_read(buf, 0, len);
+  int sum = 0;
+  for (int i = 0; i < len; i++) sum += buf[i];
+  int n = digits(sum);
+  resp_write(out, n);
+  return sum;
+}
+)";
+
+const char* kTrappingSource = R"(
+int bigaccess[16];
+int main() {
+  // Deliberate out-of-bounds: index far outside the array (and outside the
+  // whole linear memory). The sandbox converts this into a trap.
+  int wild = 100000000;
+  return bigaccess[wild];
+}
+)";
+
+int main() {
+  // 1. Compile C-subset source to a genuine WebAssembly binary.
+  auto wasm = minicc::compile_to_wasm(kFunctionSource);
+  if (!wasm.ok()) {
+    std::fprintf(stderr, "compile: %s\n", wasm.error_message().c_str());
+    return 1;
+  }
+  std::printf("compiled function to %zu bytes of Wasm\n", wasm->size());
+
+  // 2. Heavyweight load: decode, validate, AoT-translate to native code via
+  //    the system C compiler, dlopen. Done once per module.
+  engine::WasmModule::Config config;  // default: AoT + vm_guard sandboxing
+  auto module = engine::WasmModule::load(*wasm, config);
+  if (!module.ok()) {
+    std::fprintf(stderr, "load: %s\n", module.error_message().c_str());
+    return 1;
+  }
+  std::printf("loaded module in %.2f ms (native object: %lld bytes)\n",
+              module->load_ns() / 1e6,
+              static_cast<long long>(module->native_object_size()));
+
+  // 3+4. Cheap per-request path: instantiate a sandbox, run the function.
+  auto sandbox = module->instantiate();
+  if (!sandbox.ok()) {
+    std::fprintf(stderr, "instantiate: %s\n", sandbox.error_message().c_str());
+    return 1;
+  }
+  std::vector<uint8_t> request = {'h', 'e', 'l', 'l', 'o'};
+  std::vector<uint8_t> response;
+  auto outcome = sandbox->run_serverless(request, &response);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "run: %s\n", outcome.describe().c_str());
+    return 1;
+  }
+  std::printf("request \"hello\" -> response \"%s\" (byte sum)\n",
+              std::string(response.begin(), response.end()).c_str());
+
+  // 5. Traps are contained: an out-of-bounds access in another module
+  //    surfaces as an error here, not a crash.
+  auto bad_wasm = minicc::compile_to_wasm(kTrappingSource);
+  auto bad_module = engine::WasmModule::load(*bad_wasm, config);
+  auto bad_sandbox = bad_module->instantiate();
+  auto bad_outcome = bad_sandbox->run_serverless({}, nullptr);
+  std::printf("sandboxed wild access -> %s (process unharmed)\n",
+              bad_outcome.describe().c_str());
+
+  return 0;
+}

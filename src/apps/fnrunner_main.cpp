@@ -1,0 +1,36 @@
+// Generic main() for natively compiled function binaries (fn_<app>):
+// stdin = request body, stdout = response body. These are the executables
+// the procfaas (Nuclio-model) baseline fork+execs per invocation, and also
+// what the churn benchmark measures for the fork+exec+wait row of Table 3.
+//
+// FN_ENTRY is set per target by CMake to the generated <app>_main symbol.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "apps/native_host.hpp"
+
+extern "C" int32_t FN_ENTRY(void);
+
+int main() {
+  std::vector<uint8_t> request;
+  uint8_t buf[65536];
+  ssize_t n;
+  while ((n = ::read(0, buf, sizeof(buf))) > 0) {
+    request.insert(request.end(), buf, buf + n);
+  }
+  sledge::apps::native_host_set_request(std::move(request));
+
+  FN_ENTRY();
+
+  const std::vector<uint8_t>& response = sledge::apps::native_host_response();
+  size_t off = 0;
+  while (off < response.size()) {
+    ssize_t w = ::write(1, response.data() + off, response.size() - off);
+    if (w <= 0) return 1;
+    off += static_cast<size_t>(w);
+  }
+  return 0;
+}

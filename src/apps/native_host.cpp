@@ -1,0 +1,81 @@
+#include "apps/native_host.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace {
+std::vector<uint8_t> g_request;
+std::vector<uint8_t> g_response;
+}  // namespace
+
+namespace sledge::apps {
+
+void native_host_set_request(std::vector<uint8_t> request) {
+  g_request = std::move(request);
+  g_response.clear();
+}
+
+const std::vector<uint8_t>& native_host_response() { return g_response; }
+
+void native_host_reset() {
+  g_request.clear();
+  g_response.clear();
+}
+
+}  // namespace sledge::apps
+
+extern "C" {
+
+int32_t mc_req_len(void) { return static_cast<int32_t>(g_request.size()); }
+
+int32_t mc_req_read(void* dst, int32_t off, int32_t len) {
+  if (off < 0 || len < 0 || static_cast<size_t>(off) >= g_request.size()) {
+    return 0;
+  }
+  size_t n = std::min(static_cast<size_t>(len), g_request.size() - off);
+  std::memcpy(dst, g_request.data() + off, n);
+  return static_cast<int32_t>(n);
+}
+
+int32_t mc_resp_write(const void* src, int32_t len) {
+  if (len < 0) return 0;
+  const uint8_t* p = static_cast<const uint8_t*>(src);
+  g_response.insert(g_response.end(), p, p + len);
+  return len;
+}
+
+void mc_sleep_ms(int32_t ms) {
+  if (ms > 0) ::usleep(static_cast<useconds_t>(ms) * 1000);
+}
+
+void mc_debug_i32(int32_t) {}
+
+double mc_req_f64(int32_t off) {
+  double v = 0;
+  if (off >= 0 && static_cast<size_t>(off) + 8 <= g_request.size()) {
+    std::memcpy(&v, g_request.data() + off, 8);
+  }
+  return v;
+}
+
+void mc_resp_f64(double v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  g_response.insert(g_response.end(), p, p + 8);
+}
+
+int32_t mc_req_i32(int32_t off) {
+  int32_t v = 0;
+  if (off >= 0 && static_cast<size_t>(off) + 4 <= g_request.size()) {
+    std::memcpy(&v, g_request.data() + off, 4);
+  }
+  return v;
+}
+
+void mc_resp_i32(int32_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  g_response.insert(g_response.end(), p, p + 4);
+}
+
+}  // extern "C"

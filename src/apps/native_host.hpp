@@ -1,0 +1,29 @@
+// Host side of the native (non-sandboxed) build of mini-C workloads: the
+// mc_* functions the generated C calls. Request/response buffers are
+// process-global (each procfaas function binary handles one request per
+// process, mirroring the fork-per-invocation model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sledge::apps {
+
+// Replaces the current request buffer and clears the response.
+void native_host_set_request(std::vector<uint8_t> request);
+const std::vector<uint8_t>& native_host_response();
+void native_host_reset();
+
+}  // namespace sledge::apps
+
+extern "C" {
+int32_t mc_req_len(void);
+int32_t mc_req_read(void* dst, int32_t off, int32_t len);
+int32_t mc_resp_write(const void* src, int32_t len);
+void mc_sleep_ms(int32_t ms);
+void mc_debug_i32(int32_t v);
+double mc_req_f64(int32_t off);
+void mc_resp_f64(double v);
+int32_t mc_req_i32(int32_t off);
+void mc_resp_i32(int32_t v);
+}

@@ -1,0 +1,178 @@
+#include "apps/workloads.hpp"
+
+#include <cstring>
+
+#include "common/file_util.hpp"
+#include "common/rng.hpp"
+#include "minicc/minicc.hpp"
+
+#ifndef SLEDGE_APPS_DIR
+#define SLEDGE_APPS_DIR "src/apps"
+#endif
+
+namespace sledge::apps {
+
+const std::vector<std::string>& app_names() {
+  static const std::vector<std::string> kNames = {"ekf", "gocr", "cifar10",
+                                                  "resize", "lpd"};
+  return kNames;
+}
+
+const std::vector<std::string>& polybench_names() {
+  static const std::vector<std::string> kNames = {
+      "correlation", "covariance",
+      "gemm", "gemver", "gesummv", "symm", "syr2k", "syrk", "trmm",
+      "2mm", "3mm", "atax", "bicg", "doitgen", "mvt",
+      "cholesky", "durbin", "gramschmidt", "lu", "ludcmp", "trisolv",
+      "deriche", "floyd-warshall", "nussinov",
+      "adi", "fdtd-2d", "heat-3d", "jacobi-1d", "jacobi-2d", "seidel-2d"};
+  return kNames;
+}
+
+std::string app_source_path(const std::string& name) {
+  return std::string(SLEDGE_APPS_DIR) + "/wasm_src/" + name + ".mc";
+}
+
+std::string polybench_source_path(const std::string& name) {
+  return std::string(SLEDGE_APPS_DIR) + "/polybench/" + name + ".mc";
+}
+
+Result<std::string> load_app_source(const std::string& name) {
+  return read_file(app_source_path(name));
+}
+
+Result<std::string> load_polybench_source(const std::string& name) {
+  return read_file(polybench_source_path(name));
+}
+
+Result<std::vector<uint8_t>> app_wasm(const std::string& name) {
+  Result<std::string> src = load_app_source(name);
+  if (!src.ok()) return Result<std::vector<uint8_t>>::error(src.error_message());
+  return minicc::compile_to_wasm(src.value());
+}
+
+Result<std::vector<uint8_t>> polybench_wasm(const std::string& name) {
+  Result<std::string> src = load_polybench_source(name);
+  if (!src.ok()) return Result<std::vector<uint8_t>>::error(src.error_message());
+  return minicc::compile_to_wasm(src.value());
+}
+
+namespace {
+
+void append_f64(std::vector<uint8_t>* out, double v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + 8);
+}
+
+std::vector<uint8_t> ekf_request() {
+  std::vector<uint8_t> out;
+  // x: a vehicle moving along +x at 1 m/s.
+  double x[8] = {0.0, 1.0, 0.0, 0.5, 0.0, 0.0, 0.0, 0.0};
+  for (double v : x) append_f64(&out, v);
+  // P: identity.
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      append_f64(&out, i == j ? 1.0 : 0.0);
+  // z: a plausible GPS fix.
+  append_f64(&out, 0.12);
+  append_f64(&out, 0.05);
+  append_f64(&out, 0.01);
+  append_f64(&out, 0.0);
+  return out;
+}
+
+std::vector<uint8_t> cifar_request() {
+  std::vector<uint8_t> out(3072);
+  Rng rng(2024);
+  // A blue-ish "airplane on sky" style gradient with a dark fuselage bar.
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      int i = (y * 32 + x) * 3;
+      out[i + 0] = static_cast<uint8_t>(100 + y * 3 + rng.below(8));
+      out[i + 1] = static_cast<uint8_t>(120 + y * 2);
+      out[i + 2] = static_cast<uint8_t>(200 - y);
+      if (y >= 14 && y <= 17 && x >= 4 && x <= 27) {
+        out[i] = out[i + 1] = out[i + 2] = 40;
+      }
+    }
+  }
+  return out;
+}
+
+// Mirrors gocr.mc's template generator so tests can render pages.
+void gocr_template(int code, uint8_t glyph[64]) {
+  if (code == 32) {
+    std::memset(glyph, 0, 64);
+    return;
+  }
+  int32_t s = static_cast<int32_t>(code * 2654435761u);
+  if (s < 0) s = -s;
+  for (int i = 0; i < 64; ++i) {
+    int64_t t = static_cast<int64_t>(s) * 1103515245 + 12345;
+    s = static_cast<int32_t>(t & 2147483647);
+    glyph[i] = static_cast<uint8_t>((s >> 16) & 1);
+  }
+  for (int i = 0; i < 8; ++i) glyph[i] = 1;
+}
+
+std::vector<uint8_t> gocr_request() {
+  std::vector<uint8_t> page(8192, 0);
+  Rng rng(90210);
+  for (auto& b : page) {
+    if (rng.below(100) < 3) b = 1;
+  }
+  const char* msg = "SLEDGE0";
+  uint8_t glyph[64];
+  for (int row = 0; row < 8; ++row) {
+    for (int col = 0; col < 16; ++col) {
+      gocr_template(msg[(row * 16 + col) % 7], glyph);
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          page[(row * 8 + y) * 128 + col * 8 + x] = glyph[y * 8 + x];
+    }
+  }
+  return page;
+}
+
+std::vector<uint8_t> resize_request() {
+  std::vector<uint8_t> img(49152);
+  Rng rng(606);
+  for (int y = 0; y < 192; ++y) {
+    for (int x = 0; x < 256; ++x) {
+      int v = (x * 255) / 256;
+      if (((x / 16) + (y / 16)) % 2 == 0) v = 255 - v;
+      v += static_cast<int>(rng.below(10));
+      img[y * 256 + x] = static_cast<uint8_t>(v > 255 ? 255 : v);
+    }
+  }
+  return img;
+}
+
+std::vector<uint8_t> lpd_request() {
+  std::vector<uint8_t> img(76800);
+  Rng rng(17);
+  for (auto& b : img) b = static_cast<uint8_t>(96 + rng.below(32));
+  // Plate at (110, 150) size 100x30, with vertical strokes.
+  for (int y = 150; y < 180; ++y) {
+    for (int x = 110; x < 210; ++x) {
+      int v = 230;
+      int sx = (x - 110) % 12;
+      if (sx >= 3 && sx <= 5 && y > 155 && y < 175) v = 20;
+      img[y * 320 + x] = static_cast<uint8_t>(v);
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+std::vector<uint8_t> app_request(const std::string& name) {
+  if (name == "ekf") return ekf_request();
+  if (name == "cifar10") return cifar_request();
+  if (name == "gocr") return gocr_request();
+  if (name == "resize") return resize_request();
+  if (name == "lpd") return lpd_request();
+  return {};
+}
+
+}  // namespace sledge::apps

@@ -1,0 +1,40 @@
+// Workload catalog: loads the mini-C application sources shipped under
+// src/apps/wasm_src (and the PolyBench kernels under src/apps/polybench),
+// compiles them on demand, and generates representative request payloads.
+// Shared by tests, benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sledge::apps {
+
+// Names of the real-world edge applications from the paper's §5.2.
+const std::vector<std::string>& app_names();       // ekf gocr cifar10 resize lpd
+const std::vector<std::string>& polybench_names(); // 30 kernels
+
+// Absolute path of a shipped mini-C source ("<name>.mc").
+std::string app_source_path(const std::string& name);
+std::string polybench_source_path(const std::string& name);
+
+// Reads + returns the mini-C source text.
+Result<std::string> load_app_source(const std::string& name);
+Result<std::string> load_polybench_source(const std::string& name);
+
+// Compiles a shipped app to Wasm bytes (through minicc).
+Result<std::vector<uint8_t>> app_wasm(const std::string& name);
+Result<std::vector<uint8_t>> polybench_wasm(const std::string& name);
+
+// Representative request payload for an app (deterministic):
+//   ekf     -> x[8] + P[8][8] + z[4] doubles
+//   cifar10 -> 3072-byte image
+//   gocr    -> 8192-byte page rendering "SLEDGE0..." with noise
+//   resize  -> 49152-byte raster
+//   lpd     -> 76800-byte scene with a plate at (110,150,100,30)
+//   others  -> empty
+std::vector<uint8_t> app_request(const std::string& name);
+
+}  // namespace sledge::apps

@@ -1,0 +1,32 @@
+// Monotonic time helpers used by the scheduler, histograms and benches.
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+
+namespace sledge {
+
+// Nanoseconds from the monotonic clock. Cheap enough for per-request use.
+inline uint64_t now_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+inline double ns_to_ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+inline double ns_to_us(uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+// Simple scoped stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_ms() const { return ns_to_ms(elapsed_ns()); }
+  void reset() { start_ = now_ns(); }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace sledge

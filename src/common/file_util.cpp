@@ -1,0 +1,63 @@
+#include "common/file_util.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sledge {
+
+Result<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return Result<std::string>::error("cannot open file: " + path);
+  }
+  std::string out;
+  char buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Result<std::string>::error("read error: " + path);
+  return Result<std::string>(std::move(out));
+}
+
+Status write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::error("cannot open for write: " + path);
+  size_t n = std::fwrite(contents.data(), 1, contents.size(), f);
+  int rc = std::fclose(f);
+  if (n != contents.size() || rc != 0) {
+    return Status::error("write error: " + path);
+  }
+  return Status::ok();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+int64_t file_size(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_size);
+}
+
+Result<std::string> make_temp_dir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  if (!base) base = "/tmp";
+  std::string tmpl = std::string(base) + "/" + prefix + ".XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (!::mkdtemp(buf.data())) {
+    return Result<std::string>::error("mkdtemp failed for " + tmpl);
+  }
+  return Result<std::string>(std::string(buf.data()));
+}
+
+}  // namespace sledge

@@ -1,0 +1,21 @@
+// Small filesystem helpers shared by the toolchain (reading mini-C sources,
+// writing generated C, probing artifact sizes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sledge {
+
+Result<std::string> read_file(const std::string& path);
+Status write_file(const std::string& path, const std::string& contents);
+bool file_exists(const std::string& path);
+int64_t file_size(const std::string& path);
+
+// Creates a fresh private temp directory (mkdtemp under $TMPDIR or /tmp).
+Result<std::string> make_temp_dir(const std::string& prefix);
+
+}  // namespace sledge

@@ -1,0 +1,62 @@
+// Latency recording used by the load generator, the runtime's per-request
+// accounting, and the benchmark harnesses. Values are recorded in
+// nanoseconds; percentiles are exact (sorted copy) because sample counts in
+// our experiments are modest (<= a few hundred thousand).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sledge {
+
+class LatencyHistogram {
+ public:
+  void record(uint64_t ns) { samples_.push_back(ns); }
+  void merge(const LatencyHistogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+  void clear() { samples_.clear(); }
+
+  size_t count() const { return samples_.size(); }
+
+  double mean_ns() const {
+    if (samples_.empty()) return 0.0;
+    long double sum = 0;
+    for (uint64_t s : samples_) sum += s;
+    return static_cast<double>(sum / samples_.size());
+  }
+
+  // q in [0,1]; e.g. 0.99 for p99. Exact order statistic.
+  uint64_t percentile_ns(double q) const {
+    if (samples_.empty()) return 0;
+    std::vector<uint64_t> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    size_t idx = static_cast<size_t>(pos + 0.5);
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    return sorted[idx];
+  }
+
+  uint64_t min_ns() const {
+    return samples_.empty()
+               ? 0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+  uint64_t max_ns() const {
+    return samples_.empty()
+               ? 0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double mean_ms() const { return mean_ns() / 1e6; }
+  double p99_ms() const { return static_cast<double>(percentile_ns(0.99)) / 1e6; }
+  double mean_us() const { return mean_ns() / 1e3; }
+  double p99_us() const { return static_cast<double>(percentile_ns(0.99)) / 1e3; }
+
+ private:
+  std::vector<uint64_t> samples_;
+};
+
+}  // namespace sledge

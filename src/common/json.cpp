@@ -1,0 +1,251 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sledge::json {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> parse_document() {
+    skip_ws();
+    Result<Value> v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  Result<Value> fail(const std::string& msg) {
+    return Result<Value>::error("json: " + msg + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool match_literal(const char* lit) {
+    size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value() {
+    if (++depth_ > 128) return fail("nesting too deep");
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      Result<std::string> s = parse_string();
+      if (!s.ok()) return Result<Value>::error(s.error_message());
+      return Result<Value>(Value(s.take()));
+    }
+    if (match_literal("true")) return Result<Value>(Value(true));
+    if (match_literal("false")) return Result<Value>(Value(false));
+    if (match_literal("null")) return Result<Value>(Value());
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Value> parse_number() {
+    size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    std::string num = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end == num.c_str() || *end != '\0' || !std::isfinite(d)) {
+      return fail("invalid number '" + num + "'");
+    }
+    return Result<Value>(Value(d));
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return Result<std::string>::error("json: expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Result<std::string>(std::move(out));
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // Unicode escapes are accepted syntactically but flattened; the
+            // registry config is plain ASCII in practice.
+            if (pos_ + 4 > text_.size())
+              return Result<std::string>::error("json: bad \\u escape");
+            pos_ += 4;
+            out += '?';
+            break;
+          default:
+            return Result<std::string>::error("json: bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Result<std::string>::error("json: unterminated string");
+  }
+
+  Result<Value> parse_array() {
+    consume('[');
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Result<Value>(Value(std::move(arr)));
+    while (true) {
+      Result<Value> v = parse_value();
+      if (!v.ok()) return v;
+      arr.push_back(v.take());
+      skip_ws();
+      if (consume(']')) return Result<Value>(Value(std::move(arr)));
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Value> parse_object() {
+    consume('{');
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Result<Value>(Value(std::move(obj)));
+    while (true) {
+      skip_ws();
+      Result<std::string> key = parse_string();
+      if (!key.ok()) return Result<Value>::error(key.error_message());
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      Result<Value> v = parse_value();
+      if (!v.ok()) return v;
+      obj[key.value()] = v.take();
+      skip_ws();
+      if (consume('}')) return Result<Value>(Value(std::move(obj)));
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::kNumber: {
+      char buf[64];
+      double d = v.as_number();
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+      }
+      out += buf;
+      break;
+    }
+    case Value::Type::kString:
+      dump_string(v.as_string(), out);
+      break;
+    case Value::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        dump_string(k, out);
+        out += ':';
+        dump_value(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+}  // namespace sledge::json

@@ -1,0 +1,81 @@
+// Minimal recursive-descent JSON parser used for the Sledge module-registry
+// configuration files (the paper loads modules from a JSON config). Supports
+// the full JSON grammar minus \u surrogate pairs (escapes map to '?').
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sledge::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double d) : type_(Type::kNumber), num_(d) {}
+  Value(int i) : type_(Type::kNumber), num_(i) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(Array a) : type_(Type::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  Value(Object o) : type_(Type::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool dflt = false) const { return is_bool() ? bool_ : dflt; }
+  double as_number(double dflt = 0) const { return is_number() ? num_ : dflt; }
+  int64_t as_int(int64_t dflt = 0) const {
+    return is_number() ? static_cast<int64_t>(num_) : dflt;
+  }
+  const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? str_ : kEmpty;
+  }
+  const Array& as_array() const {
+    static const Array kEmpty;
+    return is_array() ? *arr_ : kEmpty;
+  }
+  const Object& as_object() const {
+    static const Object kEmpty;
+    return is_object() ? *obj_ : kEmpty;
+  }
+
+  // Object field lookup; returns null value when absent or not an object.
+  const Value& operator[](const std::string& key) const {
+    static const Value kNull;
+    if (!is_object()) return kNull;
+    auto it = obj_->find(key);
+    return it == obj_->end() ? kNull : it->second;
+  }
+
+  std::string dump() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+// Parses a complete JSON document; trailing garbage is an error.
+Result<Value> parse(const std::string& text);
+
+}  // namespace sledge::json

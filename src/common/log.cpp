@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <cstdlib>
+
+namespace sledge {
+namespace internal {
+
+LogLevel& log_level_ref() {
+  static LogLevel level = [] {
+    const char* env = std::getenv("SLEDGE_LOG");
+    if (!env) return LogLevel::kWarn;
+    switch (env[0]) {
+      case 'd': return LogLevel::kDebug;
+      case 'i': return LogLevel::kInfo;
+      case 'w': return LogLevel::kWarn;
+      case 'e': return LogLevel::kError;
+      default: return LogLevel::kOff;
+    }
+  }();
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace internal
+
+void log_line(LogLevel lvl, const char* tag, const std::string& msg) {
+  if (lvl < log_level()) return;
+  std::lock_guard<std::mutex> lock(internal::log_mutex());
+  std::fprintf(stderr, "[sledge:%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace sledge

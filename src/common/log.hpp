@@ -1,0 +1,37 @@
+// Tiny leveled logger. Thread-safe line-at-a-time output to stderr.
+// The runtime keeps logging off its hot path; levels above the configured
+// threshold compile down to a single branch.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace sledge {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace internal {
+LogLevel& log_level_ref();
+std::mutex& log_mutex();
+}  // namespace internal
+
+inline void set_log_level(LogLevel lvl) { internal::log_level_ref() = lvl; }
+inline LogLevel log_level() { return internal::log_level_ref(); }
+
+void log_line(LogLevel lvl, const char* tag, const std::string& msg);
+
+template <typename... Args>
+void logf(LogLevel lvl, const char* tag, const char* fmt, Args... args) {
+  if (lvl < log_level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  log_line(lvl, tag, buf);
+}
+
+#define SLEDGE_LOG_DEBUG(...) ::sledge::logf(::sledge::LogLevel::kDebug, "DBG", __VA_ARGS__)
+#define SLEDGE_LOG_INFO(...) ::sledge::logf(::sledge::LogLevel::kInfo, "INF", __VA_ARGS__)
+#define SLEDGE_LOG_WARN(...) ::sledge::logf(::sledge::LogLevel::kWarn, "WRN", __VA_ARGS__)
+#define SLEDGE_LOG_ERROR(...) ::sledge::logf(::sledge::LogLevel::kError, "ERR", __VA_ARGS__)
+
+}  // namespace sledge

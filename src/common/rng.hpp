@@ -1,0 +1,47 @@
+// Deterministic, fast PRNG (splitmix64 + xoshiro-style helpers) for
+// property-based tests and workload generation. Reproducibility matters more
+// than statistical perfection here, so we keep the state tiny and the
+// sequence fixed for a given seed.
+#pragma once
+
+#include <cstdint>
+
+namespace sledge {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t next_u64() {
+    // splitmix64
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint32_t below(uint32_t bound) {
+    if (bound == 0) return 0;
+    return static_cast<uint32_t>((static_cast<uint64_t>(next_u32()) * bound) >> 32);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int32_t range(int32_t lo, int32_t hi) {
+    return lo + static_cast<int32_t>(below(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sledge

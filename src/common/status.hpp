@@ -1,0 +1,73 @@
+// Lightweight error-handling vocabulary used across the Sledge codebase.
+//
+// The runtime's hot paths (request handling, sandbox switches) never throw;
+// fallible operations return Result<T> which is a thin expected-like type.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sledge {
+
+// A success-or-message status. Empty message == OK.
+class Status {
+ public:
+  Status() = default;
+  static Status ok() { return Status{}; }
+  static Status error(std::string msg) { return Status{std::move(msg)}; }
+
+  bool is_ok() const { return msg_.empty(); }
+  explicit operator bool() const { return is_ok(); }
+  const std::string& message() const { return msg_; }
+
+ private:
+  explicit Status(std::string msg) : msg_(std::move(msg)) {}
+  std::string msg_;
+};
+
+// Minimal expected<T, string>. We deliberately avoid exceptions in library
+// code; callers must check ok() before dereferencing.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : data_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(data_).is_ok() && "Result error must carry a message");
+  }
+  static Result error(std::string msg) {
+    return Result(Status::error(std::move(msg)));
+  }
+
+  bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(std::get<0>(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<1>(data_);
+  }
+  const std::string& error_message() const { return status().message(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace sledge

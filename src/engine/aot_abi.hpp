@@ -1,0 +1,67 @@
+// Binary ABI between the Sledge runtime and aWsm-generated native code.
+//
+// wasm2c.cpp emits C whose `awsm_inst` struct must match AotInst below
+// field-for-field; aot.cpp (the loader) allocates instances and provides the
+// AotEnv callback table. Trap codes on the wire are the integer values of
+// engine::TrapCode.
+//
+// A generated shared object exports exactly three symbols:
+//   const awsm_desc* awsm_get_desc(void);
+//   void awsm_inst_init(awsm_inst*);   // globals, table, data segments
+//   int32_t awsm_invoke(awsm_inst*, uint32_t func_idx,
+//                       const uint64_t* args, uint64_t* ret);
+#pragma once
+
+#include <cstdint>
+
+namespace sledge::engine {
+
+struct AotBnd {
+  uint64_t lo;
+  uint64_t hi;
+};
+
+struct AotElem {
+  uint32_t type_id;  // canonical (structural) type id, for CFI checks
+  void* fn;
+};
+
+struct AotInst;
+
+struct AotEnv {
+  // Unwinds via the runtime's trap machinery; never returns.
+  void (*trap)(AotInst*, int32_t code);
+  // wasm memory.grow semantics: old size in pages, or -1.
+  int32_t (*memory_grow)(AotInst*, uint32_t delta_pages);
+  // Calls host import `import_idx` with bit-pattern args; returns the
+  // result's bit pattern (0 for void).
+  uint64_t (*host_call)(AotInst*, uint32_t import_idx, const uint64_t* args);
+};
+
+// Fixed header of the generated instance; generated code appends
+// `uint64_t globals[]`.
+struct AotInst {
+  uint8_t* mem;
+  uint64_t mem_size;
+  AotBnd* bnd;  // mpx_sim bounds directory (kBoundsDirEntries entries)
+  AotElem* table;
+  uint32_t table_size;
+  uint32_t call_depth;
+  const AotEnv* env;
+  void* rt;  // runtime context (AotModule::RunContext)
+};
+
+struct AotDesc {
+  uint32_t mem_min_pages;
+  uint32_t mem_max_pages;
+  uint32_t has_mem_max;
+  uint32_t num_globals;
+  uint32_t table_size;
+  uint32_t inst_size;
+};
+
+using AotGetDescFn = const AotDesc* (*)();
+using AotInstInitFn = void (*)(AotInst*);
+using AotInvokeFn = int32_t (*)(AotInst*, uint32_t, const uint64_t*, uint64_t*);
+
+}  // namespace sledge::engine

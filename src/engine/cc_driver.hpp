@@ -1,0 +1,33 @@
+// Drives the system C compiler to turn aWsm-generated C into a shared
+// object. This is the "heavyweight linking & loading" half of the paper's
+// pipeline — it happens once per module at registration time, never on the
+// request path.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace sledge::engine {
+
+struct CcOptions {
+  int opt_level = 2;        // -O0 models fast-compile tiers, -O2 is aWsm
+  bool debug_keep = false;  // keep the temp dir for inspection
+};
+
+struct CcResult {
+  std::string so_path;   // compiled shared object
+  std::string work_dir;  // owning temp dir (remove_work_dir cleans it)
+  uint64_t compile_ns = 0;
+  int64_t so_size = 0;
+};
+
+// Returns true when a usable C compiler is available on this host.
+bool cc_available();
+
+Result<CcResult> compile_c_to_so(const std::string& c_source,
+                                 const CcOptions& options);
+
+void remove_work_dir(const CcResult& result);
+
+}  // namespace sledge::engine

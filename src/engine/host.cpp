@@ -1,0 +1,158 @@
+#include "engine/host.hpp"
+
+#include <cmath>
+
+#include "common/clock.hpp"
+
+namespace sledge::engine {
+
+namespace {
+
+using wasm::ValType;
+
+ServerlessEnv* env_of(HostCallCtx& ctx) {
+  // A null env means the module was run outside a serverless request (e.g.
+  // a unit test driving a pure function); give it an empty request.
+  static ServerlessEnv empty;
+  return ctx.user ? static_cast<ServerlessEnv*>(ctx.user) : &empty;
+}
+
+wasm::FuncType sig(std::vector<ValType> params, std::vector<ValType> results) {
+  return wasm::FuncType{std::move(params), std::move(results)};
+}
+
+}  // namespace
+
+void register_serverless_abi(HostRegistry& r) {
+  using V = ValType;
+
+  r.register_fn("env", "req_len", sig({}, {V::kI32}),
+                [](HostCallCtx& ctx, const Slot*) {
+                  return Slot::from_u32(
+                      static_cast<uint32_t>(env_of(ctx)->request.size()));
+                });
+
+  // req_read(dst, src_off, len) -> bytes copied
+  r.register_fn(
+      "env", "req_read", sig({V::kI32, V::kI32, V::kI32}, {V::kI32}),
+      [](HostCallCtx& ctx, const Slot* args) {
+        ServerlessEnv* env = env_of(ctx);
+        uint32_t dst = args[0].u32();
+        uint32_t off = args[1].u32();
+        uint32_t len = args[2].u32();
+        if (off >= env->request.size()) return Slot::from_u32(0);
+        uint32_t avail = static_cast<uint32_t>(env->request.size()) - off;
+        uint32_t n = len < avail ? len : avail;
+        uint8_t* p = ctx.mem.check_range(dst, n);
+        std::memcpy(p, env->request.data() + off, n);
+        return Slot::from_u32(n);
+      });
+
+  // resp_write(src, len) -> bytes appended
+  r.register_fn("env", "resp_write", sig({V::kI32, V::kI32}, {V::kI32}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  uint32_t src = args[0].u32();
+                  uint32_t len = args[1].u32();
+                  const uint8_t* p = ctx.mem.check_range(src, len);
+                  env->response.insert(env->response.end(), p, p + len);
+                  return Slot::from_u32(len);
+                });
+
+  // Little-endian f64 views of the request/response streams (used by
+  // stateful functions like GPS-EKF that shuttle state through the client).
+  r.register_fn("env", "req_f64", sig({V::kI32}, {V::kF64}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  uint32_t off = args[0].u32();
+                  double v = 0;
+                  if (static_cast<uint64_t>(off) + 8 <= env->request.size()) {
+                    std::memcpy(&v, env->request.data() + off, 8);
+                  }
+                  return Slot::from_f64(v);
+                });
+  r.register_fn("env", "resp_f64", sig({V::kF64}, {}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  double v = args[0].f64();
+                  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+                  env->response.insert(env->response.end(), p, p + 8);
+                  return Slot{};
+                });
+  r.register_fn("env", "req_i32", sig({V::kI32}, {V::kI32}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  uint32_t off = args[0].u32();
+                  int32_t v = 0;
+                  if (static_cast<uint64_t>(off) + 4 <= env->request.size()) {
+                    std::memcpy(&v, env->request.data() + off, 4);
+                  }
+                  return Slot::from_i32(v);
+                });
+  r.register_fn("env", "resp_i32", sig({V::kI32}, {}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  int32_t v = args[0].i32();
+                  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+                  env->response.insert(env->response.end(), p, p + 4);
+                  return Slot{};
+                });
+
+  r.register_fn("env", "now_ns", sig({}, {V::kI64}),
+                [](HostCallCtx&, const Slot*) {
+                  return Slot::from_u64(now_ns());
+                });
+
+  // Cooperative sleep: under the Sledge scheduler this yields the worker
+  // core; standalone it is a no-op (pure functions shouldn't sleep).
+  r.register_fn("env", "sleep_ms", sig({V::kI32}, {}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  if (env->sleep_hook) {
+                    env->sleep_hook(static_cast<uint64_t>(args[0].u32()) *
+                                    1'000'000ull);
+                  }
+                  return Slot{};
+                });
+
+  r.register_fn("env", "debug_i32", sig({V::kI32}, {}),
+                [](HostCallCtx&, const Slot*) { return Slot{}; });
+
+  // libm bridge: transcendental functions that Wasm MVP has no opcodes for.
+  // Both the native builds and the sandboxed builds route through the same
+  // libm, so they pay comparable costs (see DESIGN.md).
+  auto unary = [&r](const char* name, double (*fn)(double)) {
+    r.register_fn("env", name, sig({V::kF64}, {V::kF64}),
+                  [fn](HostCallCtx&, const Slot* args) {
+                    return Slot::from_f64(fn(args[0].f64()));
+                  });
+  };
+  unary("exp", std::exp);
+  unary("log", std::log);
+  unary("sin", std::sin);
+  unary("cos", std::cos);
+  unary("tan", std::tan);
+  unary("atan", std::atan);
+  unary("tanh", std::tanh);
+
+  r.register_fn("env", "pow", sig({V::kF64, V::kF64}, {V::kF64}),
+                [](HostCallCtx&, const Slot* args) {
+                  return Slot::from_f64(std::pow(args[0].f64(), args[1].f64()));
+                });
+  r.register_fn("env", "atan2", sig({V::kF64, V::kF64}, {V::kF64}),
+                [](HostCallCtx&, const Slot* args) {
+                  return Slot::from_f64(
+                      std::atan2(args[0].f64(), args[1].f64()));
+                });
+}
+
+const HostRegistry& default_host_registry() {
+  static const HostRegistry registry = [] {
+    HostRegistry r;
+    register_serverless_abi(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace sledge::engine

@@ -1,0 +1,90 @@
+// Host-function ABI between sandboxed Wasm code and the Sledge runtime.
+//
+// Modules import functions from the "env" namespace; the runtime resolves
+// them against a HostRegistry at instantiation. Host functions receive a
+// view of the sandbox's linear memory and a user pointer (the per-request
+// serverless context). Pointer/length arguments coming from the sandbox are
+// validated against the memory view — a bad pointer raises an
+// out-of-bounds trap exactly like a bad load would.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "engine/trap.hpp"
+#include "engine/value.hpp"
+#include "wasm/types.hpp"
+
+namespace sledge::engine {
+
+// Bounds-checked view of a sandbox's linear memory handed to host functions.
+struct MemView {
+  uint8_t* base = nullptr;
+  uint64_t size = 0;
+
+  // Validates [ptr, ptr+len) and returns a raw pointer, or traps.
+  uint8_t* check_range(uint32_t ptr, uint32_t len) const {
+    if (static_cast<uint64_t>(ptr) + len > size) {
+      raise_trap(TrapCode::kOutOfBoundsMemory);
+    }
+    return base + ptr;
+  }
+};
+
+struct HostCallCtx {
+  MemView mem;
+  void* user = nullptr;  // per-request context (e.g. ServerlessEnv)
+};
+
+// Host functions execute inside the caller's TrapScope: they may raise_trap.
+// `args` has one Slot per declared parameter; the return Slot is ignored for
+// void signatures.
+using HostFunc = std::function<Slot(HostCallCtx&, const Slot* args)>;
+
+struct HostBinding {
+  wasm::FuncType type;
+  HostFunc fn;
+};
+
+class HostRegistry {
+ public:
+  void register_fn(const std::string& module, const std::string& field,
+                   wasm::FuncType type, HostFunc fn) {
+    bindings_[module + "." + field] = {std::move(type), std::move(fn)};
+  }
+
+  const HostBinding* lookup(const std::string& module,
+                            const std::string& field) const {
+    auto it = bindings_.find(module + "." + field);
+    return it == bindings_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return bindings_.size(); }
+
+ private:
+  std::map<std::string, HostBinding> bindings_;
+};
+
+// The serverless request/response environment backing the standard "env"
+// ABI (req_len / req_read / resp_write / ...). One per sandbox execution.
+struct ServerlessEnv {
+  std::vector<uint8_t> request;
+  std::vector<uint8_t> response;
+  // Optional cooperative-yield hook installed by the Sledge scheduler so a
+  // sandbox can block (e.g. env.sleep_ms) without holding its worker core.
+  std::function<void(uint64_t ns)> sleep_hook;
+};
+
+// Registers the standard Sledge serverless ABI plus libm-style math imports
+// (exp/log/pow/...; see DESIGN.md). Host user pointer must be ServerlessEnv*.
+void register_serverless_abi(HostRegistry& registry);
+
+// The default registry shared by engines that don't need custom hosts.
+const HostRegistry& default_host_registry();
+
+}  // namespace sledge::engine

@@ -1,0 +1,56 @@
+// Tier 1: the baseline ("classic") interpreter.
+//
+// Deliberately naive: tagged values, dynamic branch-target resolution (it
+// scans for the matching `end`/`else` every time control transfers), and a
+// heap-allocated operand stack per frame. This tier models the slow
+// comparator runtimes of the paper's Figure 5 (see DESIGN.md) and doubles
+// as the executable semantic reference for differential tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/instance.hpp"
+#include "engine/value.hpp"
+
+namespace sledge::engine {
+
+// Uniform result of invoking a Wasm function on any engine tier.
+struct InvokeOutcome {
+  TrapCode trap = TrapCode::kNone;
+  std::optional<Value> value;
+  std::string error;  // non-trap failure (missing export, bad arity, ...)
+
+  bool ok() const { return trap == TrapCode::kNone && error.empty(); }
+  static InvokeOutcome trapped(TrapCode t) {
+    InvokeOutcome o;
+    o.trap = t;
+    return o;
+  }
+  static InvokeOutcome failed(std::string msg) {
+    InvokeOutcome o;
+    o.error = std::move(msg);
+    return o;
+  }
+  std::string describe() const;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(Instance& inst) : inst_(inst) {}
+
+  InvokeOutcome invoke(uint32_t func_index, const std::vector<Value>& args);
+  InvokeOutcome invoke_export(const std::string& name,
+                              const std::vector<Value>& args);
+
+ private:
+  TrapCode run(uint32_t func_index, const Slot* args, Slot* ret);
+  TrapCode call_host(uint32_t import_index, const Slot* args, Slot* ret);
+
+  Instance& inst_;
+  int depth_ = 0;
+  static constexpr int kMaxDepth = 512;
+};
+
+}  // namespace sledge::engine

@@ -1,0 +1,35 @@
+// Tier 2: the pre-decoded ("threaded") interpreter.
+//
+// Runs over predecoded FastInstr streams: branch targets resolved, untagged
+// 64-bit slots, preallocated operand stack. Roughly an order of magnitude
+// faster than the classic tier, still well behind AoT native code — it fills
+// the fast-compile/slow-code slot in the Figure 5 comparison.
+#pragma once
+
+#include "engine/instance.hpp"
+#include "engine/interp.hpp"
+#include "engine/predecode.hpp"
+
+namespace sledge::engine {
+
+class FastInterpreter {
+ public:
+  // Both `inst` and `fm` must outlive the interpreter; fm must be the
+  // predecode of inst.module().
+  FastInterpreter(Instance& inst, const FastModule& fm)
+      : inst_(inst), fm_(fm) {}
+
+  InvokeOutcome invoke(uint32_t func_index, const std::vector<Value>& args);
+  InvokeOutcome invoke_export(const std::string& name,
+                              const std::vector<Value>& args);
+
+ private:
+  TrapCode run(uint32_t func_index, const Slot* args, Slot* ret);
+
+  Instance& inst_;
+  const FastModule& fm_;
+  int depth_ = 0;
+  static constexpr int kMaxDepth = 512;
+};
+
+}  // namespace sledge::engine

@@ -1,0 +1,126 @@
+#include "engine/memory.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <utility>
+
+#include "engine/trap.hpp"
+
+namespace sledge::engine {
+
+namespace {
+// vm_guard reserves the whole 32-bit index space plus slack so that
+// `base + u32_index + static_offset` always lands inside the reservation.
+constexpr uint64_t kGuardSlack = 16ull << 20;  // covers static offsets
+constexpr uint64_t kGuardReservation = (4ull << 30) + kGuardSlack;
+}  // namespace
+
+const char* to_string(BoundsStrategy s) {
+  switch (s) {
+    case BoundsStrategy::kNone: return "none";
+    case BoundsStrategy::kSoftware: return "software";
+    case BoundsStrategy::kMpxSim: return "mpx_sim";
+    case BoundsStrategy::kVmGuard: return "vm_guard";
+  }
+  return "?";
+}
+
+LinearMemory::~LinearMemory() { release(); }
+
+LinearMemory& LinearMemory::operator=(LinearMemory&& o) noexcept {
+  if (this != &o) {
+    release();
+    strategy_ = o.strategy_;
+    base_ = std::exchange(o.base_, nullptr);
+    size_bytes_ = std::exchange(o.size_bytes_, 0);
+    reserved_bytes_ = std::exchange(o.reserved_bytes_, 0);
+    max_pages_ = o.max_pages_;
+    guard_id_ = std::exchange(o.guard_id_, -1);
+    bounds_dir_ = std::move(o.bounds_dir_);
+  }
+  return *this;
+}
+
+void LinearMemory::release() {
+  if (guard_id_ >= 0) {
+    unregister_guard_region(guard_id_);
+    guard_id_ = -1;
+  }
+  if (base_) {
+    ::munmap(base_, reserved_bytes_);
+    base_ = nullptr;
+  }
+  size_bytes_ = 0;
+  reserved_bytes_ = 0;
+}
+
+Result<LinearMemory> LinearMemory::create(BoundsStrategy strategy,
+                                          uint32_t min_pages,
+                                          uint32_t max_pages) {
+  if (max_pages < min_pages) max_pages = min_pages;
+  if (max_pages > wasm::kMaxPages) {
+    return Result<LinearMemory>::error("memory max exceeds 4GiB");
+  }
+
+  LinearMemory mem;
+  mem.strategy_ = strategy;
+  mem.max_pages_ = max_pages;
+  mem.reserved_bytes_ =
+      strategy == BoundsStrategy::kVmGuard
+          ? kGuardReservation
+          : static_cast<uint64_t>(max_pages) * wasm::kPageSize;
+  if (mem.reserved_bytes_ == 0) mem.reserved_bytes_ = wasm::kPageSize;
+
+  void* p = ::mmap(nullptr, mem.reserved_bytes_, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p == MAP_FAILED) {
+    return Result<LinearMemory>::error("mmap reservation failed");
+  }
+  mem.base_ = static_cast<uint8_t*>(p);
+  mem.size_bytes_ = static_cast<uint64_t>(min_pages) * wasm::kPageSize;
+
+  if (mem.size_bytes_ > 0 &&
+      ::mprotect(mem.base_, mem.size_bytes_, PROT_READ | PROT_WRITE) != 0) {
+    ::munmap(p, mem.reserved_bytes_);
+    mem.base_ = nullptr;
+    return Result<LinearMemory>::error("mprotect commit failed");
+  }
+
+  if (strategy == BoundsStrategy::kVmGuard) {
+    install_trap_signal_handler();
+    mem.guard_id_ = register_guard_region(mem.base_, mem.reserved_bytes_);
+  }
+
+  if (strategy == BoundsStrategy::kMpxSim) {
+    mem.bounds_dir_ = std::make_unique<BoundsDirEntry[]>(kBoundsDirEntries);
+    for (int i = 0; i < kBoundsDirEntries; ++i) {
+      mem.bounds_dir_[i] = {0, mem.size_bytes_};
+    }
+  }
+
+  return Result<LinearMemory>(std::move(mem));
+}
+
+int32_t LinearMemory::grow(uint32_t delta_pages) {
+  uint32_t old_pages = pages();
+  uint64_t new_pages = static_cast<uint64_t>(old_pages) + delta_pages;
+  if (new_pages > max_pages_) return -1;
+  uint64_t new_size = new_pages * wasm::kPageSize;
+  if (new_size > reserved_bytes_) return -1;
+  if (delta_pages > 0) {
+    if (::mprotect(base_ + size_bytes_, new_size - size_bytes_,
+                   PROT_READ | PROT_WRITE) != 0) {
+      return -1;
+    }
+  }
+  size_bytes_ = new_size;
+  if (bounds_dir_) {
+    for (int i = 0; i < kBoundsDirEntries; ++i) {
+      bounds_dir_[i].hi = size_bytes_;
+    }
+  }
+  return static_cast<int32_t>(old_pages);
+}
+
+}  // namespace sledge::engine

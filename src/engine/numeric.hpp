@@ -1,0 +1,367 @@
+// Shared numeric-instruction semantics for the interpreter tiers.
+//
+// Implements exact WebAssembly semantics: masked shift counts, trapping
+// integer division, NaN-propagating min/max, round-to-nearest-even, and
+// trapping float->int truncation. The AoT translator emits the same
+// semantics as C (see wasm2c.cpp); differential tests in tests/ hold the
+// tiers to bit-exact agreement.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "engine/trap.hpp"
+#include "engine/value.hpp"
+#include "wasm/types.hpp"
+
+namespace sledge::engine {
+
+enum class NumArity : uint8_t { kNotSimple = 0, kUnary, kBinary };
+
+// How many value operands a "simple" numeric op takes (0 = not simple:
+// control/memory/variable ops are handled by the interpreter loops).
+inline NumArity numeric_arity(wasm::Op op) {
+  uint8_t b = static_cast<uint8_t>(op);
+  if (b == 0x45 || b == 0x50) return NumArity::kUnary;                // eqz
+  if (b >= 0x46 && b <= 0x66) return NumArity::kBinary;               // cmps
+  if ((b >= 0x67 && b <= 0x69) || (b >= 0x79 && b <= 0x7B)) return NumArity::kUnary;
+  if ((b >= 0x6A && b <= 0x78) || (b >= 0x7C && b <= 0x8A)) return NumArity::kBinary;
+  if ((b >= 0x8B && b <= 0x91) || (b >= 0x99 && b <= 0x9F)) return NumArity::kUnary;
+  if ((b >= 0x92 && b <= 0x98) || (b >= 0xA0 && b <= 0xA6)) return NumArity::kBinary;
+  if (b >= 0xA7 && b <= 0xC4) return NumArity::kUnary;  // conversions, extends
+  return NumArity::kNotSimple;
+}
+
+// Result value type of a simple numeric op (comparisons produce i32, etc.).
+inline wasm::ValType numeric_result_type(wasm::Op op) {
+  using wasm::ValType;
+  uint8_t b = static_cast<uint8_t>(op);
+  if (b >= 0x45 && b <= 0x78) return ValType::kI32;   // tests, cmps, i32 arith
+  if (b >= 0x79 && b <= 0x8A) return ValType::kI64;   // i64 arith
+  if (b >= 0x8B && b <= 0x98) return ValType::kF32;   // f32 arith
+  if (b >= 0x99 && b <= 0xA6) return ValType::kF64;   // f64 arith
+  if (b >= 0xA7 && b <= 0xAB) return ValType::kI32;   // wrap, trunc->i32
+  if (b >= 0xAC && b <= 0xB1) return ValType::kI64;   // extend, trunc->i64
+  if (b >= 0xB2 && b <= 0xB6) return ValType::kF32;   // convert->f32
+  if (b >= 0xB7 && b <= 0xBB) return ValType::kF64;   // convert->f64
+  switch (op) {
+    case wasm::Op::kI32ReinterpretF32: return ValType::kI32;
+    case wasm::Op::kI64ReinterpretF64: return ValType::kI64;
+    case wasm::Op::kF32ReinterpretI32: return ValType::kF32;
+    case wasm::Op::kF64ReinterpretI64: return ValType::kF64;
+    case wasm::Op::kI32Extend8S:
+    case wasm::Op::kI32Extend16S: return ValType::kI32;
+    default: return ValType::kI64;  // i64.extend*_s
+  }
+}
+
+namespace numeric_detail {
+
+inline float wasm_fmin(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<float>::quiet_NaN();
+  if (a == 0.0f && b == 0.0f) return std::signbit(a) ? a : b;
+  return a < b ? a : b;
+}
+inline float wasm_fmax(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<float>::quiet_NaN();
+  if (a == 0.0f && b == 0.0f) return std::signbit(a) ? b : a;
+  return a > b ? a : b;
+}
+inline double wasm_fmin(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<double>::quiet_NaN();
+  if (a == 0.0 && b == 0.0) return std::signbit(a) ? a : b;
+  return a < b ? a : b;
+}
+inline double wasm_fmax(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<double>::quiet_NaN();
+  if (a == 0.0 && b == 0.0) return std::signbit(a) ? b : a;
+  return a > b ? a : b;
+}
+
+// Trapping truncation. `lo`/`hi` bound the open interval of valid inputs.
+template <typename Int>
+inline TrapCode trunc_checked(double d, double lo, double hi, Int* out) {
+  if (std::isnan(d)) return TrapCode::kInvalidConversion;
+  if (!(d > lo && d < hi)) {
+    // Allow the exact lower bound for signed i64 (it is representable).
+    if (d == lo && lo == -9223372036854775808.0 &&
+        std::numeric_limits<Int>::is_signed && sizeof(Int) == 8) {
+      *out = std::numeric_limits<Int>::min();
+      return TrapCode::kNone;
+    }
+    return TrapCode::kIntegerOverflow;
+  }
+  *out = static_cast<Int>(d);
+  return TrapCode::kNone;
+}
+
+}  // namespace numeric_detail
+
+// Applies a unary simple op. Returns a trap code (kNone on success).
+inline TrapCode apply_unop(wasm::Op op, Slot a, Slot* out) {
+  using wasm::Op;
+  using namespace numeric_detail;
+  switch (op) {
+    case Op::kI32Eqz: *out = Slot::from_u32(a.u32() == 0); return TrapCode::kNone;
+    case Op::kI64Eqz: *out = Slot::from_u32(a.u64() == 0); return TrapCode::kNone;
+
+    case Op::kI32Clz:
+      *out = Slot::from_u32(a.u32() == 0 ? 32 : std::countl_zero(a.u32()));
+      return TrapCode::kNone;
+    case Op::kI32Ctz:
+      *out = Slot::from_u32(a.u32() == 0 ? 32 : std::countr_zero(a.u32()));
+      return TrapCode::kNone;
+    case Op::kI32Popcnt:
+      *out = Slot::from_u32(std::popcount(a.u32()));
+      return TrapCode::kNone;
+    case Op::kI64Clz:
+      *out = Slot::from_u64(a.u64() == 0 ? 64 : std::countl_zero(a.u64()));
+      return TrapCode::kNone;
+    case Op::kI64Ctz:
+      *out = Slot::from_u64(a.u64() == 0 ? 64 : std::countr_zero(a.u64()));
+      return TrapCode::kNone;
+    case Op::kI64Popcnt:
+      *out = Slot::from_u64(std::popcount(a.u64()));
+      return TrapCode::kNone;
+
+    case Op::kF32Abs: *out = Slot::from_f32(std::fabs(a.f32())); return TrapCode::kNone;
+    case Op::kF32Neg: *out = Slot::from_f32(-a.f32()); return TrapCode::kNone;
+    case Op::kF32Ceil: *out = Slot::from_f32(std::ceil(a.f32())); return TrapCode::kNone;
+    case Op::kF32Floor: *out = Slot::from_f32(std::floor(a.f32())); return TrapCode::kNone;
+    case Op::kF32Trunc: *out = Slot::from_f32(std::trunc(a.f32())); return TrapCode::kNone;
+    case Op::kF32Nearest: *out = Slot::from_f32(std::nearbyint(a.f32())); return TrapCode::kNone;
+    case Op::kF32Sqrt: *out = Slot::from_f32(std::sqrt(a.f32())); return TrapCode::kNone;
+    case Op::kF64Abs: *out = Slot::from_f64(std::fabs(a.f64())); return TrapCode::kNone;
+    case Op::kF64Neg: *out = Slot::from_f64(-a.f64()); return TrapCode::kNone;
+    case Op::kF64Ceil: *out = Slot::from_f64(std::ceil(a.f64())); return TrapCode::kNone;
+    case Op::kF64Floor: *out = Slot::from_f64(std::floor(a.f64())); return TrapCode::kNone;
+    case Op::kF64Trunc: *out = Slot::from_f64(std::trunc(a.f64())); return TrapCode::kNone;
+    case Op::kF64Nearest: *out = Slot::from_f64(std::nearbyint(a.f64())); return TrapCode::kNone;
+    case Op::kF64Sqrt: *out = Slot::from_f64(std::sqrt(a.f64())); return TrapCode::kNone;
+
+    case Op::kI32WrapI64: *out = Slot::from_u32(static_cast<uint32_t>(a.u64())); return TrapCode::kNone;
+    case Op::kI64ExtendI32S: *out = Slot::from_i64(a.i32()); return TrapCode::kNone;
+    case Op::kI64ExtendI32U: *out = Slot::from_u64(a.u32()); return TrapCode::kNone;
+
+    case Op::kI32TruncF32S: {
+      int32_t v;
+      TrapCode t = trunc_checked<int32_t>(a.f32(), -2147483649.0, 2147483648.0, &v);
+      if (t != TrapCode::kNone) return t;
+      *out = Slot::from_i32(v);
+      return TrapCode::kNone;
+    }
+    case Op::kI32TruncF32U: {
+      uint32_t v;
+      TrapCode t = trunc_checked<uint32_t>(a.f32(), -1.0, 4294967296.0, &v);
+      if (t != TrapCode::kNone) return t;
+      *out = Slot::from_u32(v);
+      return TrapCode::kNone;
+    }
+    case Op::kI32TruncF64S: {
+      int32_t v;
+      TrapCode t = trunc_checked<int32_t>(a.f64(), -2147483649.0, 2147483648.0, &v);
+      if (t != TrapCode::kNone) return t;
+      *out = Slot::from_i32(v);
+      return TrapCode::kNone;
+    }
+    case Op::kI32TruncF64U: {
+      uint32_t v;
+      TrapCode t = trunc_checked<uint32_t>(a.f64(), -1.0, 4294967296.0, &v);
+      if (t != TrapCode::kNone) return t;
+      *out = Slot::from_u32(v);
+      return TrapCode::kNone;
+    }
+    case Op::kI64TruncF32S: {
+      int64_t v;
+      TrapCode t = trunc_checked<int64_t>(a.f32(), -9223372036854775808.0,
+                                          9223372036854775808.0, &v);
+      if (t != TrapCode::kNone) return t;
+      *out = Slot::from_i64(v);
+      return TrapCode::kNone;
+    }
+    case Op::kI64TruncF32U: {
+      uint64_t v;
+      TrapCode t = trunc_checked<uint64_t>(a.f32(), -1.0,
+                                           18446744073709551616.0, &v);
+      if (t != TrapCode::kNone) return t;
+      *out = Slot::from_u64(v);
+      return TrapCode::kNone;
+    }
+    case Op::kI64TruncF64S: {
+      int64_t v;
+      TrapCode t = trunc_checked<int64_t>(a.f64(), -9223372036854775808.0,
+                                          9223372036854775808.0, &v);
+      if (t != TrapCode::kNone) return t;
+      *out = Slot::from_i64(v);
+      return TrapCode::kNone;
+    }
+    case Op::kI64TruncF64U: {
+      uint64_t v;
+      TrapCode t = trunc_checked<uint64_t>(a.f64(), -1.0,
+                                           18446744073709551616.0, &v);
+      if (t != TrapCode::kNone) return t;
+      *out = Slot::from_u64(v);
+      return TrapCode::kNone;
+    }
+
+    case Op::kF32ConvertI32S: *out = Slot::from_f32(static_cast<float>(a.i32())); return TrapCode::kNone;
+    case Op::kF32ConvertI32U: *out = Slot::from_f32(static_cast<float>(a.u32())); return TrapCode::kNone;
+    case Op::kF32ConvertI64S: *out = Slot::from_f32(static_cast<float>(a.i64())); return TrapCode::kNone;
+    case Op::kF32ConvertI64U: *out = Slot::from_f32(static_cast<float>(a.u64())); return TrapCode::kNone;
+    case Op::kF32DemoteF64: *out = Slot::from_f32(static_cast<float>(a.f64())); return TrapCode::kNone;
+    case Op::kF64ConvertI32S: *out = Slot::from_f64(static_cast<double>(a.i32())); return TrapCode::kNone;
+    case Op::kF64ConvertI32U: *out = Slot::from_f64(static_cast<double>(a.u32())); return TrapCode::kNone;
+    case Op::kF64ConvertI64S: *out = Slot::from_f64(static_cast<double>(a.i64())); return TrapCode::kNone;
+    case Op::kF64ConvertI64U: *out = Slot::from_f64(static_cast<double>(a.u64())); return TrapCode::kNone;
+    case Op::kF64PromoteF32: *out = Slot::from_f64(static_cast<double>(a.f32())); return TrapCode::kNone;
+
+    case Op::kI32ReinterpretF32: *out = Slot::from_u32(static_cast<uint32_t>(a.bits)); return TrapCode::kNone;
+    case Op::kI64ReinterpretF64: *out = Slot::from_u64(a.bits); return TrapCode::kNone;
+    case Op::kF32ReinterpretI32: *out = Slot::from_u32(a.u32()); return TrapCode::kNone;
+    case Op::kF64ReinterpretI64: *out = Slot::from_u64(a.u64()); return TrapCode::kNone;
+
+    case Op::kI32Extend8S: *out = Slot::from_i32(static_cast<int8_t>(a.u32())); return TrapCode::kNone;
+    case Op::kI32Extend16S: *out = Slot::from_i32(static_cast<int16_t>(a.u32())); return TrapCode::kNone;
+    case Op::kI64Extend8S: *out = Slot::from_i64(static_cast<int8_t>(a.u64())); return TrapCode::kNone;
+    case Op::kI64Extend16S: *out = Slot::from_i64(static_cast<int16_t>(a.u64())); return TrapCode::kNone;
+    case Op::kI64Extend32S: *out = Slot::from_i64(static_cast<int32_t>(a.u64())); return TrapCode::kNone;
+
+    default:
+      return TrapCode::kUnreachable;  // validator prevents this
+  }
+}
+
+inline TrapCode apply_binop(wasm::Op op, Slot a, Slot b, Slot* out) {
+  using wasm::Op;
+  using namespace numeric_detail;
+  switch (op) {
+    // i32 compare
+    case Op::kI32Eq: *out = Slot::from_u32(a.u32() == b.u32()); return TrapCode::kNone;
+    case Op::kI32Ne: *out = Slot::from_u32(a.u32() != b.u32()); return TrapCode::kNone;
+    case Op::kI32LtS: *out = Slot::from_u32(a.i32() < b.i32()); return TrapCode::kNone;
+    case Op::kI32LtU: *out = Slot::from_u32(a.u32() < b.u32()); return TrapCode::kNone;
+    case Op::kI32GtS: *out = Slot::from_u32(a.i32() > b.i32()); return TrapCode::kNone;
+    case Op::kI32GtU: *out = Slot::from_u32(a.u32() > b.u32()); return TrapCode::kNone;
+    case Op::kI32LeS: *out = Slot::from_u32(a.i32() <= b.i32()); return TrapCode::kNone;
+    case Op::kI32LeU: *out = Slot::from_u32(a.u32() <= b.u32()); return TrapCode::kNone;
+    case Op::kI32GeS: *out = Slot::from_u32(a.i32() >= b.i32()); return TrapCode::kNone;
+    case Op::kI32GeU: *out = Slot::from_u32(a.u32() >= b.u32()); return TrapCode::kNone;
+    // i64 compare
+    case Op::kI64Eq: *out = Slot::from_u32(a.u64() == b.u64()); return TrapCode::kNone;
+    case Op::kI64Ne: *out = Slot::from_u32(a.u64() != b.u64()); return TrapCode::kNone;
+    case Op::kI64LtS: *out = Slot::from_u32(a.i64() < b.i64()); return TrapCode::kNone;
+    case Op::kI64LtU: *out = Slot::from_u32(a.u64() < b.u64()); return TrapCode::kNone;
+    case Op::kI64GtS: *out = Slot::from_u32(a.i64() > b.i64()); return TrapCode::kNone;
+    case Op::kI64GtU: *out = Slot::from_u32(a.u64() > b.u64()); return TrapCode::kNone;
+    case Op::kI64LeS: *out = Slot::from_u32(a.i64() <= b.i64()); return TrapCode::kNone;
+    case Op::kI64LeU: *out = Slot::from_u32(a.u64() <= b.u64()); return TrapCode::kNone;
+    case Op::kI64GeS: *out = Slot::from_u32(a.i64() >= b.i64()); return TrapCode::kNone;
+    case Op::kI64GeU: *out = Slot::from_u32(a.u64() >= b.u64()); return TrapCode::kNone;
+    // float compare
+    case Op::kF32Eq: *out = Slot::from_u32(a.f32() == b.f32()); return TrapCode::kNone;
+    case Op::kF32Ne: *out = Slot::from_u32(a.f32() != b.f32()); return TrapCode::kNone;
+    case Op::kF32Lt: *out = Slot::from_u32(a.f32() < b.f32()); return TrapCode::kNone;
+    case Op::kF32Gt: *out = Slot::from_u32(a.f32() > b.f32()); return TrapCode::kNone;
+    case Op::kF32Le: *out = Slot::from_u32(a.f32() <= b.f32()); return TrapCode::kNone;
+    case Op::kF32Ge: *out = Slot::from_u32(a.f32() >= b.f32()); return TrapCode::kNone;
+    case Op::kF64Eq: *out = Slot::from_u32(a.f64() == b.f64()); return TrapCode::kNone;
+    case Op::kF64Ne: *out = Slot::from_u32(a.f64() != b.f64()); return TrapCode::kNone;
+    case Op::kF64Lt: *out = Slot::from_u32(a.f64() < b.f64()); return TrapCode::kNone;
+    case Op::kF64Gt: *out = Slot::from_u32(a.f64() > b.f64()); return TrapCode::kNone;
+    case Op::kF64Le: *out = Slot::from_u32(a.f64() <= b.f64()); return TrapCode::kNone;
+    case Op::kF64Ge: *out = Slot::from_u32(a.f64() >= b.f64()); return TrapCode::kNone;
+
+    // i32 arithmetic
+    case Op::kI32Add: *out = Slot::from_u32(a.u32() + b.u32()); return TrapCode::kNone;
+    case Op::kI32Sub: *out = Slot::from_u32(a.u32() - b.u32()); return TrapCode::kNone;
+    case Op::kI32Mul: *out = Slot::from_u32(a.u32() * b.u32()); return TrapCode::kNone;
+    case Op::kI32DivS:
+      if (b.i32() == 0) return TrapCode::kDivByZero;
+      if (a.i32() == INT32_MIN && b.i32() == -1) return TrapCode::kIntegerOverflow;
+      *out = Slot::from_i32(a.i32() / b.i32());
+      return TrapCode::kNone;
+    case Op::kI32DivU:
+      if (b.u32() == 0) return TrapCode::kDivByZero;
+      *out = Slot::from_u32(a.u32() / b.u32());
+      return TrapCode::kNone;
+    case Op::kI32RemS:
+      if (b.i32() == 0) return TrapCode::kDivByZero;
+      if (a.i32() == INT32_MIN && b.i32() == -1) {
+        *out = Slot::from_i32(0);
+      } else {
+        *out = Slot::from_i32(a.i32() % b.i32());
+      }
+      return TrapCode::kNone;
+    case Op::kI32RemU:
+      if (b.u32() == 0) return TrapCode::kDivByZero;
+      *out = Slot::from_u32(a.u32() % b.u32());
+      return TrapCode::kNone;
+    case Op::kI32And: *out = Slot::from_u32(a.u32() & b.u32()); return TrapCode::kNone;
+    case Op::kI32Or: *out = Slot::from_u32(a.u32() | b.u32()); return TrapCode::kNone;
+    case Op::kI32Xor: *out = Slot::from_u32(a.u32() ^ b.u32()); return TrapCode::kNone;
+    case Op::kI32Shl: *out = Slot::from_u32(a.u32() << (b.u32() & 31)); return TrapCode::kNone;
+    case Op::kI32ShrS: *out = Slot::from_i32(a.i32() >> (b.u32() & 31)); return TrapCode::kNone;
+    case Op::kI32ShrU: *out = Slot::from_u32(a.u32() >> (b.u32() & 31)); return TrapCode::kNone;
+    case Op::kI32Rotl: *out = Slot::from_u32(std::rotl(a.u32(), static_cast<int>(b.u32() & 31))); return TrapCode::kNone;
+    case Op::kI32Rotr: *out = Slot::from_u32(std::rotr(a.u32(), static_cast<int>(b.u32() & 31))); return TrapCode::kNone;
+
+    // i64 arithmetic
+    case Op::kI64Add: *out = Slot::from_u64(a.u64() + b.u64()); return TrapCode::kNone;
+    case Op::kI64Sub: *out = Slot::from_u64(a.u64() - b.u64()); return TrapCode::kNone;
+    case Op::kI64Mul: *out = Slot::from_u64(a.u64() * b.u64()); return TrapCode::kNone;
+    case Op::kI64DivS:
+      if (b.i64() == 0) return TrapCode::kDivByZero;
+      if (a.i64() == INT64_MIN && b.i64() == -1) return TrapCode::kIntegerOverflow;
+      *out = Slot::from_i64(a.i64() / b.i64());
+      return TrapCode::kNone;
+    case Op::kI64DivU:
+      if (b.u64() == 0) return TrapCode::kDivByZero;
+      *out = Slot::from_u64(a.u64() / b.u64());
+      return TrapCode::kNone;
+    case Op::kI64RemS:
+      if (b.i64() == 0) return TrapCode::kDivByZero;
+      if (a.i64() == INT64_MIN && b.i64() == -1) {
+        *out = Slot::from_i64(0);
+      } else {
+        *out = Slot::from_i64(a.i64() % b.i64());
+      }
+      return TrapCode::kNone;
+    case Op::kI64RemU:
+      if (b.u64() == 0) return TrapCode::kDivByZero;
+      *out = Slot::from_u64(a.u64() % b.u64());
+      return TrapCode::kNone;
+    case Op::kI64And: *out = Slot::from_u64(a.u64() & b.u64()); return TrapCode::kNone;
+    case Op::kI64Or: *out = Slot::from_u64(a.u64() | b.u64()); return TrapCode::kNone;
+    case Op::kI64Xor: *out = Slot::from_u64(a.u64() ^ b.u64()); return TrapCode::kNone;
+    case Op::kI64Shl: *out = Slot::from_u64(a.u64() << (b.u64() & 63)); return TrapCode::kNone;
+    case Op::kI64ShrS: *out = Slot::from_i64(a.i64() >> (b.u64() & 63)); return TrapCode::kNone;
+    case Op::kI64ShrU: *out = Slot::from_u64(a.u64() >> (b.u64() & 63)); return TrapCode::kNone;
+    case Op::kI64Rotl: *out = Slot::from_u64(std::rotl(a.u64(), static_cast<int>(b.u64() & 63))); return TrapCode::kNone;
+    case Op::kI64Rotr: *out = Slot::from_u64(std::rotr(a.u64(), static_cast<int>(b.u64() & 63))); return TrapCode::kNone;
+
+    // f32 arithmetic
+    case Op::kF32Add: *out = Slot::from_f32(a.f32() + b.f32()); return TrapCode::kNone;
+    case Op::kF32Sub: *out = Slot::from_f32(a.f32() - b.f32()); return TrapCode::kNone;
+    case Op::kF32Mul: *out = Slot::from_f32(a.f32() * b.f32()); return TrapCode::kNone;
+    case Op::kF32Div: *out = Slot::from_f32(a.f32() / b.f32()); return TrapCode::kNone;
+    case Op::kF32Min: *out = Slot::from_f32(wasm_fmin(a.f32(), b.f32())); return TrapCode::kNone;
+    case Op::kF32Max: *out = Slot::from_f32(wasm_fmax(a.f32(), b.f32())); return TrapCode::kNone;
+    case Op::kF32Copysign: *out = Slot::from_f32(std::copysign(a.f32(), b.f32())); return TrapCode::kNone;
+
+    // f64 arithmetic
+    case Op::kF64Add: *out = Slot::from_f64(a.f64() + b.f64()); return TrapCode::kNone;
+    case Op::kF64Sub: *out = Slot::from_f64(a.f64() - b.f64()); return TrapCode::kNone;
+    case Op::kF64Mul: *out = Slot::from_f64(a.f64() * b.f64()); return TrapCode::kNone;
+    case Op::kF64Div: *out = Slot::from_f64(a.f64() / b.f64()); return TrapCode::kNone;
+    case Op::kF64Min: *out = Slot::from_f64(wasm_fmin(a.f64(), b.f64())); return TrapCode::kNone;
+    case Op::kF64Max: *out = Slot::from_f64(wasm_fmax(a.f64(), b.f64())); return TrapCode::kNone;
+    case Op::kF64Copysign: *out = Slot::from_f64(std::copysign(a.f64(), b.f64())); return TrapCode::kNone;
+
+    default:
+      return TrapCode::kUnreachable;  // validator prevents this
+  }
+}
+
+}  // namespace sledge::engine

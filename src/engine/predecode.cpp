@@ -1,0 +1,261 @@
+#include "engine/predecode.hpp"
+
+#include <string>
+
+#include "engine/numeric.hpp"
+#include "wasm/types.hpp"
+
+namespace sledge::engine {
+
+using wasm::Instr;
+using wasm::Op;
+
+namespace {
+
+// Structure pass: for every block/loop/if pc, the pc of its matching `end`
+// (and `else`, when present).
+struct BlockMatch {
+  uint32_t end_pc = 0;
+  uint32_t else_pc = UINT32_MAX;
+};
+
+void match_blocks(const std::vector<Instr>& code,
+                  std::vector<BlockMatch>* match) {
+  match->assign(code.size(), BlockMatch{});
+  std::vector<uint32_t> stack;
+  for (uint32_t pc = 0; pc < code.size(); ++pc) {
+    Op op = code[pc].op;
+    if (op == Op::kBlock || op == Op::kLoop || op == Op::kIf) {
+      stack.push_back(pc);
+    } else if (op == Op::kElse) {
+      (*match)[stack.back()].else_pc = pc;
+    } else if (op == Op::kEnd) {
+      if (!stack.empty()) {
+        (*match)[stack.back()].end_pc = pc;
+        stack.pop_back();
+      }
+      // The final end (function level) has an empty stack; nothing to match.
+    }
+  }
+}
+
+struct Frame {
+  Op kind;
+  uint32_t entry_height;
+  uint8_t arity;
+  uint32_t header_pc;
+  bool unreachable = false;
+};
+
+class FuncPredecoder {
+ public:
+  FuncPredecoder(const wasm::Module& m, const wasm::FunctionBody& body,
+                 std::vector<std::vector<BrTableEntry>>& pools)
+      : m_(m), body_(body), pools_(pools) {}
+
+  Result<FastFunc> run() {
+    const std::vector<Instr>& code = body_.code;
+    match_blocks(code, &match_);
+
+    const wasm::FuncType& ft = m_.types[body_.type_index];
+    out_.type_index = body_.type_index;
+    out_.num_params = static_cast<uint32_t>(ft.params.size());
+    out_.local_types = ft.params;
+    out_.local_types.insert(out_.local_types.end(), body_.locals.begin(),
+                            body_.locals.end());
+    out_.num_locals = static_cast<uint32_t>(out_.local_types.size());
+
+    frames_.push_back(
+        Frame{Op::kBlock, 0, static_cast<uint8_t>(ft.results.empty() ? 0 : 1),
+              UINT32_MAX});
+
+    out_.code.reserve(code.size());
+    for (uint32_t pc = 0; pc < code.size(); ++pc) {
+      const Instr& ins = code[pc];
+      FastInstr fi;
+      fi.op = ins.op;
+      fi.a = ins.a;
+      fi.b = ins.b;
+      fi.imm = ins.imm;
+
+      switch (ins.op) {
+        case Op::kBlock:
+        case Op::kLoop: {
+          frames_.push_back(Frame{ins.op, h_,
+                                  static_cast<uint8_t>(ins.block_type == 0x40 ? 0 : 1),
+                                  pc, frames_.back().unreachable});
+          break;
+        }
+        case Op::kIf: {
+          adjust(-1);  // condition
+          // False edge: enter after `else` when present, at `end` otherwise
+          // (`end` executes as a nop and falls through).
+          fi.target = match_[pc].else_pc != UINT32_MAX ? match_[pc].else_pc + 1
+                                                       : match_[pc].end_pc;
+          fi.unwind = h_;
+          frames_.push_back(Frame{ins.op, h_,
+                                  static_cast<uint8_t>(ins.block_type == 0x40 ? 0 : 1),
+                                  pc, frames_.back().unreachable});
+          break;
+        }
+        case Op::kElse: {
+          // Executed only when the true arm falls through: jump to end,
+          // carrying the block result (heights already correct, no unwind
+          // actually trims anything in validated code).
+          Frame& f = frames_.back();
+          fi.target = match_[f.header_pc].end_pc;
+          fi.unwind = f.entry_height;
+          fi.carry = f.arity;
+          f.unreachable = frames_[frames_.size() - 2].unreachable;
+          h_ = f.entry_height;
+          break;
+        }
+        case Op::kEnd: {
+          Frame f = frames_.back();
+          frames_.pop_back();
+          if (frames_.empty()) {
+            out_.code.push_back(fi);
+            if (pc + 1 != code.size()) {
+              return fail("trailing code after function end");
+            }
+            return Result<FastFunc>(std::move(out_));
+          }
+          h_ = f.entry_height + f.arity;
+          if (h_ > out_.max_stack) out_.max_stack = h_;
+          break;
+        }
+
+        case Op::kBr:
+          resolve_branch(ins.a, &fi.target, &fi.unwind, &fi.carry);
+          mark_unreachable();
+          break;
+        case Op::kBrIf:
+          adjust(-1);
+          resolve_branch(ins.a, &fi.target, &fi.unwind, &fi.carry);
+          break;
+        case Op::kBrTable: {
+          adjust(-1);
+          const std::vector<uint32_t>& targets = m_.br_tables[ins.b];
+          std::vector<BrTableEntry> pool(targets.size());
+          for (size_t j = 0; j < targets.size(); ++j) {
+            resolve_branch(targets[j], &pool[j].target, &pool[j].unwind,
+                           &pool[j].carry);
+          }
+          fi.b = static_cast<uint32_t>(pools_.size());
+          pools_.push_back(std::move(pool));
+          mark_unreachable();
+          break;
+        }
+        case Op::kReturn:
+        case Op::kUnreachable:
+          mark_unreachable();
+          break;
+
+        case Op::kCall: {
+          const wasm::FuncType& callee = m_.func_type(ins.a);
+          adjust(-static_cast<int>(callee.params.size()) +
+                 static_cast<int>(callee.results.size()));
+          break;
+        }
+        case Op::kCallIndirect: {
+          const wasm::FuncType& callee = m_.types[ins.a];
+          adjust(-1 - static_cast<int>(callee.params.size()) +
+                 static_cast<int>(callee.results.size()));
+          break;
+        }
+
+        case Op::kDrop: adjust(-1); break;
+        case Op::kSelect: adjust(-2); break;
+        case Op::kLocalGet: adjust(+1); break;
+        case Op::kLocalSet: adjust(-1); break;
+        case Op::kLocalTee: break;
+        case Op::kGlobalGet: adjust(+1); break;
+        case Op::kGlobalSet: adjust(-1); break;
+        case Op::kMemorySize: adjust(+1); break;
+        case Op::kMemoryGrow: break;
+        case Op::kI32Const:
+        case Op::kI64Const:
+        case Op::kF32Const:
+        case Op::kF64Const: adjust(+1); break;
+        case Op::kNop: break;
+
+        default: {
+          uint8_t b = static_cast<uint8_t>(ins.op);
+          if (b >= 0x28 && b <= 0x35) {
+            // load: pop address, push value — net zero
+          } else if (b >= 0x36 && b <= 0x3E) {
+            adjust(-2);
+          } else if (numeric_arity(ins.op) == NumArity::kBinary) {
+            adjust(-1);
+          }
+          break;
+        }
+      }
+      out_.code.push_back(fi);
+    }
+    return fail("missing function end");
+  }
+
+ private:
+  Result<FastFunc> fail(const std::string& msg) {
+    return Result<FastFunc>::error("predecode: " + msg);
+  }
+
+  void adjust(int delta) {
+    if (frames_.back().unreachable) return;
+    h_ = static_cast<uint32_t>(static_cast<int>(h_) + delta);
+    if (h_ > out_.max_stack) out_.max_stack = h_;
+  }
+
+  void mark_unreachable() {
+    frames_.back().unreachable = true;
+    h_ = frames_.back().entry_height;
+  }
+
+  void resolve_branch(uint32_t d, uint32_t* target, uint32_t* unwind,
+                      uint8_t* carry) {
+    const Frame& f = frames_[frames_.size() - 1 - d];
+    if (d == frames_.size() - 1) {
+      // Branch to the function label: behaves like return. Jump to the
+      // final `end`.
+      *target = static_cast<uint32_t>(body_.code.size()) - 1;
+      *unwind = f.entry_height;
+      *carry = f.arity;
+      return;
+    }
+    if (f.kind == Op::kLoop) {
+      *target = f.header_pc + 1;
+      *unwind = f.entry_height;
+      *carry = 0;
+    } else {
+      *target = match_[f.header_pc].end_pc;  // `end` is a nop; falls through
+      *unwind = f.entry_height;
+      *carry = f.arity;
+    }
+  }
+
+  const wasm::Module& m_;
+  const wasm::FunctionBody& body_;
+  std::vector<std::vector<BrTableEntry>>& pools_;
+  FastFunc out_;
+  std::vector<BlockMatch> match_;
+  std::vector<Frame> frames_;
+  uint32_t h_ = 0;
+};
+
+}  // namespace
+
+Result<FastModule> predecode(const wasm::Module& module) {
+  FastModule fm;
+  fm.module = &module;
+  fm.funcs.reserve(module.functions.size());
+  for (const wasm::FunctionBody& body : module.functions) {
+    FuncPredecoder pd(module, body, fm.br_pools);
+    Result<FastFunc> f = pd.run();
+    if (!f.ok()) return Result<FastModule>::error(f.error_message());
+    fm.funcs.push_back(f.take());
+  }
+  return Result<FastModule>(std::move(fm));
+}
+
+}  // namespace sledge::engine

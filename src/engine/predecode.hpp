@@ -1,0 +1,56 @@
+// Tier-2 preparation: pre-decoded function bodies with *resolved* control
+// flow. Every br/br_if/if/else knows its absolute jump target and the
+// operand-stack height to unwind to, so the fast interpreter runs with no
+// label stack and no dynamic scanning. This mirrors what a real baseline
+// JIT front-end (e.g. Cranelift's or wasm3's prepass) computes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "wasm/module.hpp"
+
+namespace sledge::engine {
+
+struct FastInstr {
+  wasm::Op op;
+  uint8_t carry = 0;    // branch carries one result value
+  uint32_t a = 0;       // local/global/func/type index, align
+  uint32_t b = 0;       // memarg offset, br_table pool index
+  uint32_t target = 0;  // resolved jump target (pc index)
+  uint32_t unwind = 0;  // operand-stack height to resize to on branch
+  uint64_t imm = 0;
+};
+
+struct BrTableEntry {
+  uint32_t target = 0;
+  uint32_t unwind = 0;
+  uint8_t carry = 0;
+};
+
+struct FastFunc {
+  uint32_t type_index = 0;
+  uint32_t num_params = 0;
+  uint32_t num_locals = 0;  // params + declared locals
+  // Value types of all locals (params first); used to zero-init correctly.
+  std::vector<wasm::ValType> local_types;
+  std::vector<FastInstr> code;
+  // Static upper bound of the operand stack, for preallocation.
+  uint32_t max_stack = 0;
+};
+
+struct FastModule {
+  const wasm::Module* module = nullptr;
+  std::vector<FastFunc> funcs;                      // defined functions only
+  std::vector<std::vector<BrTableEntry>> br_pools;  // resolved br_tables
+
+  const FastFunc& func(uint32_t joint_index) const {
+    return funcs[joint_index - module->num_imported_funcs()];
+  }
+};
+
+// Requires a *validated* module (heights/types are trusted).
+Result<FastModule> predecode(const wasm::Module& module);
+
+}  // namespace sledge::engine

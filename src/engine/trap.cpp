@@ -1,0 +1,148 @@
+#include "engine/trap.hpp"
+
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace sledge::engine {
+
+const char* trap_name(TrapCode code) {
+  switch (code) {
+    case TrapCode::kNone: return "none";
+    case TrapCode::kUnreachable: return "unreachable executed";
+    case TrapCode::kOutOfBoundsMemory: return "out-of-bounds memory access";
+    case TrapCode::kDivByZero: return "integer divide by zero";
+    case TrapCode::kIntegerOverflow: return "integer overflow";
+    case TrapCode::kInvalidConversion: return "invalid float-to-int conversion";
+    case TrapCode::kIndirectCallNull: return "indirect call to null table entry";
+    case TrapCode::kIndirectCallType: return "indirect call type mismatch";
+    case TrapCode::kIndirectCallOob: return "indirect call index out of range";
+    case TrapCode::kCallStackExhausted: return "call stack exhausted";
+    case TrapCode::kHostError: return "host function error";
+  }
+  return "?";
+}
+
+namespace trap_internal {
+TrapFrame*& current_frame() {
+  thread_local TrapFrame* frame = nullptr;
+  return frame;
+}
+}  // namespace trap_internal
+
+[[noreturn]] void raise_trap(TrapCode code) {
+  TrapFrame* frame = trap_internal::current_frame();
+  if (!frame) {
+    std::fprintf(stderr, "fatal: trap '%s' with no active TrapScope\n",
+                 trap_name(code));
+    std::abort();
+  }
+  frame->code = code;
+  siglongjmp(frame->env, 1);
+}
+
+namespace {
+
+// Guard-region registry. Fixed-size, lock-free reads: the SIGSEGV handler
+// must not take locks. Slots are claimed under a mutex (writers only).
+struct GuardRegion {
+  std::atomic<uintptr_t> base{0};
+  std::atomic<size_t> len{0};
+};
+
+constexpr int kMaxGuardRegions = 4096;
+GuardRegion g_regions[kMaxGuardRegions];
+std::mutex g_regions_mutex;
+
+struct sigaction g_prev_segv;
+struct sigaction g_prev_bus;
+
+bool address_in_guard_region(uintptr_t addr) {
+  for (int i = 0; i < kMaxGuardRegions; ++i) {
+    size_t len = g_regions[i].len.load(std::memory_order_acquire);
+    if (len == 0) continue;
+    uintptr_t base = g_regions[i].base.load(std::memory_order_relaxed);
+    if (addr >= base && addr < base + len) return true;
+  }
+  return false;
+}
+
+void segv_handler(int signo, siginfo_t* info, void* ucontext) {
+  uintptr_t addr = reinterpret_cast<uintptr_t>(info->si_addr);
+  if (trap_internal::current_frame() && address_in_guard_region(addr)) {
+    // Fault inside a sandbox guard region while sandboxed code was running:
+    // this is the vm_guard bounds check firing.
+    raise_trap(TrapCode::kOutOfBoundsMemory);
+  }
+  // Not ours: restore and re-raise so the default crash behavior (and
+  // debuggers) see the original fault.
+  const struct sigaction* prev = signo == SIGSEGV ? &g_prev_segv : &g_prev_bus;
+  if (prev->sa_flags & SA_SIGINFO) {
+    if (prev->sa_sigaction) {
+      prev->sa_sigaction(signo, info, ucontext);
+      return;
+    }
+  } else if (prev->sa_handler == SIG_IGN) {
+    return;
+  } else if (prev->sa_handler != SIG_DFL && prev->sa_handler) {
+    prev->sa_handler(signo);
+    return;
+  }
+  signal(signo, SIG_DFL);
+  raise(signo);
+}
+
+}  // namespace
+
+int register_guard_region(const void* base, size_t len) {
+  std::lock_guard<std::mutex> lock(g_regions_mutex);
+  for (int i = 0; i < kMaxGuardRegions; ++i) {
+    if (g_regions[i].len.load(std::memory_order_relaxed) == 0) {
+      g_regions[i].base.store(reinterpret_cast<uintptr_t>(base),
+                              std::memory_order_relaxed);
+      g_regions[i].len.store(len, std::memory_order_release);
+      return i;
+    }
+  }
+  std::fprintf(stderr, "fatal: guard region registry exhausted\n");
+  std::abort();
+}
+
+void unregister_guard_region(int id) {
+  if (id < 0 || id >= kMaxGuardRegions) return;
+  g_regions[id].len.store(0, std::memory_order_release);
+}
+
+void install_trap_signal_handler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    sa.sa_sigaction = segv_handler;
+    sigemptyset(&sa.sa_mask);
+    // SA_NODEFER so a longjmp out of the handler leaves SIGSEGV deliverable;
+    // SA_ONSTACK so stack-overflow faults can still run the handler (threads
+    // that execute sandboxes call ensure_sigaltstack()).
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER | SA_ONSTACK;
+    sigaction(SIGSEGV, &sa, &g_prev_segv);
+    sigaction(SIGBUS, &sa, &g_prev_bus);
+  });
+}
+
+void ensure_sigaltstack() {
+  thread_local bool installed = false;
+  if (installed) return;
+  constexpr size_t kAltSize = 64 * 1024;  // >= SIGSTKSZ on this platform
+  static thread_local std::vector<char> alt(kAltSize);
+  stack_t ss;
+  ss.ss_sp = alt.data();
+  ss.ss_size = alt.size();
+  ss.ss_flags = 0;
+  sigaltstack(&ss, nullptr);
+  installed = true;
+}
+
+}  // namespace sledge::engine

@@ -1,0 +1,92 @@
+// Runtime value representations.
+//
+// The fast interpreter and the AoT ABI use untagged 64-bit slots (the
+// validator guarantees type correctness); the slow interpreter tier carries
+// explicit tags, which is one honest source of its slowness (it models
+// naive runtimes the paper compares against).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "wasm/types.hpp"
+
+namespace sledge::engine {
+
+// Untagged 64-bit slot. Conversions go through bit copies, never unions with
+// active-member UB.
+struct Slot {
+  uint64_t bits = 0;
+
+  static Slot from_i32(int32_t v) {
+    Slot s;
+    s.bits = static_cast<uint64_t>(static_cast<uint32_t>(v));
+    return s;
+  }
+  static Slot from_u32(uint32_t v) {
+    Slot s;
+    s.bits = v;
+    return s;
+  }
+  static Slot from_i64(int64_t v) {
+    Slot s;
+    s.bits = static_cast<uint64_t>(v);
+    return s;
+  }
+  static Slot from_u64(uint64_t v) {
+    Slot s;
+    s.bits = v;
+    return s;
+  }
+  static Slot from_f32(float v) {
+    Slot s;
+    uint32_t b;
+    std::memcpy(&b, &v, 4);
+    s.bits = b;
+    return s;
+  }
+  static Slot from_f64(double v) {
+    Slot s;
+    uint64_t b;
+    std::memcpy(&b, &v, 8);
+    s.bits = b;
+    return s;
+  }
+
+  int32_t i32() const { return static_cast<int32_t>(static_cast<uint32_t>(bits)); }
+  uint32_t u32() const { return static_cast<uint32_t>(bits); }
+  int64_t i64() const { return static_cast<int64_t>(bits); }
+  uint64_t u64() const { return bits; }
+  float f32() const {
+    float v;
+    uint32_t b = static_cast<uint32_t>(bits);
+    std::memcpy(&v, &b, 4);
+    return v;
+  }
+  double f64() const {
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+};
+
+// Tagged value used at API boundaries (invoking exports) and by the slow
+// interpreter tier.
+struct Value {
+  wasm::ValType type = wasm::ValType::kI32;
+  Slot slot;
+
+  Value() = default;
+  Value(wasm::ValType t, Slot s) : type(t), slot(s) {}
+  static Value i32(int32_t v) { return {wasm::ValType::kI32, Slot::from_i32(v)}; }
+  static Value i64(int64_t v) { return {wasm::ValType::kI64, Slot::from_i64(v)}; }
+  static Value f32(float v) { return {wasm::ValType::kF32, Slot::from_f32(v)}; }
+  static Value f64(double v) { return {wasm::ValType::kF64, Slot::from_f64(v)}; }
+
+  int32_t as_i32() const { return slot.i32(); }
+  int64_t as_i64() const { return slot.i64(); }
+  float as_f32() const { return slot.f32(); }
+  double as_f64() const { return slot.f64(); }
+};
+
+}  // namespace sledge::engine

@@ -1,0 +1,28 @@
+// Tier 3 front half: the aWsm ahead-of-time translator.
+//
+// Lowers a validated Wasm module to portable C99 with the configured
+// sandboxing strategy baked in (bounds-check macro, CFI-checked indirect
+// calls, call-depth guard). The output is compiled by the system C compiler
+// into a shared object and loaded with dlopen — the same
+// "heavyweight linking & loading decoupled from instantiation" pipeline the
+// paper's Figure 2 describes, with C as the portable IR in place of LLVM IR
+// (see DESIGN.md substitutions).
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "engine/memory.hpp"
+#include "wasm/module.hpp"
+
+namespace sledge::engine {
+
+struct Wasm2COptions {
+  BoundsStrategy strategy = BoundsStrategy::kVmGuard;
+};
+
+// Requires a validated module.
+Result<std::string> wasm_to_c(const wasm::Module& module,
+                              const Wasm2COptions& options);
+
+}  // namespace sledge::engine

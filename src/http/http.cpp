@@ -1,0 +1,155 @@
+#include "http/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace sledge::http {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+}  // namespace
+
+void RequestParser::reset() {
+  state_ = State::kHeaders;
+  header_buf_.clear();
+  body_expected_ = 0;
+  req_ = Request{};
+  error_.clear();
+}
+
+int RequestParser::feed(const uint8_t* data, size_t len) {
+  size_t consumed = 0;
+
+  if (state_ == State::kHeaders) {
+    // Accumulate until the blank line; the terminator may straddle feeds.
+    size_t take = std::min(len, kMaxHeaderBytes - header_buf_.size() + 4);
+    header_buf_.append(reinterpret_cast<const char*>(data), take);
+    size_t end = header_buf_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (header_buf_.size() >= kMaxHeaderBytes) {
+        return fail("header block too large");
+      }
+      return static_cast<int>(take);
+    }
+    // Bytes of `data` actually belonging to the header block.
+    size_t header_total = end + 4;
+    size_t prev = header_buf_.size() - take;
+    consumed = header_total - prev;
+    header_buf_.resize(header_total);
+    if (!parse_header_block()) return -1;
+
+    auto it = req_.headers.find("content-length");
+    if (it != req_.headers.end()) {
+      char* endp = nullptr;
+      unsigned long long v = std::strtoull(it->second.c_str(), &endp, 10);
+      if (!endp || *endp != '\0') return fail("bad content-length");
+      if (v > kMaxBodyBytes) return fail("body too large");
+      body_expected_ = static_cast<size_t>(v);
+    }
+    if (body_expected_ == 0) {
+      state_ = State::kDone;
+      return static_cast<int>(consumed);
+    }
+    req_.body.reserve(body_expected_);
+    state_ = State::kBody;
+    data += consumed;
+    len -= consumed;
+  }
+
+  if (state_ == State::kBody) {
+    size_t need = body_expected_ - req_.body.size();
+    size_t take = std::min(len, need);
+    req_.body.insert(req_.body.end(), data, data + take);
+    consumed += take;
+    if (req_.body.size() == body_expected_) state_ = State::kDone;
+  }
+
+  return static_cast<int>(consumed);
+}
+
+bool RequestParser::parse_header_block() {
+  size_t pos = 0;
+  size_t line_end = header_buf_.find("\r\n", pos);
+  if (line_end == std::string::npos) {
+    fail("missing request line");
+    return false;
+  }
+  std::string line = header_buf_.substr(pos, line_end - pos);
+  pos = line_end + 2;
+
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    fail("malformed request line");
+    return false;
+  }
+  req_.method = line.substr(0, sp1);
+  req_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req_.version = line.substr(sp2 + 1);
+  if (req_.method.empty() || req_.target.empty() ||
+      req_.version.rfind("HTTP/", 0) != 0) {
+    fail("malformed request line");
+    return false;
+  }
+
+  while (pos + 2 <= header_buf_.size()) {
+    line_end = header_buf_.find("\r\n", pos);
+    if (line_end == std::string::npos || line_end == pos) break;
+    std::string header = header_buf_.substr(pos, line_end - pos);
+    pos = line_end + 2;
+    size_t colon = header.find(':');
+    if (colon == std::string::npos) {
+      fail("malformed header line");
+      return false;
+    }
+    std::string key = to_lower(trim(header.substr(0, colon)));
+    std::string value = trim(header.substr(colon + 1));
+    if (key.empty()) {
+      fail("empty header name");
+      return false;
+    }
+    req_.headers[key] = value;
+  }
+  return true;
+}
+
+std::string serialize_response(int status, const std::string& reason,
+                               const std::vector<uint8_t>& body,
+                               bool keep_alive,
+                               const std::string& content_type) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: " +
+                    (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+  out.append(reinterpret_cast<const char*>(body.data()), body.size());
+  return out;
+}
+
+std::string serialize_request(const std::string& method,
+                              const std::string& target,
+                              const std::vector<uint8_t>& body,
+                              bool keep_alive, const std::string& host) {
+  std::string out = method + " " + target + " HTTP/1.1\r\nHost: " + host +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: " +
+                    (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+  out.append(reinterpret_cast<const char*>(body.data()), body.size());
+  return out;
+}
+
+}  // namespace sledge::http

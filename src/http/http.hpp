@@ -1,0 +1,83 @@
+// Minimal HTTP/1.1 machinery for the Sledge listener and the procfaas
+// baseline: an incremental request parser (byte stream in, request out —
+// resilient to arbitrary TCP segmentation) and a response serializer.
+// POST bodies are delimited by Content-Length; chunked encoding is not
+// needed by either the paper's workloads or our load generator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sledge::http {
+
+struct Request {
+  std::string method;
+  std::string target;   // request path, e.g. "/fib"
+  std::string version;  // "HTTP/1.1"
+  std::map<std::string, std::string> headers;  // keys lowercased
+  std::vector<uint8_t> body;
+
+  bool keep_alive() const {
+    auto it = headers.find("connection");
+    if (it != headers.end()) {
+      if (it->second == "close") return false;
+      if (it->second == "keep-alive") return true;
+    }
+    return version == "HTTP/1.1";  // 1.1 defaults to keep-alive
+  }
+};
+
+// Push parser: feed() consumes bytes and returns how many were used; call
+// done()/failed() after each feed. After done(), reset() prepares the parser
+// for the next request on a kept-alive connection.
+class RequestParser {
+ public:
+  // Returns the number of bytes consumed, or -1 on a malformed request.
+  int feed(const uint8_t* data, size_t len);
+  int feed(const char* data, size_t len) {
+    return feed(reinterpret_cast<const uint8_t*>(data), len);
+  }
+
+  bool done() const { return state_ == State::kDone; }
+  bool failed() const { return state_ == State::kError; }
+  const std::string& error() const { return error_; }
+
+  Request& request() { return req_; }
+  void reset();
+
+  static constexpr size_t kMaxHeaderBytes = 16 * 1024;
+  static constexpr size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+ private:
+  enum class State { kHeaders, kBody, kDone, kError };
+
+  int fail(const std::string& msg) {
+    state_ = State::kError;
+    error_ = msg;
+    return -1;
+  }
+  bool parse_header_block();
+
+  State state_ = State::kHeaders;
+  std::string header_buf_;
+  size_t body_expected_ = 0;
+  Request req_;
+  std::string error_;
+};
+
+// Serializes a response with Content-Length and Connection headers.
+std::string serialize_response(int status, const std::string& reason,
+                               const std::vector<uint8_t>& body,
+                               bool keep_alive,
+                               const std::string& content_type =
+                                   "application/octet-stream");
+
+std::string serialize_request(const std::string& method,
+                              const std::string& target,
+                              const std::vector<uint8_t>& body,
+                              bool keep_alive,
+                              const std::string& host = "localhost");
+
+}  // namespace sledge::http

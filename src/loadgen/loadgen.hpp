@@ -1,0 +1,48 @@
+// Closed-loop HTTP load generator (Apache Bench stand-in): N concurrent
+// connections, each issuing requests back-to-back until the total request
+// budget is exhausted; reports throughput and the average/p99 latencies the
+// paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/status.hpp"
+
+namespace sledge::loadgen {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string path = "/ping";
+  std::vector<uint8_t> body;
+  int concurrency = 10;
+  uint64_t total_requests = 1000;
+  bool keep_alive = true;
+  // Treat a 200 with this exact body as success when non-empty.
+  std::vector<uint8_t> expect_body;
+};
+
+struct Report {
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  double duration_s = 0;
+  double throughput_rps = 0;
+  LatencyHistogram latency;
+
+  double mean_ms() const { return latency.mean_ms(); }
+  double p99_ms() const { return latency.p99_ms(); }
+};
+
+Result<Report> run_load(const Options& options);
+
+// One blocking request/response over a fresh connection; for tests.
+Result<std::vector<uint8_t>> single_request(const std::string& host,
+                                            uint16_t port,
+                                            const std::string& path,
+                                            const std::vector<uint8_t>& body,
+                                            int* status_out = nullptr);
+
+}  // namespace sledge::loadgen

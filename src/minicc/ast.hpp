@@ -1,0 +1,149 @@
+// mini-C abstract syntax tree. Built by the parser, annotated by sema
+// (types, symbol resolution, global memory layout), consumed by the two
+// code generators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sledge::minicc {
+
+enum class MType : uint8_t { kVoid, kChar, kInt, kLong, kFloat, kDouble };
+
+const char* to_string(MType t);
+inline bool is_float_type(MType t) { return t == MType::kFloat || t == MType::kDouble; }
+inline bool is_int_type(MType t) {
+  return t == MType::kChar || t == MType::kInt || t == MType::kLong;
+}
+inline int type_size(MType t) {
+  switch (t) {
+    case MType::kChar: return 1;
+    case MType::kInt: case MType::kFloat: return 4;
+    case MType::kLong: case MType::kDouble: return 8;
+    default: return 0;
+  }
+}
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kFloatLit,
+  kVar,      // scalar variable (local, param or global)
+  kIndex,    // global array element: name[idx] or name[i][j]
+  kCall,     // user function or builtin
+  kUnary,    // - ! ~
+  kBinary,   // arithmetic / comparison / bitwise / logical
+  kAssign,   // lhs (kVar or kIndex) = value
+  kCond,     // a ? b : c
+  kCast,     // (type)e — explicit or inserted by sema
+};
+
+struct Expr {
+  ExprKind kind;
+  MType type = MType::kVoid;  // annotated by sema
+  int line = 0;
+
+  // literals
+  int64_t int_value = 0;
+  double float_value = 0;
+
+  // kVar / kIndex / kCall
+  std::string name;
+  std::vector<ExprPtr> args;  // index expressions or call arguments
+
+  // kUnary/kBinary/kAssign/kCond/kCast
+  std::string op;  // operator spelling for unary/binary
+  ExprPtr a, b, c;
+
+  // sema annotations
+  int local_index = -1;      // kVar: local slot (params first), -1 = global
+  int global_index = -1;     // kVar/kIndex: index into Program::globals
+  int callee_index = -1;     // kCall: function index, -1 = builtin
+  int builtin_index = -1;    // kCall: builtin table index
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  kBlock,
+  kExpr,
+  kDecl,    // local scalar declaration with optional init
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::vector<StmtPtr> body;           // kBlock
+  ExprPtr expr;                        // kExpr / kReturn value / condition
+  // kDecl
+  MType decl_type = MType::kInt;
+  std::string decl_name;
+  ExprPtr decl_init;
+  int decl_local_index = -1;  // sema
+  // kIf
+  StmtPtr then_branch, else_branch;
+  // kWhile/kFor
+  StmtPtr init, step, loop_body;
+};
+
+struct Param {
+  MType type;
+  std::string name;
+};
+
+struct Function {
+  std::string name;
+  MType return_type = MType::kVoid;
+  std::vector<Param> params;
+  StmtPtr body;
+  int line = 0;
+
+  // sema: full local slot table (params first), types per slot.
+  std::vector<MType> local_types;
+};
+
+struct GlobalVar {
+  std::string name;
+  MType elem_type = MType::kInt;
+  // dims: 0 = scalar, 1 = [n], 2 = [n][m]
+  std::vector<int64_t> dims;
+  ExprPtr init;  // scalars only; constant expression
+  int line = 0;
+
+  // sema: scalars get a wasm-global slot, arrays a linear-memory offset.
+  int wasm_global_index = -1;
+  uint32_t mem_offset = 0;
+
+  bool is_array() const { return !dims.empty(); }
+  uint64_t element_count() const {
+    uint64_t n = 1;
+    for (int64_t d : dims) n *= static_cast<uint64_t>(d);
+    return n;
+  }
+  uint64_t byte_size() const {
+    return element_count() * static_cast<uint64_t>(type_size(elem_type));
+  }
+};
+
+struct Program {
+  std::vector<GlobalVar> globals;
+  std::vector<Function> functions;
+
+  // sema results
+  uint32_t memory_bytes_used = 0;   // linear-memory high-water mark
+  std::vector<int> used_builtins;   // indices into the builtin table
+};
+
+}  // namespace sledge::minicc

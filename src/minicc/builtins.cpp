@@ -1,0 +1,48 @@
+#include "minicc/builtins.hpp"
+
+namespace sledge::minicc {
+
+const std::vector<Builtin>& builtins() {
+  using Op = wasm::Op;
+  static const std::vector<Builtin> kTable = {
+      // serverless ABI
+      {"req_len", "", 'i', BuiltinLower::kImport, Op::kNop, "req_len", "mc_req_len"},
+      {"req_read", "aii", 'i', BuiltinLower::kImport, Op::kNop, "req_read", "mc_req_read"},
+      {"resp_write", "ai", 'i', BuiltinLower::kImport, Op::kNop, "resp_write", "mc_resp_write"},
+      {"sleep_ms", "i", 'v', BuiltinLower::kImport, Op::kNop, "sleep_ms", "mc_sleep_ms"},
+      {"req_f64", "i", 'd', BuiltinLower::kImport, Op::kNop, "req_f64", "mc_req_f64"},
+      {"resp_f64", "d", 'v', BuiltinLower::kImport, Op::kNop, "resp_f64", "mc_resp_f64"},
+      {"req_i32", "i", 'i', BuiltinLower::kImport, Op::kNop, "req_i32", "mc_req_i32"},
+      {"resp_i32", "i", 'v', BuiltinLower::kImport, Op::kNop, "resp_i32", "mc_resp_i32"},
+      {"debug_i32", "i", 'v', BuiltinLower::kImport, Op::kNop, "debug_i32", "mc_debug_i32"},
+      // math with Wasm opcodes
+      {"sqrt", "d", 'd', BuiltinLower::kOpcode, Op::kF64Sqrt, "", "sqrt"},
+      {"fabs", "d", 'd', BuiltinLower::kOpcode, Op::kF64Abs, "", "fabs"},
+      {"floor", "d", 'd', BuiltinLower::kOpcode, Op::kF64Floor, "", "floor"},
+      {"ceil", "d", 'd', BuiltinLower::kOpcode, Op::kF64Ceil, "", "ceil"},
+      {"trunc", "d", 'd', BuiltinLower::kOpcode, Op::kF64Trunc, "", "trunc"},
+      {"fmin", "dd", 'd', BuiltinLower::kOpcode, Op::kF64Min, "", "fmin"},
+      {"fmax", "dd", 'd', BuiltinLower::kOpcode, Op::kF64Max, "", "fmax"},
+      // transcendental math via env imports (no Wasm opcodes exist)
+      {"exp", "d", 'd', BuiltinLower::kImport, Op::kNop, "exp", "exp"},
+      {"log", "d", 'd', BuiltinLower::kImport, Op::kNop, "log", "log"},
+      {"sin", "d", 'd', BuiltinLower::kImport, Op::kNop, "sin", "sin"},
+      {"cos", "d", 'd', BuiltinLower::kImport, Op::kNop, "cos", "cos"},
+      {"tan", "d", 'd', BuiltinLower::kImport, Op::kNop, "tan", "tan"},
+      {"atan", "d", 'd', BuiltinLower::kImport, Op::kNop, "atan", "atan"},
+      {"tanh", "d", 'd', BuiltinLower::kImport, Op::kNop, "tanh", "tanh"},
+      {"pow", "dd", 'd', BuiltinLower::kImport, Op::kNop, "pow", "pow"},
+      {"atan2", "dd", 'd', BuiltinLower::kImport, Op::kNop, "atan2", "atan2"},
+  };
+  return kTable;
+}
+
+int find_builtin(const std::string& name) {
+  const std::vector<Builtin>& table = builtins();
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (name == table[i].name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace sledge::minicc

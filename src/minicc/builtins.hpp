@@ -1,0 +1,36 @@
+// mini-C builtin functions: the serverless ABI (req_*/resp_*), math that
+// maps to Wasm opcodes (sqrt, fabs, ...), and transcendental math that
+// lowers to "env" imports (exp, pow, ...). The C backend spells the same
+// builtins as libm calls / mc_* host functions so native and sandboxed
+// builds share semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wasm/types.hpp"
+
+namespace sledge::minicc {
+
+enum class BuiltinLower : uint8_t {
+  kImport,  // call an "env" import
+  kOpcode,  // single Wasm opcode
+};
+
+struct Builtin {
+  const char* name;
+  // Parameter spec, one char per param:
+  //   'a' global array reference (lowers to base address / pointer)
+  //   'i' int, 'l' long, 'd' double
+  const char* params;
+  char result;  // 'v' void, 'i', 'l', 'd'
+  BuiltinLower lower;
+  wasm::Op opcode;          // kOpcode only
+  const char* import_field; // kImport only: "env" field name
+  const char* c_spelling;   // native-C backend call target
+};
+
+const std::vector<Builtin>& builtins();
+int find_builtin(const std::string& name);  // -1 when absent
+
+}  // namespace sledge::minicc

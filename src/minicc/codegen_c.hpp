@@ -1,0 +1,22 @@
+// mini-C -> plain C code generator: the *native baseline* path.
+//
+// Emits idiomatic C (real static arrays, native loops, direct libm calls)
+// from the same AST the Wasm backend consumes, so every workload has a
+// semantically identical native twin — the denominator of all
+// "normalized to native" results. Symbols are prefixed so several generated
+// workloads can link into one binary.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "minicc/ast.hpp"
+
+namespace sledge::minicc {
+
+// Requires an analyzed program. `prefix` is prepended to every emitted
+// global/function symbol (e.g. "ekf_" -> ekf_main).
+Result<std::string> generate_c(const Program& program,
+                               const std::string& prefix);
+
+}  // namespace sledge::minicc

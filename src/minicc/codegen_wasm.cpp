@@ -1,0 +1,650 @@
+#include "minicc/codegen_wasm.hpp"
+
+#include <map>
+#include <string>
+
+#include "minicc/builtins.hpp"
+#include "wasm/builder.hpp"
+
+namespace sledge::minicc {
+namespace {
+
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+
+ValType vt(MType t) {
+  switch (t) {
+    case MType::kInt: return ValType::kI32;
+    case MType::kLong: return ValType::kI64;
+    case MType::kFloat: return ValType::kF32;
+    case MType::kDouble: return ValType::kF64;
+    default: return ValType::kI32;  // char promotes; void never materializes
+  }
+}
+
+struct LoopCtx {
+  int break_level;     // builder depth just inside the break block
+  int continue_level;  // builder depth of the continue target
+  bool continue_is_loop;
+};
+
+class WasmGen {
+ public:
+  explicit WasmGen(const Program& prog) : prog_(prog) {}
+
+  Result<std::vector<uint8_t>> run() {
+    // Imports for used builtins.
+    for (int bi : prog_.used_builtins) {
+      const Builtin& b = builtins()[bi];
+      std::vector<ValType> params;
+      for (const char* p = b.params; *p; ++p) {
+        params.push_back(*p == 'a' ? ValType::kI32
+                         : *p == 'i' ? ValType::kI32
+                         : *p == 'l' ? ValType::kI64
+                                     : ValType::kF64);
+      }
+      std::vector<ValType> results;
+      if (b.result == 'i') results.push_back(ValType::kI32);
+      if (b.result == 'l') results.push_back(ValType::kI64);
+      if (b.result == 'd') results.push_back(ValType::kF64);
+      uint32_t type_idx = b_.add_type(params, results);
+      import_index_[bi] = b_.add_import("env", b.import_field, type_idx);
+    }
+
+    // Linear memory sized to the global arrays plus working slack.
+    uint32_t min_pages = (prog_.memory_bytes_used + 65535u) / 65536u + 2;
+    b_.set_memory(min_pages, min_pages + 64);
+
+    // Wasm globals for mini-C scalar globals.
+    for (const GlobalVar& g : prog_.globals) {
+      if (g.is_array()) continue;
+      uint64_t bits = 0;
+      if (g.init) {
+        const Expr& e = *g.init;
+        switch (g.elem_type) {
+          case MType::kInt:
+            bits = static_cast<uint64_t>(static_cast<uint32_t>(
+                e.kind == ExprKind::kIntLit ? e.int_value
+                                            : static_cast<int64_t>(e.float_value)));
+            break;
+          case MType::kLong:
+            bits = static_cast<uint64_t>(
+                e.kind == ExprKind::kIntLit ? e.int_value
+                                            : static_cast<int64_t>(e.float_value));
+            break;
+          case MType::kFloat: {
+            float f = static_cast<float>(e.kind == ExprKind::kFloatLit
+                                             ? e.float_value
+                                             : static_cast<double>(e.int_value));
+            uint32_t fb;
+            std::memcpy(&fb, &f, 4);
+            bits = fb;
+            break;
+          }
+          case MType::kDouble: {
+            double d = e.kind == ExprKind::kFloatLit
+                           ? e.float_value
+                           : static_cast<double>(e.int_value);
+            std::memcpy(&bits, &d, 8);
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      b_.add_global(vt(g.elem_type), /*mutable=*/true, bits);
+    }
+
+    // Declare all functions (two-phase for forward calls).
+    for (const Function& f : prog_.functions) {
+      std::vector<ValType> params;
+      for (const Param& p : f.params) params.push_back(vt(p.type));
+      std::vector<ValType> results;
+      if (f.return_type != MType::kVoid) results.push_back(vt(f.return_type));
+      uint32_t type_idx = b_.add_type(params, results);
+      func_index_.push_back(b_.declare_function(type_idx));
+    }
+
+    for (size_t i = 0; i < prog_.functions.size(); ++i) {
+      Status s = gen_function(prog_.functions[i], func_index_[i]);
+      if (!s.is_ok()) return Result<std::vector<uint8_t>>::error(s.message());
+    }
+
+    for (size_t i = 0; i < prog_.functions.size(); ++i) {
+      b_.export_function(prog_.functions[i].name, func_index_[i]);
+      if (prog_.functions[i].name == "main") {
+        b_.export_function("run", func_index_[i]);
+      }
+    }
+
+    return Result<std::vector<uint8_t>>(b_.build());
+  }
+
+ private:
+  Status fail(int line, const std::string& msg) {
+    return Status::error("minicc codegen error at line " +
+                         std::to_string(line) + ": " + msg);
+  }
+
+  Status gen_function(const Function& fn, uint32_t func_index) {
+    fb_ = &b_.function(func_index);
+    cur_fn_ = &fn;
+    scratch_.clear();
+    // Declare non-param locals in slot order.
+    for (size_t i = fn.params.size(); i < fn.local_types.size(); ++i) {
+      fb_->add_local(vt(fn.local_types[i]));
+    }
+    loops_.clear();
+    Status s = gen_stmt(*fn.body);
+    if (!s.is_ok()) return s;
+    // Implicit return value for fall-through paths.
+    if (fn.return_type != MType::kVoid) {
+      emit_zero(fn.return_type);
+    }
+    fb_->end();
+    return Status::ok();
+  }
+
+  void emit_zero(MType t) {
+    switch (t) {
+      case MType::kLong: fb_->i64_const(0); break;
+      case MType::kFloat: fb_->f32_const(0); break;
+      case MType::kDouble: fb_->f64_const(0); break;
+      default: fb_->i32_const(0); break;
+    }
+  }
+
+  uint32_t scratch_local(MType t) {
+    auto it = scratch_.find(t);
+    if (it != scratch_.end()) return it->second;
+    uint32_t idx = fb_->add_local(vt(t));
+    scratch_[t] = idx;
+    return idx;
+  }
+
+  // ---- statements ----
+  Status gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const StmtPtr& child : s.body) {
+          Status st = gen_stmt(*child);
+          if (!st.is_ok()) return st;
+        }
+        return Status::ok();
+
+      case StmtKind::kDecl:
+        if (s.decl_init) {
+          Status st = gen_expr(*s.decl_init);
+          if (!st.is_ok()) return st;
+          fb_->local_set(static_cast<uint32_t>(s.decl_local_index));
+        }
+        return Status::ok();
+
+      case StmtKind::kExpr:
+        return gen_expr_for_effect(*s.expr);
+
+      case StmtKind::kIf: {
+        Status st = gen_expr(*s.expr);
+        if (!st.is_ok()) return st;
+        fb_->if_();
+        st = gen_stmt(*s.then_branch);
+        if (!st.is_ok()) return st;
+        if (s.else_branch) {
+          fb_->else_();
+          st = gen_stmt(*s.else_branch);
+          if (!st.is_ok()) return st;
+        }
+        fb_->end();
+        return Status::ok();
+      }
+
+      case StmtKind::kWhile: {
+        fb_->block();
+        int break_level = fb_->depth();
+        fb_->loop();
+        int loop_level = fb_->depth();
+        Status st = gen_expr(*s.expr);
+        if (!st.is_ok()) return st;
+        fb_->emit(Op::kI32Eqz);
+        fb_->br_if(static_cast<uint32_t>(fb_->depth() - break_level));
+        loops_.push_back({break_level, loop_level, true});
+        st = gen_stmt(*s.loop_body);
+        loops_.pop_back();
+        if (!st.is_ok()) return st;
+        fb_->br(static_cast<uint32_t>(fb_->depth() - loop_level));
+        fb_->end();
+        fb_->end();
+        return Status::ok();
+      }
+
+      case StmtKind::kFor: {
+        Status st = Status::ok();
+        if (s.init) {
+          st = gen_stmt(*s.init);
+          if (!st.is_ok()) return st;
+        }
+        fb_->block();
+        int break_level = fb_->depth();
+        fb_->loop();
+        int loop_level = fb_->depth();
+        if (s.expr) {
+          st = gen_expr(*s.expr);
+          if (!st.is_ok()) return st;
+          fb_->emit(Op::kI32Eqz);
+          fb_->br_if(static_cast<uint32_t>(fb_->depth() - break_level));
+        }
+        fb_->block();
+        int continue_level = fb_->depth();
+        loops_.push_back({break_level, continue_level, false});
+        st = gen_stmt(*s.loop_body);
+        loops_.pop_back();
+        if (!st.is_ok()) return st;
+        fb_->end();  // continue target: falls into the step
+        if (s.step) {
+          st = gen_stmt(*s.step);
+          if (!st.is_ok()) return st;
+        }
+        fb_->br(static_cast<uint32_t>(fb_->depth() - loop_level));
+        fb_->end();
+        fb_->end();
+        return Status::ok();
+      }
+
+      case StmtKind::kReturn:
+        if (s.expr) {
+          Status st = gen_expr(*s.expr);
+          if (!st.is_ok()) return st;
+        }
+        fb_->ret();
+        return Status::ok();
+
+      case StmtKind::kBreak:
+        fb_->br(static_cast<uint32_t>(fb_->depth() - loops_.back().break_level));
+        return Status::ok();
+      case StmtKind::kContinue:
+        fb_->br(
+            static_cast<uint32_t>(fb_->depth() - loops_.back().continue_level));
+        return Status::ok();
+    }
+    return Status::ok();
+  }
+
+  // Expression evaluated purely for side effects (no value left on stack).
+  Status gen_expr_for_effect(const Expr& e) {
+    if (e.kind == ExprKind::kAssign) {
+      return gen_assign(e, /*want_value=*/false);
+    }
+    Status st = gen_expr(e);
+    if (!st.is_ok()) return st;
+    if (e.type != MType::kVoid) fb_->emit(Op::kDrop);
+    return Status::ok();
+  }
+
+  // ---- expressions: leave exactly one value (or none for void calls) ----
+  Status gen_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        if (e.type == MType::kLong) {
+          fb_->i64_const(e.int_value);
+        } else {
+          fb_->i32_const(static_cast<int32_t>(e.int_value));
+        }
+        return Status::ok();
+      case ExprKind::kFloatLit:
+        if (e.type == MType::kFloat) {
+          fb_->f32_const(static_cast<float>(e.float_value));
+        } else {
+          fb_->f64_const(e.float_value);
+        }
+        return Status::ok();
+
+      case ExprKind::kVar:
+        if (e.local_index >= 0) {
+          fb_->local_get(static_cast<uint32_t>(e.local_index));
+        } else {
+          const GlobalVar& g = prog_.globals[e.global_index];
+          if (g.is_array()) {
+            // Builtin array argument: its base address.
+            fb_->i32_const(static_cast<int32_t>(g.mem_offset));
+          } else {
+            fb_->global_get(static_cast<uint32_t>(g.wasm_global_index));
+          }
+        }
+        return Status::ok();
+
+      case ExprKind::kIndex: {
+        const GlobalVar& g = prog_.globals[e.global_index];
+        Status st = gen_element_addr(e, g);
+        if (!st.is_ok()) return st;
+        switch (g.elem_type) {
+          case MType::kChar: fb_->mem(Op::kI32Load8U); break;
+          case MType::kInt: fb_->mem(Op::kI32Load); break;
+          case MType::kLong: fb_->mem(Op::kI64Load); break;
+          case MType::kFloat: fb_->mem(Op::kF32Load); break;
+          case MType::kDouble: fb_->mem(Op::kF64Load); break;
+          default: return fail(e.line, "bad element type");
+        }
+        return Status::ok();
+      }
+
+      case ExprKind::kCall:
+        return gen_call(e);
+
+      case ExprKind::kUnary:
+        return gen_unary(e);
+
+      case ExprKind::kBinary:
+        return gen_binary(e);
+
+      case ExprKind::kAssign:
+        return gen_assign(e, /*want_value=*/true);
+
+      case ExprKind::kCond: {
+        Status st = gen_expr(*e.a);
+        if (!st.is_ok()) return st;
+        fb_->if_(vt(e.type));
+        st = gen_expr(*e.b);
+        if (!st.is_ok()) return st;
+        fb_->else_();
+        st = gen_expr(*e.c);
+        if (!st.is_ok()) return st;
+        fb_->end();
+        return Status::ok();
+      }
+
+      case ExprKind::kCast: {
+        Status st = gen_expr(*e.a);
+        if (!st.is_ok()) return st;
+        return gen_conversion(e.a->type, e.type, e.line);
+      }
+    }
+    return Status::ok();
+  }
+
+  // Pushes the byte address of a (possibly 2-D) array element.
+  Status gen_element_addr(const Expr& e, const GlobalVar& g) {
+    Status st = gen_expr(*e.args[0]);
+    if (!st.is_ok()) return st;
+    if (g.dims.size() == 2) {
+      fb_->i32_const(static_cast<int32_t>(g.dims[1]));
+      fb_->emit(Op::kI32Mul);
+      st = gen_expr(*e.args[1]);
+      if (!st.is_ok()) return st;
+      fb_->emit(Op::kI32Add);
+    }
+    int esize = type_size(g.elem_type);
+    if (esize > 1) {
+      fb_->i32_const(esize == 2 ? 1 : esize == 4 ? 2 : 3);
+      fb_->emit(Op::kI32Shl);
+    }
+    fb_->i32_const(static_cast<int32_t>(g.mem_offset));
+    fb_->emit(Op::kI32Add);
+    return Status::ok();
+  }
+
+  Status gen_assign(const Expr& e, bool want_value) {
+    const Expr& target = *e.a;
+    if (target.kind == ExprKind::kVar) {
+      Status st = gen_expr(*e.b);
+      if (!st.is_ok()) return st;
+      if (target.local_index >= 0) {
+        if (want_value) {
+          fb_->local_tee(static_cast<uint32_t>(target.local_index));
+        } else {
+          fb_->local_set(static_cast<uint32_t>(target.local_index));
+        }
+      } else {
+        const GlobalVar& g = prog_.globals[target.global_index];
+        fb_->global_set(static_cast<uint32_t>(g.wasm_global_index));
+        if (want_value) {
+          fb_->global_get(static_cast<uint32_t>(g.wasm_global_index));
+        }
+      }
+      return Status::ok();
+    }
+    // array element store
+    const GlobalVar& g = prog_.globals[target.global_index];
+    Status st = gen_element_addr(target, g);
+    if (!st.is_ok()) return st;
+    st = gen_expr(*e.b);
+    if (!st.is_ok()) return st;
+    uint32_t tmp = 0;
+    if (want_value) {
+      tmp = scratch_local(e.type);
+      fb_->local_tee(tmp);
+    }
+    switch (g.elem_type) {
+      case MType::kChar: fb_->mem(Op::kI32Store8); break;
+      case MType::kInt: fb_->mem(Op::kI32Store); break;
+      case MType::kLong: fb_->mem(Op::kI64Store); break;
+      case MType::kFloat: fb_->mem(Op::kF32Store); break;
+      case MType::kDouble: fb_->mem(Op::kF64Store); break;
+      default: return fail(e.line, "bad element type");
+    }
+    if (want_value) fb_->local_get(tmp);
+    return Status::ok();
+  }
+
+  Status gen_call(const Expr& e) {
+    if (e.builtin_index >= 0) {
+      const Builtin& b = builtins()[e.builtin_index];
+      for (const ExprPtr& arg : e.args) {
+        Status st = gen_expr(*arg);
+        if (!st.is_ok()) return st;
+      }
+      if (b.lower == BuiltinLower::kOpcode) {
+        fb_->emit(b.opcode);
+      } else {
+        fb_->call(import_index_.at(e.builtin_index));
+      }
+      return Status::ok();
+    }
+    for (const ExprPtr& arg : e.args) {
+      Status st = gen_expr(*arg);
+      if (!st.is_ok()) return st;
+    }
+    fb_->call(func_index_[e.callee_index]);
+    return Status::ok();
+  }
+
+  Status gen_unary(const Expr& e) {
+    if (e.op == "!") {
+      Status st = gen_expr(*e.a);
+      if (!st.is_ok()) return st;
+      switch (e.a->type) {
+        case MType::kLong: fb_->emit(Op::kI64Eqz); break;
+        case MType::kFloat:
+          fb_->f32_const(0);
+          fb_->emit(Op::kF32Eq);
+          break;
+        case MType::kDouble:
+          fb_->f64_const(0);
+          fb_->emit(Op::kF64Eq);
+          break;
+        default: fb_->emit(Op::kI32Eqz); break;
+      }
+      return Status::ok();
+    }
+    if (e.op == "~") {
+      Status st = gen_expr(*e.a);
+      if (!st.is_ok()) return st;
+      if (e.type == MType::kLong) {
+        fb_->i64_const(-1);
+        fb_->emit(Op::kI64Xor);
+      } else {
+        fb_->i32_const(-1);
+        fb_->emit(Op::kI32Xor);
+      }
+      return Status::ok();
+    }
+    // unary minus
+    switch (e.type) {
+      case MType::kFloat: {
+        Status st = gen_expr(*e.a);
+        if (!st.is_ok()) return st;
+        fb_->emit(Op::kF32Neg);
+        return Status::ok();
+      }
+      case MType::kDouble: {
+        Status st = gen_expr(*e.a);
+        if (!st.is_ok()) return st;
+        fb_->emit(Op::kF64Neg);
+        return Status::ok();
+      }
+      case MType::kLong: {
+        fb_->i64_const(0);
+        Status st = gen_expr(*e.a);
+        if (!st.is_ok()) return st;
+        fb_->emit(Op::kI64Sub);
+        return Status::ok();
+      }
+      default: {
+        fb_->i32_const(0);
+        Status st = gen_expr(*e.a);
+        if (!st.is_ok()) return st;
+        fb_->emit(Op::kI32Sub);
+        return Status::ok();
+      }
+    }
+  }
+
+  Status gen_binary(const Expr& e) {
+    if (e.op == "&&") {
+      Status st = gen_expr(*e.a);  // already an i32 condition (sema)
+      if (!st.is_ok()) return st;
+      fb_->if_(ValType::kI32);
+      st = gen_expr(*e.b);
+      if (!st.is_ok()) return st;
+      fb_->emit(Op::kI32Eqz);
+      fb_->emit(Op::kI32Eqz);  // normalize to 0/1
+      fb_->else_();
+      fb_->i32_const(0);
+      fb_->end();
+      return Status::ok();
+    }
+    if (e.op == "||") {
+      Status st = gen_expr(*e.a);
+      if (!st.is_ok()) return st;
+      fb_->if_(ValType::kI32);
+      fb_->i32_const(1);
+      fb_->else_();
+      st = gen_expr(*e.b);
+      if (!st.is_ok()) return st;
+      fb_->emit(Op::kI32Eqz);
+      fb_->emit(Op::kI32Eqz);
+      fb_->end();
+      return Status::ok();
+    }
+
+    Status st = gen_expr(*e.a);
+    if (!st.is_ok()) return st;
+    st = gen_expr(*e.b);
+    if (!st.is_ok()) return st;
+
+    MType t = e.a->type;  // operands share the promoted type
+    Op op;
+    if (!binop_opcode(e.op, t, &op)) {
+      return fail(e.line, "unsupported operator '" + e.op + "'");
+    }
+    fb_->emit(op);
+    return Status::ok();
+  }
+
+  static bool binop_opcode(const std::string& op, MType t, Op* out) {
+    struct Entry {
+      const char* name;
+      Op i32, i64, f32, f64;
+    };
+    static const Entry kMap[] = {
+        {"+", Op::kI32Add, Op::kI64Add, Op::kF32Add, Op::kF64Add},
+        {"-", Op::kI32Sub, Op::kI64Sub, Op::kF32Sub, Op::kF64Sub},
+        {"*", Op::kI32Mul, Op::kI64Mul, Op::kF32Mul, Op::kF64Mul},
+        {"/", Op::kI32DivS, Op::kI64DivS, Op::kF32Div, Op::kF64Div},
+        {"%", Op::kI32RemS, Op::kI64RemS, Op::kNop, Op::kNop},
+        {"&", Op::kI32And, Op::kI64And, Op::kNop, Op::kNop},
+        {"|", Op::kI32Or, Op::kI64Or, Op::kNop, Op::kNop},
+        {"^", Op::kI32Xor, Op::kI64Xor, Op::kNop, Op::kNop},
+        {"<<", Op::kI32Shl, Op::kI64Shl, Op::kNop, Op::kNop},
+        {">>", Op::kI32ShrS, Op::kI64ShrS, Op::kNop, Op::kNop},
+        {"==", Op::kI32Eq, Op::kI64Eq, Op::kF32Eq, Op::kF64Eq},
+        {"!=", Op::kI32Ne, Op::kI64Ne, Op::kF32Ne, Op::kF64Ne},
+        {"<", Op::kI32LtS, Op::kI64LtS, Op::kF32Lt, Op::kF64Lt},
+        {">", Op::kI32GtS, Op::kI64GtS, Op::kF32Gt, Op::kF64Gt},
+        {"<=", Op::kI32LeS, Op::kI64LeS, Op::kF32Le, Op::kF64Le},
+        {">=", Op::kI32GeS, Op::kI64GeS, Op::kF32Ge, Op::kF64Ge},
+    };
+    for (const Entry& entry : kMap) {
+      if (op == entry.name) {
+        Op chosen = t == MType::kLong ? entry.i64
+                    : t == MType::kFloat ? entry.f32
+                    : t == MType::kDouble ? entry.f64
+                                          : entry.i32;
+        if (chosen == Op::kNop) return false;
+        *out = chosen;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status gen_conversion(MType from, MType to, int line) {
+    if (from == to) return Status::ok();
+    // char never reaches here (promoted to int during sema).
+    switch (from) {
+      case MType::kInt:
+        switch (to) {
+          case MType::kLong: fb_->emit(Op::kI64ExtendI32S); return Status::ok();
+          case MType::kFloat: fb_->emit(Op::kF32ConvertI32S); return Status::ok();
+          case MType::kDouble: fb_->emit(Op::kF64ConvertI32S); return Status::ok();
+          default: break;
+        }
+        break;
+      case MType::kLong:
+        switch (to) {
+          case MType::kInt: fb_->emit(Op::kI32WrapI64); return Status::ok();
+          case MType::kFloat: fb_->emit(Op::kF32ConvertI64S); return Status::ok();
+          case MType::kDouble: fb_->emit(Op::kF64ConvertI64S); return Status::ok();
+          default: break;
+        }
+        break;
+      case MType::kFloat:
+        switch (to) {
+          case MType::kInt: fb_->emit(Op::kI32TruncF32S); return Status::ok();
+          case MType::kLong: fb_->emit(Op::kI64TruncF32S); return Status::ok();
+          case MType::kDouble: fb_->emit(Op::kF64PromoteF32); return Status::ok();
+          default: break;
+        }
+        break;
+      case MType::kDouble:
+        switch (to) {
+          case MType::kInt: fb_->emit(Op::kI32TruncF64S); return Status::ok();
+          case MType::kLong: fb_->emit(Op::kI64TruncF64S); return Status::ok();
+          case MType::kFloat: fb_->emit(Op::kF32DemoteF64); return Status::ok();
+          default: break;
+        }
+        break;
+      default:
+        break;
+    }
+    return fail(line, "unsupported conversion");
+  }
+
+  const Program& prog_;
+  ModuleBuilder b_;
+  std::map<int, uint32_t> import_index_;  // builtin index -> import func idx
+  std::vector<uint32_t> func_index_;
+  FunctionBuilder* fb_ = nullptr;
+  const Function* cur_fn_ = nullptr;
+  std::vector<LoopCtx> loops_;
+  std::map<MType, uint32_t> scratch_;
+};
+
+}  // namespace
+
+Result<std::vector<uint8_t>> generate_wasm(const Program& program) {
+  return WasmGen(program).run();
+}
+
+}  // namespace sledge::minicc

@@ -1,0 +1,18 @@
+// mini-C -> WebAssembly code generator. Produces a genuine Wasm 1.0 binary
+// (via wasm::ModuleBuilder) that round-trips through the decoder and
+// validator like any external module. `main` is additionally exported as
+// "run", the Sledge serverless entrypoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "minicc/ast.hpp"
+
+namespace sledge::minicc {
+
+// Requires an analyzed program (sema annotations present).
+Result<std::vector<uint8_t>> generate_wasm(const Program& program);
+
+}  // namespace sledge::minicc

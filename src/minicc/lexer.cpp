@@ -1,0 +1,249 @@
+#include "minicc/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace sledge::minicc {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kKwChar: return "char";
+    case Tok::kKwInt: return "int";
+    case Tok::kKwLong: return "long";
+    case Tok::kKwFloat: return "float";
+    case Tok::kKwDouble: return "double";
+    case Tok::kKwVoid: return "void";
+    case Tok::kKwIf: return "if";
+    case Tok::kKwElse: return "else";
+    case Tok::kKwWhile: return "while";
+    case Tok::kKwFor: return "for";
+    case Tok::kKwReturn: return "return";
+    case Tok::kKwBreak: return "break";
+    case Tok::kKwContinue: return "continue";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kSemi: return ";";
+    case Tok::kComma: return ",";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kTilde: return "~";
+    case Tok::kAssign: return "=";
+    case Tok::kPlusEq: return "+=";
+    case Tok::kMinusEq: return "-=";
+    case Tok::kStarEq: return "*=";
+    case Tok::kSlashEq: return "/=";
+    case Tok::kPlusPlus: return "++";
+    case Tok::kMinusMinus: return "--";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kGt: return ">";
+    case Tok::kLe: return "<=";
+    case Tok::kGe: return ">=";
+    case Tok::kAndAnd: return "&&";
+    case Tok::kOrOr: return "||";
+    case Tok::kBang: return "!";
+    case Tok::kQuestion: return "?";
+    case Tok::kColon: return ":";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> lex(const std::string& src) {
+  static const std::map<std::string, Tok> kKeywords = {
+      {"char", Tok::kKwChar},   {"int", Tok::kKwInt},
+      {"long", Tok::kKwLong},   {"float", Tok::kKwFloat},
+      {"double", Tok::kKwDouble}, {"void", Tok::kKwVoid},
+      {"if", Tok::kKwIf},       {"else", Tok::kKwElse},
+      {"while", Tok::kKwWhile}, {"for", Tok::kKwFor},
+      {"return", Tok::kKwReturn}, {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue},
+  };
+
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  auto fail = [&](const std::string& msg) {
+    return Result<std::vector<Token>>::error(
+        "minicc lex error at line " + std::to_string(line) + ": " + msg);
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // comments
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= src.size()) return fail("unterminated block comment");
+      i += 2;
+      continue;
+    }
+
+    Token t;
+    t.line = line;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        ++i;
+      }
+      t.text = src.substr(start, i - start);
+      auto kw = kKeywords.find(t.text);
+      t.kind = kw == kKeywords.end() ? Tok::kIdent : kw->second;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      bool is_hex = c == '0' && i + 1 < src.size() &&
+                    (src[i + 1] == 'x' || src[i + 1] == 'X');
+      if (is_hex) {
+        i += 2;
+        while (i < src.size() && std::isxdigit(static_cast<unsigned char>(src[i]))) ++i;
+      } else {
+        while (i < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[i])) ||
+                src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+                ((src[i] == '+' || src[i] == '-') && i > start &&
+                 (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+          if (src[i] == '.' || src[i] == 'e' || src[i] == 'E') is_float = true;
+          ++i;
+        }
+      }
+      std::string num = src.substr(start, i - start);
+      // suffixes
+      bool long_suffix = false, float_suffix = false;
+      while (i < src.size() && (src[i] == 'L' || src[i] == 'l' ||
+                                src[i] == 'f' || src[i] == 'F' ||
+                                src[i] == 'u' || src[i] == 'U')) {
+        if (src[i] == 'L' || src[i] == 'l') long_suffix = true;
+        if (src[i] == 'f' || src[i] == 'F') float_suffix = true;
+        ++i;
+      }
+      if (is_float || float_suffix) {
+        t.kind = Tok::kFloatLit;
+        t.float_value = std::strtod(num.c_str(), nullptr);
+        t.text = float_suffix ? "f" : "";  // remembers 'f' suffix
+      } else {
+        t.kind = Tok::kIntLit;
+        t.int_value = static_cast<int64_t>(
+            std::strtoull(num.c_str(), nullptr, is_hex ? 16 : 10));
+        t.text = long_suffix ? "L" : "";
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    auto two = [&](char next) {
+      return i + 1 < src.size() && src[i + 1] == next;
+    };
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; ++i; break;
+      case ')': t.kind = Tok::kRParen; ++i; break;
+      case '{': t.kind = Tok::kLBrace; ++i; break;
+      case '}': t.kind = Tok::kRBrace; ++i; break;
+      case '[': t.kind = Tok::kLBracket; ++i; break;
+      case ']': t.kind = Tok::kRBracket; ++i; break;
+      case ';': t.kind = Tok::kSemi; ++i; break;
+      case ',': t.kind = Tok::kComma; ++i; break;
+      case '~': t.kind = Tok::kTilde; ++i; break;
+      case '?': t.kind = Tok::kQuestion; ++i; break;
+      case ':': t.kind = Tok::kColon; ++i; break;
+      case '+':
+        if (two('+')) { t.kind = Tok::kPlusPlus; i += 2; }
+        else if (two('=')) { t.kind = Tok::kPlusEq; i += 2; }
+        else { t.kind = Tok::kPlus; ++i; }
+        break;
+      case '-':
+        if (two('-')) { t.kind = Tok::kMinusMinus; i += 2; }
+        else if (two('=')) { t.kind = Tok::kMinusEq; i += 2; }
+        else { t.kind = Tok::kMinus; ++i; }
+        break;
+      case '*':
+        if (two('=')) { t.kind = Tok::kStarEq; i += 2; }
+        else { t.kind = Tok::kStar; ++i; }
+        break;
+      case '/':
+        if (two('=')) { t.kind = Tok::kSlashEq; i += 2; }
+        else { t.kind = Tok::kSlash; ++i; }
+        break;
+      case '%': t.kind = Tok::kPercent; ++i; break;
+      case '&':
+        if (two('&')) { t.kind = Tok::kAndAnd; i += 2; }
+        else { t.kind = Tok::kAmp; ++i; }
+        break;
+      case '|':
+        if (two('|')) { t.kind = Tok::kOrOr; i += 2; }
+        else { t.kind = Tok::kPipe; ++i; }
+        break;
+      case '^': t.kind = Tok::kCaret; ++i; break;
+      case '<':
+        if (two('<')) { t.kind = Tok::kShl; i += 2; }
+        else if (two('=')) { t.kind = Tok::kLe; i += 2; }
+        else { t.kind = Tok::kLt; ++i; }
+        break;
+      case '>':
+        if (two('>')) { t.kind = Tok::kShr; i += 2; }
+        else if (two('=')) { t.kind = Tok::kGe; i += 2; }
+        else { t.kind = Tok::kGt; ++i; }
+        break;
+      case '=':
+        if (two('=')) { t.kind = Tok::kEq; i += 2; }
+        else { t.kind = Tok::kAssign; ++i; }
+        break;
+      case '!':
+        if (two('=')) { t.kind = Tok::kNe; i += 2; }
+        else { t.kind = Tok::kBang; ++i; }
+        break;
+      default:
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+    out.push_back(std::move(t));
+  }
+
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = line;
+  out.push_back(eof);
+  return Result<std::vector<Token>>(std::move(out));
+}
+
+}  // namespace sledge::minicc

@@ -1,0 +1,49 @@
+// mini-C lexer.
+//
+// mini-C is the workload-authoring language of this repository: a C subset
+// (scalars, global arrays, functions, loops) that compiles to genuine Wasm
+// bytecode (stand-in for the paper's clang->Wasm path) and to plain C (the
+// native baseline). See docs in minicc.hpp for the language reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sledge::minicc {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  // keywords
+  kKwChar, kKwInt, kKwLong, kKwFloat, kKwDouble, kKwVoid,
+  kKwIf, kKwElse, kKwWhile, kKwFor, kKwReturn, kKwBreak, kKwContinue,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kShl, kShr, kTilde,
+  kAssign, kPlusEq, kMinusEq, kStarEq, kSlashEq,
+  kPlusPlus, kMinusMinus,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kAndAnd, kOrOr, kBang,
+  kQuestion, kColon,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;     // identifier spelling
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 1;
+};
+
+Result<std::vector<Token>> lex(const std::string& source);
+
+const char* tok_name(Tok t);
+
+}  // namespace sledge::minicc

@@ -1,0 +1,36 @@
+#include "minicc/minicc.hpp"
+
+#include "minicc/codegen_c.hpp"
+#include "minicc/codegen_wasm.hpp"
+#include "minicc/lexer.hpp"
+#include "minicc/parser.hpp"
+#include "minicc/sema.hpp"
+
+namespace sledge::minicc {
+
+Result<Program> frontend(const std::string& source) {
+  Result<std::vector<Token>> tokens = lex(source);
+  if (!tokens.ok()) return Result<Program>::error(tokens.error_message());
+  Result<Program> prog = parse(tokens.value());
+  if (!prog.ok()) return prog;
+  Status s = analyze(&prog.value());
+  if (!s.is_ok()) return Result<Program>::error(s.message());
+  return prog;
+}
+
+Result<std::vector<uint8_t>> compile_to_wasm(const std::string& source) {
+  Result<Program> prog = frontend(source);
+  if (!prog.ok()) {
+    return Result<std::vector<uint8_t>>::error(prog.error_message());
+  }
+  return generate_wasm(prog.value());
+}
+
+Result<std::string> compile_to_c(const std::string& source,
+                                 const std::string& symbol_prefix) {
+  Result<Program> prog = frontend(source);
+  if (!prog.ok()) return Result<std::string>::error(prog.error_message());
+  return generate_c(prog.value(), symbol_prefix);
+}
+
+}  // namespace sledge::minicc

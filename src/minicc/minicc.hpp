@@ -1,0 +1,40 @@
+// mini-C compiler facade.
+//
+// mini-C is the workload-authoring language of this repository — the
+// stand-in for the paper's "compile C with clang to Wasm" step (DESIGN.md
+// substitutions). One source compiles to:
+//   * a genuine WebAssembly binary (compile_to_wasm) that flows through the
+//     decoder -> validator -> engine tiers like any external module, and
+//   * plain C (compile_to_c) built natively as the baseline twin.
+//
+// Language summary:
+//   types       char (array elements only), int, long, float, double
+//   globals     scalars (wasm globals) and 1-D/2-D arrays (linear memory)
+//   functions   scalar params/returns; forward references allowed
+//   statements  blocks, if/else, while, for, return, break, continue,
+//               local scalar declarations
+//   expressions C operators incl. ?:, && and || (short-circuit), casts,
+//               compound assignment and ++/-- (value = updated value)
+//   builtins    serverless ABI: req_len, req_read(arr,off,len),
+//               resp_write(arr,len), sleep_ms, debug_i32
+//               math: sqrt fabs floor ceil trunc fmin fmax (Wasm opcodes);
+//               exp log sin cos tan atan tanh pow atan2 (env imports)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "minicc/ast.hpp"
+
+namespace sledge::minicc {
+
+// Lex + parse + type-check. Exposed for tests and tooling.
+Result<Program> frontend(const std::string& source);
+
+Result<std::vector<uint8_t>> compile_to_wasm(const std::string& source);
+Result<std::string> compile_to_c(const std::string& source,
+                                 const std::string& symbol_prefix);
+
+}  // namespace sledge::minicc

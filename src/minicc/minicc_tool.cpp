@@ -1,0 +1,81 @@
+// minicc command-line tool.
+//
+//   minicc --emit-wasm input.mc output.wasm
+//   minicc --emit-c prefix_ input.mc output.c
+//   minicc --dump-wat input.mc            (disassembly to stdout)
+//
+// Used by the CMake build to generate native baseline sources for the
+// procfaas function binaries, and handy for inspecting generated code.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/file_util.hpp"
+#include "minicc/minicc.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/disasm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sledge;
+  if (argc >= 4 && std::strcmp(argv[1], "--emit-wasm") == 0) {
+    auto src = read_file(argv[2]);
+    if (!src.ok()) {
+      std::fprintf(stderr, "%s\n", src.error_message().c_str());
+      return 1;
+    }
+    auto wasm = minicc::compile_to_wasm(src.value());
+    if (!wasm.ok()) {
+      std::fprintf(stderr, "%s\n", wasm.error_message().c_str());
+      return 1;
+    }
+    std::string bytes(wasm.value().begin(), wasm.value().end());
+    Status s = write_file(argv[3], bytes);
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--dump-wat") == 0) {
+    auto src = read_file(argv[2]);
+    if (!src.ok()) {
+      std::fprintf(stderr, "%s\n", src.error_message().c_str());
+      return 1;
+    }
+    auto wasm = minicc::compile_to_wasm(src.value());
+    if (!wasm.ok()) {
+      std::fprintf(stderr, "%s\n", wasm.error_message().c_str());
+      return 1;
+    }
+    auto mod = wasm::decode(wasm.value());
+    if (!mod.ok()) {
+      std::fprintf(stderr, "%s\n", mod.error_message().c_str());
+      return 1;
+    }
+    std::fputs(wasm::disassemble(*mod).c_str(), stdout);
+    return 0;
+  }
+  if (argc >= 5 && std::strcmp(argv[1], "--emit-c") == 0) {
+    auto src = read_file(argv[3]);
+    if (!src.ok()) {
+      std::fprintf(stderr, "%s\n", src.error_message().c_str());
+      return 1;
+    }
+    auto c = minicc::compile_to_c(src.value(), argv[2]);
+    if (!c.ok()) {
+      std::fprintf(stderr, "%s\n", c.error_message().c_str());
+      return 1;
+    }
+    Status s = write_file(argv[4], c.value());
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage:\n  minicc --emit-wasm input.mc output.wasm\n"
+               "  minicc --emit-c prefix_ input.mc output.c\n"
+               "  minicc --dump-wat input.mc\n");
+  return 2;
+}

@@ -1,0 +1,599 @@
+#include "minicc/parser.hpp"
+
+namespace sledge::minicc {
+
+const char* to_string(MType t) {
+  switch (t) {
+    case MType::kVoid: return "void";
+    case MType::kChar: return "char";
+    case MType::kInt: return "int";
+    case MType::kLong: return "long";
+    case MType::kFloat: return "float";
+    case MType::kDouble: return "double";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& toks) : toks_(toks) {}
+
+  Result<Program> run() {
+    Program prog;
+    while (peek().kind != Tok::kEof) {
+      Status s = parse_top_level(&prog);
+      if (!s.is_ok()) return Result<Program>::error(s.message());
+    }
+    return Result<Program>(std::move(prog));
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& advance() { return toks_[pos_++]; }
+  bool check(Tok t) const { return peek().kind == t; }
+  bool match(Tok t) {
+    if (check(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status fail(const std::string& msg) {
+    return Status::error("minicc parse error at line " +
+                         std::to_string(peek().line) + ": " + msg);
+  }
+  Status expect(Tok t) {
+    if (match(t)) return Status::ok();
+    return fail(std::string("expected '") + tok_name(t) + "', got '" +
+                tok_name(peek().kind) + "'");
+  }
+
+  static bool is_type_tok(Tok t) {
+    return t == Tok::kKwChar || t == Tok::kKwInt || t == Tok::kKwLong ||
+           t == Tok::kKwFloat || t == Tok::kKwDouble || t == Tok::kKwVoid;
+  }
+  static MType type_of(Tok t) {
+    switch (t) {
+      case Tok::kKwChar: return MType::kChar;
+      case Tok::kKwInt: return MType::kInt;
+      case Tok::kKwLong: return MType::kLong;
+      case Tok::kKwFloat: return MType::kFloat;
+      case Tok::kKwDouble: return MType::kDouble;
+      default: return MType::kVoid;
+    }
+  }
+
+  Status parse_top_level(Program* prog) {
+    if (!is_type_tok(peek().kind)) {
+      return fail("expected type at top level");
+    }
+    MType type = type_of(advance().kind);
+    if (!check(Tok::kIdent)) return fail("expected name");
+    std::string name = advance().text;
+    int line = peek().line;
+
+    if (check(Tok::kLParen)) {
+      // function definition
+      Function fn;
+      fn.name = std::move(name);
+      fn.return_type = type;
+      fn.line = line;
+      advance();  // (
+      if (!check(Tok::kRParen)) {
+        do {
+          if (!is_type_tok(peek().kind) || peek().kind == Tok::kKwVoid) {
+            if (peek().kind == Tok::kKwVoid && peek(1).kind == Tok::kRParen &&
+                fn.params.empty()) {
+              advance();
+              break;
+            }
+            return fail("expected parameter type");
+          }
+          MType pt = type_of(advance().kind);
+          if (!check(Tok::kIdent)) return fail("expected parameter name");
+          fn.params.push_back({pt, advance().text});
+        } while (match(Tok::kComma));
+      }
+      Status s = expect(Tok::kRParen);
+      if (!s.is_ok()) return s;
+      StmtPtr body;
+      s = parse_block(&body);
+      if (!s.is_ok()) return s;
+      fn.body = std::move(body);
+      prog->functions.push_back(std::move(fn));
+      return Status::ok();
+    }
+
+    // global variable (scalar or array)
+    if (type == MType::kVoid) return fail("void variable");
+    GlobalVar g;
+    g.name = std::move(name);
+    g.elem_type = type;
+    g.line = line;
+    while (match(Tok::kLBracket)) {
+      if (!check(Tok::kIntLit)) return fail("array dimension must be an integer literal");
+      int64_t dim = advance().int_value;
+      if (dim <= 0) return fail("array dimension must be positive");
+      g.dims.push_back(dim);
+      Status s = expect(Tok::kRBracket);
+      if (!s.is_ok()) return s;
+    }
+    if (g.dims.size() > 2) return fail("at most 2 array dimensions");
+    if (match(Tok::kAssign)) {
+      if (g.is_array()) return fail("array initializers are not supported");
+      Status s = parse_expr(&g.init);
+      if (!s.is_ok()) return s;
+    }
+    Status s = expect(Tok::kSemi);
+    if (!s.is_ok()) return s;
+    prog->globals.push_back(std::move(g));
+    return Status::ok();
+  }
+
+  Status parse_block(StmtPtr* out) {
+    Status s = expect(Tok::kLBrace);
+    if (!s.is_ok()) return s;
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->line = peek().line;
+    while (!check(Tok::kRBrace)) {
+      if (check(Tok::kEof)) return fail("unterminated block");
+      StmtPtr stmt;
+      s = parse_stmt(&stmt);
+      if (!s.is_ok()) return s;
+      block->body.push_back(std::move(stmt));
+    }
+    advance();  // }
+    *out = std::move(block);
+    return Status::ok();
+  }
+
+  Status parse_stmt(StmtPtr* out) {
+    int line = peek().line;
+    if (check(Tok::kLBrace)) return parse_block(out);
+
+    if (is_type_tok(peek().kind)) {
+      // local declaration: type name (= init)? (, name (= init)?)* ;
+      MType type = type_of(advance().kind);
+      if (type == MType::kVoid) return fail("void local");
+      auto block = std::make_unique<Stmt>();
+      block->kind = StmtKind::kBlock;
+      block->line = line;
+      do {
+        if (!check(Tok::kIdent)) return fail("expected local name");
+        auto decl = std::make_unique<Stmt>();
+        decl->kind = StmtKind::kDecl;
+        decl->line = line;
+        decl->decl_type = type;
+        decl->decl_name = advance().text;
+        if (check(Tok::kLBracket)) {
+          return fail("local arrays are not supported; declare arrays at global scope");
+        }
+        if (match(Tok::kAssign)) {
+          Status s = parse_assignment(&decl->decl_init);
+          if (!s.is_ok()) return s;
+        }
+        block->body.push_back(std::move(decl));
+      } while (match(Tok::kComma));
+      Status s = expect(Tok::kSemi);
+      if (!s.is_ok()) return s;
+      // Unwrap single declarations for a cleaner tree.
+      if (block->body.size() == 1) {
+        *out = std::move(block->body[0]);
+      } else {
+        *out = std::move(block);
+      }
+      return Status::ok();
+    }
+
+    if (match(Tok::kKwIf)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kIf;
+      stmt->line = line;
+      Status s = expect(Tok::kLParen);
+      if (!s.is_ok()) return s;
+      s = parse_expr(&stmt->expr);
+      if (!s.is_ok()) return s;
+      s = expect(Tok::kRParen);
+      if (!s.is_ok()) return s;
+      s = parse_stmt(&stmt->then_branch);
+      if (!s.is_ok()) return s;
+      if (match(Tok::kKwElse)) {
+        s = parse_stmt(&stmt->else_branch);
+        if (!s.is_ok()) return s;
+      }
+      *out = std::move(stmt);
+      return Status::ok();
+    }
+
+    if (match(Tok::kKwWhile)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kWhile;
+      stmt->line = line;
+      Status s = expect(Tok::kLParen);
+      if (!s.is_ok()) return s;
+      s = parse_expr(&stmt->expr);
+      if (!s.is_ok()) return s;
+      s = expect(Tok::kRParen);
+      if (!s.is_ok()) return s;
+      s = parse_stmt(&stmt->loop_body);
+      if (!s.is_ok()) return s;
+      *out = std::move(stmt);
+      return Status::ok();
+    }
+
+    if (match(Tok::kKwFor)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kFor;
+      stmt->line = line;
+      Status s = expect(Tok::kLParen);
+      if (!s.is_ok()) return s;
+      if (!check(Tok::kSemi)) {
+        s = parse_stmt_simple(&stmt->init);
+        if (!s.is_ok()) return s;
+      } else {
+        advance();
+      }
+      if (!check(Tok::kSemi)) {
+        s = parse_expr(&stmt->expr);
+        if (!s.is_ok()) return s;
+      }
+      s = expect(Tok::kSemi);
+      if (!s.is_ok()) return s;
+      if (!check(Tok::kRParen)) {
+        ExprPtr step_expr;
+        s = parse_expr(&step_expr);
+        if (!s.is_ok()) return s;
+        auto step = std::make_unique<Stmt>();
+        step->kind = StmtKind::kExpr;
+        step->line = line;
+        step->expr = std::move(step_expr);
+        stmt->step = std::move(step);
+      }
+      s = expect(Tok::kRParen);
+      if (!s.is_ok()) return s;
+      s = parse_stmt(&stmt->loop_body);
+      if (!s.is_ok()) return s;
+      *out = std::move(stmt);
+      return Status::ok();
+    }
+
+    if (match(Tok::kKwReturn)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kReturn;
+      stmt->line = line;
+      if (!check(Tok::kSemi)) {
+        Status s = parse_expr(&stmt->expr);
+        if (!s.is_ok()) return s;
+      }
+      *out = std::move(stmt);
+      return expect(Tok::kSemi);
+    }
+    if (match(Tok::kKwBreak)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kBreak;
+      stmt->line = line;
+      *out = std::move(stmt);
+      return expect(Tok::kSemi);
+    }
+    if (match(Tok::kKwContinue)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kContinue;
+      stmt->line = line;
+      *out = std::move(stmt);
+      return expect(Tok::kSemi);
+    }
+
+    // expression statement
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kExpr;
+    stmt->line = line;
+    Status s = parse_expr(&stmt->expr);
+    if (!s.is_ok()) return s;
+    *out = std::move(stmt);
+    return expect(Tok::kSemi);
+  }
+
+  // A declaration or expression statement inside `for(...)` init; consumes
+  // the trailing ';'.
+  Status parse_stmt_simple(StmtPtr* out) {
+    if (is_type_tok(peek().kind)) {
+      return parse_stmt(out);  // local declaration consumes ';'
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kExpr;
+    stmt->line = peek().line;
+    Status s = parse_expr(&stmt->expr);
+    if (!s.is_ok()) return s;
+    *out = std::move(stmt);
+    return expect(Tok::kSemi);
+  }
+
+  // ---- expressions (precedence climbing) ----
+  Status parse_expr(ExprPtr* out) { return parse_assignment(out); }
+
+  Status parse_assignment(ExprPtr* out) {
+    ExprPtr lhs;
+    Status s = parse_ternary(&lhs);
+    if (!s.is_ok()) return s;
+    Tok k = peek().kind;
+    if (k == Tok::kAssign || k == Tok::kPlusEq || k == Tok::kMinusEq ||
+        k == Tok::kStarEq || k == Tok::kSlashEq) {
+      if (lhs->kind != ExprKind::kVar && lhs->kind != ExprKind::kIndex) {
+        return fail("assignment target must be a variable or array element");
+      }
+      advance();
+      ExprPtr rhs;
+      s = parse_assignment(&rhs);
+      if (!s.is_ok()) return s;
+      if (k != Tok::kAssign) {
+        // Desugar `lhs op= rhs` into `lhs = lhs op rhs`; index expressions
+        // are cloned (and therefore re-evaluated — mini-C indexes are pure).
+        const char* op = k == Tok::kPlusEq ? "+"
+                         : k == Tok::kMinusEq ? "-"
+                         : k == Tok::kStarEq ? "*"
+                                             : "/";
+        auto bin = std::make_unique<Expr>();
+        bin->kind = ExprKind::kBinary;
+        bin->line = lhs->line;
+        bin->op = op;
+        bin->a = clone(*lhs);
+        bin->b = std::move(rhs);
+        rhs = std::move(bin);
+      }
+      auto assign = std::make_unique<Expr>();
+      assign->kind = ExprKind::kAssign;
+      assign->line = lhs->line;
+      assign->a = std::move(lhs);
+      assign->b = std::move(rhs);
+      *out = std::move(assign);
+      return Status::ok();
+    }
+    *out = std::move(lhs);
+    return Status::ok();
+  }
+
+  Status parse_ternary(ExprPtr* out) {
+    ExprPtr cond;
+    Status s = parse_binary(&cond, 0);
+    if (!s.is_ok()) return s;
+    if (match(Tok::kQuestion)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCond;
+      e->line = cond->line;
+      e->a = std::move(cond);
+      s = parse_assignment(&e->b);
+      if (!s.is_ok()) return s;
+      s = expect(Tok::kColon);
+      if (!s.is_ok()) return s;
+      s = parse_ternary(&e->c);
+      if (!s.is_ok()) return s;
+      *out = std::move(e);
+      return Status::ok();
+    }
+    *out = std::move(cond);
+    return Status::ok();
+  }
+
+  static int precedence(Tok t) {
+    switch (t) {
+      case Tok::kOrOr: return 1;
+      case Tok::kAndAnd: return 2;
+      case Tok::kPipe: return 3;
+      case Tok::kCaret: return 4;
+      case Tok::kAmp: return 5;
+      case Tok::kEq: case Tok::kNe: return 6;
+      case Tok::kLt: case Tok::kGt: case Tok::kLe: case Tok::kGe: return 7;
+      case Tok::kShl: case Tok::kShr: return 8;
+      case Tok::kPlus: case Tok::kMinus: return 9;
+      case Tok::kStar: case Tok::kSlash: case Tok::kPercent: return 10;
+      default: return -1;
+    }
+  }
+
+  Status parse_binary(ExprPtr* out, int min_prec) {
+    ExprPtr lhs;
+    Status s = parse_unary(&lhs);
+    if (!s.is_ok()) return s;
+    while (true) {
+      int prec = precedence(peek().kind);
+      if (prec < 0 || prec < min_prec) break;
+      Tok op = advance().kind;
+      ExprPtr rhs;
+      s = parse_binary(&rhs, prec + 1);
+      if (!s.is_ok()) return s;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->line = lhs->line;
+      e->op = tok_name(op);
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+    *out = std::move(lhs);
+    return Status::ok();
+  }
+
+  Status parse_unary(ExprPtr* out) {
+    int line = peek().line;
+    if (check(Tok::kMinus) || check(Tok::kBang) || check(Tok::kTilde)) {
+      Tok op = advance().kind;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->line = line;
+      e->op = tok_name(op);
+      Status s = parse_unary(&e->a);
+      if (!s.is_ok()) return s;
+      *out = std::move(e);
+      return Status::ok();
+    }
+    if (check(Tok::kPlusPlus) || check(Tok::kMinusMinus)) {
+      // prefix ++/--: desugar to (x = x +/- 1)
+      Tok op = advance().kind;
+      ExprPtr target;
+      Status s = parse_unary(&target);
+      if (!s.is_ok()) return s;
+      return make_incdec(std::move(target), op == Tok::kPlusPlus, line, out);
+    }
+    // cast: (type) unary
+    if (check(Tok::kLParen) && is_type_tok(peek(1).kind) &&
+        peek(2).kind == Tok::kRParen) {
+      advance();
+      MType t = type_of(advance().kind);
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCast;
+      e->line = line;
+      e->type = t;
+      Status s = parse_unary(&e->a);
+      if (!s.is_ok()) return s;
+      *out = std::move(e);
+      return Status::ok();
+    }
+    return parse_postfix(out);
+  }
+
+  Status make_incdec(ExprPtr target, bool inc, int line, ExprPtr* out) {
+    if (target->kind != ExprKind::kVar && target->kind != ExprKind::kIndex) {
+      return fail("++/-- target must be a variable or array element");
+    }
+    auto one = std::make_unique<Expr>();
+    one->kind = ExprKind::kIntLit;
+    one->line = line;
+    one->int_value = 1;
+    one->type = MType::kInt;
+    auto bin = std::make_unique<Expr>();
+    bin->kind = ExprKind::kBinary;
+    bin->line = line;
+    bin->op = inc ? "+" : "-";
+    bin->a = clone(*target);
+    bin->b = std::move(one);
+    auto assign = std::make_unique<Expr>();
+    assign->kind = ExprKind::kAssign;
+    assign->line = line;
+    assign->a = std::move(target);
+    assign->b = std::move(bin);
+    *out = std::move(assign);
+    return Status::ok();
+  }
+
+  Status parse_postfix(ExprPtr* out) {
+    ExprPtr e;
+    Status s = parse_primary(&e);
+    if (!s.is_ok()) return s;
+    // postfix ++/--: value semantics of pre-increment (documented quirk).
+    if (check(Tok::kPlusPlus) || check(Tok::kMinusMinus)) {
+      Tok op = advance().kind;
+      return make_incdec(std::move(e), op == Tok::kPlusPlus, peek().line, out);
+    }
+    *out = std::move(e);
+    return Status::ok();
+  }
+
+  Status parse_primary(ExprPtr* out) {
+    int line = peek().line;
+    if (check(Tok::kIntLit)) {
+      const Token& t = advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIntLit;
+      e->line = line;
+      e->int_value = t.int_value;
+      e->type = t.text == "L" ? MType::kLong : MType::kInt;
+      *out = std::move(e);
+      return Status::ok();
+    }
+    if (check(Tok::kFloatLit)) {
+      const Token& t = advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kFloatLit;
+      e->line = line;
+      e->float_value = t.float_value;
+      e->type = t.text == "f" ? MType::kFloat : MType::kDouble;
+      *out = std::move(e);
+      return Status::ok();
+    }
+    if (match(Tok::kLParen)) {
+      Status s = parse_expr(out);
+      if (!s.is_ok()) return s;
+      return expect(Tok::kRParen);
+    }
+    if (check(Tok::kIdent)) {
+      std::string name = advance().text;
+      if (match(Tok::kLParen)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCall;
+        e->line = line;
+        e->name = std::move(name);
+        if (!check(Tok::kRParen)) {
+          do {
+            ExprPtr arg;
+            Status s = parse_assignment(&arg);
+            if (!s.is_ok()) return s;
+            e->args.push_back(std::move(arg));
+          } while (match(Tok::kComma));
+        }
+        Status s = expect(Tok::kRParen);
+        if (!s.is_ok()) return s;
+        *out = std::move(e);
+        return Status::ok();
+      }
+      if (check(Tok::kLBracket)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIndex;
+        e->line = line;
+        e->name = std::move(name);
+        while (match(Tok::kLBracket)) {
+          ExprPtr idx;
+          Status s = parse_expr(&idx);
+          if (!s.is_ok()) return s;
+          e->args.push_back(std::move(idx));
+          s = expect(Tok::kRBracket);
+          if (!s.is_ok()) return s;
+        }
+        *out = std::move(e);
+        return Status::ok();
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kVar;
+      e->line = line;
+      e->name = std::move(name);
+      *out = std::move(e);
+      return Status::ok();
+    }
+    return fail(std::string("unexpected token '") + tok_name(peek().kind) + "'");
+  }
+
+  // Deep copy used by compound-assignment / ++ desugaring.
+  static ExprPtr clone(const Expr& e) {
+    auto out = std::make_unique<Expr>();
+    out->kind = e.kind;
+    out->type = e.type;
+    out->line = e.line;
+    out->int_value = e.int_value;
+    out->float_value = e.float_value;
+    out->name = e.name;
+    out->op = e.op;
+    for (const ExprPtr& a : e.args) out->args.push_back(clone(*a));
+    if (e.a) out->a = clone(*e.a);
+    if (e.b) out->b = clone(*e.b);
+    if (e.c) out->c = clone(*e.c);
+    return out;
+  }
+
+  const std::vector<Token>& toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> parse(const std::vector<Token>& tokens) {
+  return Parser(tokens).run();
+}
+
+}  // namespace sledge::minicc

@@ -1,0 +1,13 @@
+// mini-C recursive-descent parser. Produces an unannotated AST; all name
+// resolution and type checking happens in sema.
+#pragma once
+
+#include "common/status.hpp"
+#include "minicc/ast.hpp"
+#include "minicc/lexer.hpp"
+
+namespace sledge::minicc {
+
+Result<Program> parse(const std::vector<Token>& tokens);
+
+}  // namespace sledge::minicc

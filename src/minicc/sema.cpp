@@ -1,0 +1,500 @@
+#include "minicc/sema.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minicc/builtins.hpp"
+
+namespace sledge::minicc {
+namespace {
+
+MType promote(MType a, MType b) {
+  if (a == MType::kDouble || b == MType::kDouble) return MType::kDouble;
+  if (a == MType::kFloat || b == MType::kFloat) return MType::kFloat;
+  if (a == MType::kLong || b == MType::kLong) return MType::kLong;
+  return MType::kInt;
+}
+
+MType builtin_param_type(char c) {
+  switch (c) {
+    case 'i': return MType::kInt;
+    case 'l': return MType::kLong;
+    case 'd': return MType::kDouble;
+    default: return MType::kVoid;
+  }
+}
+
+class Sema {
+ public:
+  explicit Sema(Program* prog) : prog_(prog) {}
+
+  Status run() {
+    // Pass 1: globals and function signatures.
+    uint32_t mem_cursor = 64;  // keep address 0 unmapped-by-convention
+    int wasm_global_count = 0;
+    for (GlobalVar& g : prog_->globals) {
+      if (globals_.count(g.name) || funcs_.count(g.name)) {
+        return fail(g.line, "duplicate global '" + g.name + "'");
+      }
+      if (g.is_array()) {
+        uint64_t size = g.byte_size();
+        mem_cursor = (mem_cursor + 15u) & ~15u;  // 16-byte align arrays
+        if (static_cast<uint64_t>(mem_cursor) + size > 0xFFFF0000ull) {
+          return fail(g.line, "global arrays exceed linear memory");
+        }
+        g.mem_offset = mem_cursor;
+        mem_cursor += static_cast<uint32_t>(size);
+      } else {
+        if (g.elem_type == MType::kChar) {
+          return fail(g.line, "char globals must be arrays");
+        }
+        g.wasm_global_index = wasm_global_count++;
+        if (g.init) {
+          Status s = check_const_init(g);
+          if (!s.is_ok()) return s;
+        }
+      }
+      globals_[g.name] = static_cast<int>(&g - prog_->globals.data());
+    }
+    prog_->memory_bytes_used = mem_cursor;
+
+    for (Function& f : prog_->functions) {
+      if (funcs_.count(f.name) || globals_.count(f.name)) {
+        return fail(f.line, "duplicate function '" + f.name + "'");
+      }
+      if (find_builtin(f.name) >= 0) {
+        return fail(f.line, "'" + f.name + "' shadows a builtin");
+      }
+      funcs_[f.name] = static_cast<int>(&f - prog_->functions.data());
+    }
+
+    // Pass 2: bodies.
+    for (Function& f : prog_->functions) {
+      Status s = check_function(&f);
+      if (!s.is_ok()) return s;
+    }
+
+    for (int b : used_builtin_set_) prog_->used_builtins.push_back(b);
+    return Status::ok();
+  }
+
+ private:
+  Status fail(int line, const std::string& msg) {
+    return Status::error("minicc sema error at line " + std::to_string(line) +
+                         ": " + msg);
+  }
+
+  Status check_const_init(GlobalVar& g) {
+    Expr* e = g.init.get();
+    bool neg = false;
+    if (e->kind == ExprKind::kUnary && e->op == "-") {
+      neg = true;
+      e = e->a.get();
+    }
+    if (e->kind == ExprKind::kIntLit) {
+      if (neg) e->int_value = -e->int_value;
+      return Status::ok();
+    }
+    if (e->kind == ExprKind::kFloatLit) {
+      if (neg) e->float_value = -e->float_value;
+      return Status::ok();
+    }
+    return fail(g.line, "global initializer must be a literal");
+  }
+
+  Status check_function(Function* f) {
+    cur_fn_ = f;
+    scopes_.clear();
+    scopes_.emplace_back();
+    f->local_types.clear();
+    for (const Param& p : f->params) {
+      if (p.type == MType::kChar) {
+        return fail(f->line, "char parameters are not supported");
+      }
+      if (scopes_.back().count(p.name)) {
+        return fail(f->line, "duplicate parameter '" + p.name + "'");
+      }
+      scopes_.back()[p.name] = static_cast<int>(f->local_types.size());
+      f->local_types.push_back(p.type);
+    }
+    return check_stmt(f->body.get());
+  }
+
+  int declare_local(const std::string& name, MType type) {
+    int idx = static_cast<int>(cur_fn_->local_types.size());
+    cur_fn_->local_types.push_back(type);
+    scopes_.back()[name] = idx;
+    return idx;
+  }
+
+  int lookup_local(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return -1;
+  }
+
+  Status check_stmt(Stmt* s) {
+    switch (s->kind) {
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (StmtPtr& child : s->body) {
+          Status st = check_stmt(child.get());
+          if (!st.is_ok()) return st;
+        }
+        scopes_.pop_back();
+        return Status::ok();
+      }
+      case StmtKind::kDecl: {
+        if (s->decl_type == MType::kChar) {
+          return fail(s->line, "char locals are not supported");
+        }
+        if (scopes_.back().count(s->decl_name)) {
+          return fail(s->line, "duplicate local '" + s->decl_name + "'");
+        }
+        if (s->decl_init) {
+          Status st = check_expr(s->decl_init.get());
+          if (!st.is_ok()) return st;
+          coerce(&s->decl_init, s->decl_type);
+        }
+        s->decl_local_index = declare_local(s->decl_name, s->decl_type);
+        return Status::ok();
+      }
+      case StmtKind::kExpr:
+        return check_expr(s->expr.get());
+      case StmtKind::kIf: {
+        Status st = check_cond(&s->expr);
+        if (!st.is_ok()) return st;
+        st = check_stmt(s->then_branch.get());
+        if (!st.is_ok()) return st;
+        if (s->else_branch) return check_stmt(s->else_branch.get());
+        return Status::ok();
+      }
+      case StmtKind::kWhile: {
+        Status st = check_cond(&s->expr);
+        if (!st.is_ok()) return st;
+        ++loop_depth_;
+        st = check_stmt(s->loop_body.get());
+        --loop_depth_;
+        return st;
+      }
+      case StmtKind::kFor: {
+        scopes_.emplace_back();  // for-init scope
+        Status st = Status::ok();
+        if (s->init) st = check_stmt(s->init.get());
+        if (!st.is_ok()) return st;
+        if (s->expr) {
+          st = check_cond(&s->expr);
+          if (!st.is_ok()) return st;
+        }
+        if (s->step) {
+          st = check_stmt(s->step.get());
+          if (!st.is_ok()) return st;
+        }
+        ++loop_depth_;
+        st = check_stmt(s->loop_body.get());
+        --loop_depth_;
+        scopes_.pop_back();
+        return st;
+      }
+      case StmtKind::kReturn: {
+        if (cur_fn_->return_type == MType::kVoid) {
+          if (s->expr) return fail(s->line, "void function returns a value");
+          return Status::ok();
+        }
+        if (!s->expr) return fail(s->line, "non-void function needs a return value");
+        Status st = check_expr(s->expr.get());
+        if (!st.is_ok()) return st;
+        coerce(&s->expr, cur_fn_->return_type);
+        return Status::ok();
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          return fail(s->line, "break/continue outside a loop");
+        }
+        return Status::ok();
+    }
+    return Status::ok();
+  }
+
+  // Conditions become i32 "booleans": non-int operands get a `!= 0`.
+  Status check_cond(ExprPtr* e) {
+    Status st = check_expr(e->get());
+    if (!st.is_ok()) return st;
+    MType t = (*e)->type;
+    if (t == MType::kInt) return Status::ok();
+    if (t == MType::kVoid) return fail((*e)->line, "void value used as condition");
+    auto zero = std::make_unique<Expr>();
+    zero->line = (*e)->line;
+    if (is_float_type(t)) {
+      zero->kind = ExprKind::kFloatLit;
+      zero->float_value = 0;
+    } else {
+      zero->kind = ExprKind::kIntLit;
+      zero->int_value = 0;
+    }
+    zero->type = t;
+    auto cmp = std::make_unique<Expr>();
+    cmp->kind = ExprKind::kBinary;
+    cmp->line = (*e)->line;
+    cmp->op = "!=";
+    cmp->type = MType::kInt;
+    cmp->a = std::move(*e);
+    cmp->b = std::move(zero);
+    *e = std::move(cmp);
+    return Status::ok();
+  }
+
+  // Wraps `*e` in a cast to `want` when types differ.
+  void coerce(ExprPtr* e, MType want) {
+    if ((*e)->type == want || want == MType::kVoid) return;
+    auto cast = std::make_unique<Expr>();
+    cast->kind = ExprKind::kCast;
+    cast->line = (*e)->line;
+    cast->type = want;
+    cast->a = std::move(*e);
+    *e = std::move(cast);
+  }
+
+  Status check_expr(Expr* e) {
+    switch (e->kind) {
+      case ExprKind::kIntLit:
+        if (e->type == MType::kVoid) e->type = MType::kInt;
+        return Status::ok();
+      case ExprKind::kFloatLit:
+        if (e->type == MType::kVoid) e->type = MType::kDouble;
+        return Status::ok();
+
+      case ExprKind::kVar: {
+        int local = lookup_local(e->name);
+        if (local >= 0) {
+          e->local_index = local;
+          e->type = cur_fn_->local_types[local];
+          return Status::ok();
+        }
+        auto g = globals_.find(e->name);
+        if (g == globals_.end()) {
+          return fail(e->line, "unknown variable '" + e->name + "'");
+        }
+        const GlobalVar& gv = prog_->globals[g->second];
+        if (gv.is_array()) {
+          return fail(e->line,
+                      "array '" + e->name + "' used without an index");
+        }
+        e->global_index = g->second;
+        e->type = gv.elem_type;
+        return Status::ok();
+      }
+
+      case ExprKind::kIndex: {
+        auto g = globals_.find(e->name);
+        if (g == globals_.end()) {
+          return fail(e->line, "unknown array '" + e->name + "'");
+        }
+        const GlobalVar& gv = prog_->globals[g->second];
+        if (!gv.is_array()) {
+          return fail(e->line, "'" + e->name + "' is not an array");
+        }
+        if (e->args.size() != gv.dims.size()) {
+          return fail(e->line, "wrong number of indices for '" + e->name + "'");
+        }
+        for (ExprPtr& idx : e->args) {
+          Status st = check_expr(idx.get());
+          if (!st.is_ok()) return st;
+          if (!is_int_type(idx->type)) {
+            return fail(idx->line, "array index must be an integer");
+          }
+          coerce(&idx, MType::kInt);
+        }
+        e->global_index = g->second;
+        // char elements promote to int on read; stores narrow in codegen.
+        e->type = gv.elem_type == MType::kChar ? MType::kInt : gv.elem_type;
+        return Status::ok();
+      }
+
+      case ExprKind::kCall:
+        return check_call(e);
+
+      case ExprKind::kUnary: {
+        Status st = check_expr(e->a.get());
+        if (!st.is_ok()) return st;
+        MType t = e->a->type;
+        if (e->op == "!") {
+          if (t == MType::kVoid) return fail(e->line, "! on void");
+          // Lowered as (a == 0); operate on the original type.
+          e->type = MType::kInt;
+          return Status::ok();
+        }
+        if (e->op == "~") {
+          if (!is_int_type(t)) return fail(e->line, "~ needs an integer");
+          coerce(&e->a, t == MType::kLong ? MType::kLong : MType::kInt);
+          e->type = e->a->type;
+          return Status::ok();
+        }
+        // unary minus
+        if (t == MType::kVoid) return fail(e->line, "- on void");
+        if (t == MType::kChar) {
+          coerce(&e->a, MType::kInt);
+          t = MType::kInt;
+        }
+        e->type = t;
+        return Status::ok();
+      }
+
+      case ExprKind::kBinary: {
+        Status st = check_expr(e->a.get());
+        if (!st.is_ok()) return st;
+        st = check_expr(e->b.get());
+        if (!st.is_ok()) return st;
+        MType ta = e->a->type, tb = e->b->type;
+        if (ta == MType::kVoid || tb == MType::kVoid) {
+          return fail(e->line, "void operand");
+        }
+
+        if (e->op == "&&" || e->op == "||") {
+          ExprPtr tmp_a = std::move(e->a);
+          ExprPtr tmp_b = std::move(e->b);
+          Status sa = check_cond(&tmp_a);
+          if (!sa.is_ok()) return sa;
+          Status sb = check_cond(&tmp_b);
+          if (!sb.is_ok()) return sb;
+          e->a = std::move(tmp_a);
+          e->b = std::move(tmp_b);
+          e->type = MType::kInt;
+          return Status::ok();
+        }
+
+        bool is_cmp = e->op == "==" || e->op == "!=" || e->op == "<" ||
+                      e->op == ">" || e->op == "<=" || e->op == ">=";
+        bool int_only = e->op == "%" || e->op == "&" || e->op == "|" ||
+                        e->op == "^" || e->op == "<<" || e->op == ">>";
+        if (int_only && (!is_int_type(ta) || !is_int_type(tb))) {
+          return fail(e->line, "'" + e->op + "' needs integer operands");
+        }
+        MType common = promote(ta, tb);
+        coerce(&e->a, common);
+        coerce(&e->b, common);
+        e->type = is_cmp ? MType::kInt : common;
+        return Status::ok();
+      }
+
+      case ExprKind::kAssign: {
+        Status st = check_expr(e->a.get());
+        if (!st.is_ok()) return st;
+        st = check_expr(e->b.get());
+        if (!st.is_ok()) return st;
+        // Store target type; char array elements store as char but the
+        // expression value is the promoted int.
+        MType target = e->a->type;
+        coerce(&e->b, target);
+        e->type = target;
+        return Status::ok();
+      }
+
+      case ExprKind::kCond: {
+        Status st = check_cond(&e->a);
+        if (!st.is_ok()) return st;
+        st = check_expr(e->b.get());
+        if (!st.is_ok()) return st;
+        st = check_expr(e->c.get());
+        if (!st.is_ok()) return st;
+        MType common = promote(e->b->type, e->c->type);
+        coerce(&e->b, common);
+        coerce(&e->c, common);
+        e->type = common;
+        return Status::ok();
+      }
+
+      case ExprKind::kCast: {
+        Status st = check_expr(e->a.get());
+        if (!st.is_ok()) return st;
+        if (e->type == MType::kChar) {
+          return fail(e->line, "cast to char is not supported; use `& 255`");
+        }
+        if (e->a->type == MType::kVoid) {
+          return fail(e->line, "cast of void value");
+        }
+        return Status::ok();
+      }
+    }
+    return Status::ok();
+  }
+
+  Status check_call(Expr* e) {
+    int builtin = find_builtin(e->name);
+    if (builtin >= 0) {
+      const Builtin& b = builtins()[builtin];
+      size_t nparams = std::string(b.params).size();
+      if (e->args.size() != nparams) {
+        return fail(e->line, std::string("builtin '") + b.name + "' expects " +
+                                 std::to_string(nparams) + " arguments");
+      }
+      for (size_t i = 0; i < nparams; ++i) {
+        char spec = b.params[i];
+        if (spec == 'a') {
+          Expr* arg = e->args[i].get();
+          if (arg->kind != ExprKind::kVar) {
+            return fail(arg->line, "argument must be a global array name");
+          }
+          auto g = globals_.find(arg->name);
+          if (g == globals_.end() || !prog_->globals[g->second].is_array()) {
+            return fail(arg->line,
+                        "'" + arg->name + "' is not a global array");
+          }
+          arg->global_index = g->second;
+          arg->type = MType::kInt;  // lowered to a base address
+          continue;
+        }
+        Status st = check_expr(e->args[i].get());
+        if (!st.is_ok()) return st;
+        coerce(&e->args[i], builtin_param_type(spec));
+      }
+      e->builtin_index = builtin;
+      switch (b.result) {
+        case 'i': e->type = MType::kInt; break;
+        case 'l': e->type = MType::kLong; break;
+        case 'd': e->type = MType::kDouble; break;
+        default: e->type = MType::kVoid; break;
+      }
+      if (b.lower == BuiltinLower::kImport) used_builtin_set_.insert(builtin);
+      return Status::ok();
+    }
+
+    auto f = funcs_.find(e->name);
+    if (f == funcs_.end()) {
+      return fail(e->line, "unknown function '" + e->name + "'");
+    }
+    const Function& callee = prog_->functions[f->second];
+    if (e->args.size() != callee.params.size()) {
+      return fail(e->line, "'" + e->name + "' expects " +
+                               std::to_string(callee.params.size()) +
+                               " arguments");
+    }
+    for (size_t i = 0; i < e->args.size(); ++i) {
+      Status st = check_expr(e->args[i].get());
+      if (!st.is_ok()) return st;
+      coerce(&e->args[i], callee.params[i].type);
+    }
+    e->callee_index = f->second;
+    e->type = callee.return_type;
+    return Status::ok();
+  }
+
+  Program* prog_;
+  std::map<std::string, int> globals_;
+  std::map<std::string, int> funcs_;
+  Function* cur_fn_ = nullptr;
+  std::vector<std::map<std::string, int>> scopes_;
+  int loop_depth_ = 0;
+  std::set<int> used_builtin_set_;
+};
+
+}  // namespace
+
+Status analyze(Program* program) { return Sema(program).run(); }
+
+}  // namespace sledge::minicc

@@ -1,0 +1,13 @@
+// mini-C semantic analysis: name resolution, type checking with C-style
+// arithmetic promotions (implicit casts are materialized in the AST), local
+// slot assignment, global memory layout, and builtin-usage collection.
+#pragma once
+
+#include "common/status.hpp"
+#include "minicc/ast.hpp"
+
+namespace sledge::minicc {
+
+Status analyze(Program* program);
+
+}  // namespace sledge::minicc

@@ -1,0 +1,338 @@
+#include "procfaas/procfaas.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "apps/native_host.hpp"
+#include "common/log.hpp"
+#include "http/http.hpp"
+
+namespace sledge::procfaas {
+
+namespace {
+
+bool write_all(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::vector<uint8_t>* out) {
+  uint8_t buf[65536];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) return true;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    out->insert(out->end(), buf, buf + n);
+  }
+}
+
+// Feeds `request` into `in_fd` while draining `out_fd`, avoiding the
+// classic pipe deadlock on large payloads.
+bool pump_pipes(int in_fd, int out_fd, const std::vector<uint8_t>& request,
+                std::vector<uint8_t>* response) {
+  size_t sent = 0;
+  bool in_open = true;
+  if (request.empty()) {
+    ::close(in_fd);
+    in_open = false;
+  }
+  while (true) {
+    pollfd fds[2];
+    int nfds = 0;
+    int out_idx = -1, in_idx = -1;
+    fds[nfds] = {out_fd, POLLIN, 0};
+    out_idx = nfds++;
+    if (in_open) {
+      fds[nfds] = {in_fd, POLLOUT, 0};
+      in_idx = nfds++;
+    }
+    int rc = ::poll(fds, static_cast<nfds_t>(nfds), 30000);
+    if (rc <= 0) return false;
+
+    if (in_idx >= 0 && (fds[in_idx].revents & (POLLOUT | POLLERR))) {
+      ssize_t n = ::write(in_fd, request.data() + sent, request.size() - sent);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        if (sent == request.size()) {
+          ::close(in_fd);
+          in_open = false;
+        }
+      } else if (n < 0 && errno != EINTR && errno != EAGAIN) {
+        ::close(in_fd);
+        in_open = false;  // child stopped reading; keep draining output
+      }
+    }
+    if (fds[out_idx].revents & (POLLIN | POLLHUP)) {
+      uint8_t buf[65536];
+      ssize_t n = ::read(out_fd, buf, sizeof(buf));
+      if (n == 0) {
+        if (in_open) ::close(in_fd);
+        return true;
+      }
+      if (n > 0) {
+        response->insert(response->end(), buf, buf + n);
+      } else if (errno != EINTR && errno != EAGAIN) {
+        return false;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool spawn_function_process(const std::string& binary_path,
+                            const std::vector<uint8_t>& request,
+                            std::vector<uint8_t>* response) {
+  // O_CLOEXEC is essential: concurrently forked siblings must not inherit
+  // this invocation's pipe ends, or the child never sees stdin EOF while
+  // any overlapping invocation is alive (a livelock under sustained load).
+  int in_pipe[2], out_pipe[2];
+  if (::pipe2(in_pipe, O_CLOEXEC) < 0) return false;
+  if (::pipe2(out_pipe, O_CLOEXEC) < 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    return false;
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]}) {
+      ::close(fd);
+    }
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(in_pipe[0], 0);   // dup2 clears O_CLOEXEC on the new fds
+    ::dup2(out_pipe[1], 1);
+    ::execl(binary_path.c_str(), binary_path.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  bool ok = pump_pipes(in_pipe[1], out_pipe[0], request, response);
+  ::close(out_pipe[0]);
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  return ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+ProcFaas::ProcFaas(ProcFaasConfig config) : config_(config) {
+  if (config_.max_workers < 1) config_.max_workers = 1;
+}
+
+ProcFaas::~ProcFaas() { stop(); }
+
+Status ProcFaas::register_function(const std::string& name,
+                                   const std::string& binary_path) {
+  if (::access(binary_path.c_str(), X_OK) != 0) {
+    return Status::error("function binary not executable: " + binary_path);
+  }
+  functions_[name] = Function{binary_path, nullptr};
+  return Status::ok();
+}
+
+Status ProcFaas::register_function(const std::string& name,
+                                   InProcessHandler handler) {
+  functions_[name] = Function{"", std::move(handler)};
+  return Status::ok();
+}
+
+Status ProcFaas::start() {
+  if (running_.load()) return Status::error("already running");
+  ::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::error("bind failed");
+  }
+  if (::listen(listen_fd_, 1024) < 0) return Status::error("listen failed");
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_main(); });
+  return Status::ok();
+}
+
+void ProcFaas::stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    // Nudge idle keep-alive connections so their threads exit.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+}
+
+void ProcFaas::invocation_acquire() {
+  std::unique_lock<std::mutex> lock(sem_mu_);
+  sem_cv_.wait(lock, [this] {
+    return invocations_in_flight_ < config_.max_workers || !running_.load();
+  });
+  ++invocations_in_flight_;
+}
+
+void ProcFaas::invocation_release() {
+  {
+    std::lock_guard<std::mutex> lock(sem_mu_);
+    --invocations_in_flight_;
+  }
+  sem_cv_.notify_one();
+}
+
+ProcFaas::Totals ProcFaas::totals() const {
+  return Totals{requests_.load(), failures_.load()};
+}
+
+void ProcFaas::accept_main() {
+  // Thread-per-connection (kernel-scheduled), invocation concurrency capped
+  // by the max_workers semaphore — the kernel-mediated machinery Sledge's
+  // single-process design bypasses.
+  while (running_.load()) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      open_fds_.push_back(fd);
+    }
+    conn_threads_.emplace_back([this, fd] {
+      serve_connection(fd);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                      open_fds_.end());
+    });
+  }
+}
+
+void ProcFaas::serve_connection(int fd) {
+  http::RequestParser parser;
+  uint8_t buf[65536];
+  while (running_.load()) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    size_t off = 0;
+    bool closed = false;
+    while (off < static_cast<size_t>(n)) {
+      int used = parser.feed(buf + off, static_cast<size_t>(n) - off);
+      if (used < 0) {
+        closed = true;
+        break;
+      }
+      off += static_cast<size_t>(used);
+      if (!parser.done()) continue;
+
+      http::Request& req = parser.request();
+      std::string name = req.target.empty() || req.target[0] != '/'
+                             ? req.target
+                             : req.target.substr(1);
+      bool keep_alive = req.keep_alive();
+      requests_.fetch_add(1, std::memory_order_relaxed);
+
+      std::string payload;
+      auto it = functions_.find(name);
+      if (it == functions_.end()) {
+        payload = http::serialize_response(404, "Not Found", {}, keep_alive,
+                                           "text/plain");
+      } else {
+        std::vector<uint8_t> response;
+        invocation_acquire();
+        bool ok = invoke(it->second, req.body, &response);
+        invocation_release();
+        if (!ok) failures_.fetch_add(1, std::memory_order_relaxed);
+        payload = ok ? http::serialize_response(200, "OK", response,
+                                                keep_alive)
+                     : http::serialize_response(500, "Function Error", {},
+                                                keep_alive, "text/plain");
+      }
+      if (!write_all(fd, reinterpret_cast<const uint8_t*>(payload.data()),
+                     payload.size()) ||
+          !keep_alive) {
+        closed = true;
+        break;
+      }
+      parser.reset();
+    }
+    if (closed) break;
+  }
+  ::close(fd);
+}
+
+bool ProcFaas::invoke(const Function& fn, const std::vector<uint8_t>& request,
+                      std::vector<uint8_t>* response) {
+  if (config_.mode == Mode::kForkExec || !fn.handler) {
+    return spawn_function_process(fn.binary_path, request, response);
+  }
+  // kForkOnly: process-per-invocation without the exec image replacement.
+  int out_pipe[2];
+  if (::pipe(out_pipe) < 0) return false;
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(out_pipe[0]);
+    std::vector<uint8_t> out;
+    fn.handler(request, &out);
+    write_all(out_pipe[1], out.data(), out.size());
+    ::close(out_pipe[1]);
+    _exit(0);
+  }
+  ::close(out_pipe[1]);
+  bool ok = read_all(out_pipe[0], response);
+  ::close(out_pipe[0]);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  return ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+}  // namespace sledge::procfaas

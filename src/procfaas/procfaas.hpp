@@ -1,0 +1,108 @@
+// procfaas: the Nuclio-model baseline (paper Figure 1(c)).
+//
+// An HTTP server whose "serverless management" services each request by
+// spawning an OS process for the function: fork + exec of a native function
+// binary, body piped through stdin/stdout, waitpid for completion. A thread
+// pool (maxWorkers, like Nuclio's function-processor setting) handles
+// connections with ordinary blocking I/O and kernel scheduling — precisely
+// the per-invocation process machinery whose cost Sledge's design removes.
+//
+// Connection handling is thread-per-connection (kernel-scheduled, like the
+// Go runtime under Nuclio's HTTP listener); concurrent *invocations* are
+// capped at max_workers by a semaphore, matching Nuclio's worker-pool
+// semantics.
+//
+// Modes:
+//   kForkExec — fork + execve the registered binary (the paper's cold path;
+//               Table 3's fork+exec+wait row)
+//   kForkOnly — fork and run an in-process handler in the child (models a
+//               pre-loaded runtime that still pays process-per-invocation)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sledge::procfaas {
+
+using InProcessHandler =
+    std::function<void(const std::vector<uint8_t>& request,
+                       std::vector<uint8_t>* response)>;
+
+enum class Mode : uint8_t { kForkExec, kForkOnly };
+
+struct ProcFaasConfig {
+  uint16_t port = 0;       // 0 = auto
+  int max_workers = 16;    // Nuclio's maxWorkers analog
+  Mode mode = Mode::kForkExec;
+};
+
+class ProcFaas {
+ public:
+  explicit ProcFaas(ProcFaasConfig config);
+  ~ProcFaas();
+
+  ProcFaas(const ProcFaas&) = delete;
+  ProcFaas& operator=(const ProcFaas&) = delete;
+
+  // kForkExec functions: path to a stdin/stdout function binary.
+  Status register_function(const std::string& name,
+                           const std::string& binary_path);
+  // kForkOnly functions: handler run inside the forked child.
+  Status register_function(const std::string& name, InProcessHandler handler);
+
+  Status start();
+  void stop();
+  uint16_t bound_port() const { return bound_port_; }
+
+  struct Totals {
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+  };
+  Totals totals() const;
+
+ private:
+  struct Function {
+    std::string binary_path;
+    InProcessHandler handler;
+  };
+
+  void accept_main();
+  void serve_connection(int fd);
+  void invocation_acquire();
+  void invocation_release();
+  // Runs one invocation; returns false on spawn/exec failure.
+  bool invoke(const Function& fn, const std::vector<uint8_t>& request,
+              std::vector<uint8_t>* response);
+
+  ProcFaasConfig config_;
+  std::map<std::string, Function> functions_;
+  std::thread acceptor_;
+  std::vector<std::thread> conn_threads_;
+  std::mutex conn_mu_;
+  std::vector<int> open_fds_;
+  std::mutex sem_mu_;
+  std::condition_variable sem_cv_;
+  int invocations_in_flight_ = 0;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> failures_{0};
+};
+
+// One fork+exec+wait invocation of a function binary (exposed for the Table
+// 3 churn benchmark).
+bool spawn_function_process(const std::string& binary_path,
+                            const std::vector<uint8_t>& request,
+                            std::vector<uint8_t>* response);
+
+}  // namespace sledge::procfaas

@@ -1,0 +1,244 @@
+#include "sledge/listener.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "sledge/runtime.hpp"
+
+namespace sledge::runtime {
+
+namespace {
+
+Status set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::error("fcntl O_NONBLOCK failed");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Listener::Listener(Runtime* rt) : rt_(rt) {}
+
+Listener::~Listener() {
+  join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+  for (auto& [fd, conn] : conns_) ::close(fd);
+}
+
+Status Listener::init(uint16_t port, uint16_t* bound_port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return Status::error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::error("bind() failed: " + std::string(strerror(errno)));
+  }
+  if (::listen(listen_fd_, 1024) < 0) return Status::error("listen() failed");
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return Status::error("epoll_create1 failed");
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (event_fd_ < 0) return Status::error("eventfd failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = event_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+  return Status::ok();
+}
+
+void Listener::start() {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Listener::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Listener::wake() {
+  if (event_fd_ >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+  }
+}
+
+void Listener::return_connection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(ret_mu_);
+    returned_.push_back(fd);
+  }
+  wake();
+}
+
+void Listener::drain_returned() {
+  uint64_t junk;
+  while (::read(event_fd_, &junk, sizeof(junk)) > 0) {
+  }
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(ret_mu_);
+    fds.swap(returned_);
+  }
+  for (int fd : fds) add_connection(fd);
+}
+
+void Listener::add_connection(int fd) {
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    return;
+  }
+  conns_[fd] = std::move(conn);
+}
+
+void Listener::drop_connection(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  conns_.erase(fd);
+  ::close(fd);
+}
+
+void Listener::accept_new() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    add_connection(fd);
+  }
+}
+
+void Listener::handle_readable(Conn* conn) {
+  char buf[65536];
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      drop_connection(conn->fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      drop_connection(conn->fd);
+      return;
+    }
+    size_t off = 0;
+    while (off < static_cast<size_t>(n)) {
+      int used = conn->parser.feed(buf + off, static_cast<size_t>(n) - off);
+      if (used < 0) {
+        // Malformed request: terse 400 and hang up.
+        static const char k400[] =
+            "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\nConnection: "
+            "close\r\n\r\n";
+        [[maybe_unused]] ssize_t w =
+            ::send(conn->fd, k400, sizeof(k400) - 1, MSG_NOSIGNAL);
+        drop_connection(conn->fd);
+        return;
+      }
+      off += static_cast<size_t>(used);
+      if (!conn->parser.done()) continue;
+
+      http::Request& req = conn->parser.request();
+      std::string name =
+          req.target.empty() || req.target[0] != '/' ? req.target
+                                                     : req.target.substr(1);
+      LoadedModule* mod = rt_->find_module(name);
+      if (!mod) {
+        std::string resp = http::serialize_response(
+            404, "Not Found", {}, req.keep_alive(), "text/plain");
+        [[maybe_unused]] ssize_t w =
+            ::send(conn->fd, resp.data(), resp.size(), MSG_NOSIGNAL);
+        if (!req.keep_alive()) {
+          drop_connection(conn->fd);
+          return;
+        }
+        conn->parser.reset();
+        continue;
+      }
+
+      // Hand the connection to the sandbox; the worker writes the response.
+      int fd = conn->fd;
+      bool keep_alive = req.keep_alive();
+      std::vector<uint8_t> body = std::move(req.body);
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      conns_.erase(fd);
+
+      std::unique_ptr<Sandbox> sb =
+          Sandbox::create(&mod->module, std::move(body), fd, keep_alive);
+      if (!sb) {
+        std::string resp = http::serialize_response(
+            503, "Overloaded", {}, false, "text/plain");
+        [[maybe_unused]] ssize_t w =
+            ::send(fd, resp.data(), resp.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        return;
+      }
+      sb->user_tag = mod;
+      {
+        std::lock_guard<std::mutex> lock(mod->stats.mu);
+        mod->stats.requests++;
+        mod->stats.startup.record(sb->startup_cost_ns());
+      }
+      rt_->distributor().push(sb.release());
+      return;  // fd no longer ours; remaining bytes (pipelining) unsupported
+    }
+  }
+}
+
+void Listener::thread_main() {
+  epoll_event events[128];
+  while (rt_->running()) {
+    int n = ::epoll_wait(epoll_fd_, events, 128, 50);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SLEDGE_LOG_ERROR("listener epoll_wait failed: %s", strerror(errno));
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_new();
+      } else if (fd == event_fd_) {
+        drain_returned();
+      } else {
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) handle_readable(it->second.get());
+      }
+    }
+  }
+}
+
+}  // namespace sledge::runtime

@@ -1,0 +1,60 @@
+// The Sledge listener core: epoll-based request forwarding (paper §4).
+// Accepts connections, incrementally parses HTTP, resolves the target
+// module, creates the sandbox and pushes it onto the work-distribution
+// structure. Workers hand kept-alive connections back through
+// return_connection (eventfd-signalled queue).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "http/http.hpp"
+
+namespace sledge::runtime {
+
+class Runtime;
+
+class Listener {
+ public:
+  explicit Listener(Runtime* rt);
+  ~Listener();
+
+  // Creates and binds the listening socket; fills bound port.
+  Status init(uint16_t port, uint16_t* bound_port);
+  void start();
+  void join();
+
+  // Thread-safe: workers return kept-alive connections here.
+  void return_connection(int fd);
+  // Wakes the epoll loop (used by stop()).
+  void wake();
+
+ private:
+  struct Conn {
+    int fd;
+    http::RequestParser parser;
+  };
+
+  void thread_main();
+  void accept_new();
+  void handle_readable(Conn* conn);
+  void add_connection(int fd);
+  void drop_connection(int fd);
+  void drain_returned();
+
+  Runtime* rt_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::mutex ret_mu_;
+  std::vector<int> returned_;
+};
+
+}  // namespace sledge::runtime

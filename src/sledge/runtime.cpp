@@ -1,0 +1,246 @@
+#include "sledge/runtime.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "sledge/listener.hpp"
+#include "sledge/worker.hpp"
+
+namespace sledge::runtime {
+
+const char* to_string(DistPolicy p) {
+  switch (p) {
+    case DistPolicy::kWorkStealing: return "work_stealing";
+    case DistPolicy::kGlobalLock: return "global_lock";
+    case DistPolicy::kPerWorker: return "per_worker";
+  }
+  return "?";
+}
+
+// ---- Distributor -----------------------------------------------------
+
+Distributor::Distributor(DistPolicy policy, int workers)
+    : policy_(policy), workers_(workers) {
+  if (policy_ == DistPolicy::kPerWorker) {
+    for (int i = 0; i < workers; ++i) {
+      per_worker_.push_back(std::make_unique<PerWorkerQ>());
+    }
+  }
+}
+
+void Distributor::push(Sandbox* sb) {
+  switch (policy_) {
+    case DistPolicy::kWorkStealing:
+      deque_.push(sb);
+      break;
+    case DistPolicy::kGlobalLock: {
+      std::lock_guard<std::mutex> lock(global_mu_);
+      global_q_.push_back(sb);
+      break;
+    }
+    case DistPolicy::kPerWorker: {
+      uint64_t idx = rr_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                     static_cast<uint64_t>(workers_);
+      PerWorkerQ& q = *per_worker_[idx];
+      std::lock_guard<std::mutex> lock(q.mu);
+      q.q.push_back(sb);
+      break;
+    }
+  }
+}
+
+bool Distributor::fetch(int worker_index, Sandbox** out) {
+  switch (policy_) {
+    case DistPolicy::kWorkStealing:
+      return deque_.steal(out);
+    case DistPolicy::kGlobalLock: {
+      std::lock_guard<std::mutex> lock(global_mu_);
+      if (global_q_.empty()) return false;
+      *out = global_q_.front();
+      global_q_.pop_front();
+      return true;
+    }
+    case DistPolicy::kPerWorker: {
+      PerWorkerQ& q = *per_worker_[worker_index];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.q.empty()) return false;
+      *out = q.q.front();
+      q.q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t Distributor::backlog_estimate() const {
+  switch (policy_) {
+    case DistPolicy::kWorkStealing:
+      return deque_.size_estimate();
+    case DistPolicy::kGlobalLock: {
+      std::lock_guard<std::mutex> lock(global_mu_);
+      return static_cast<int64_t>(global_q_.size());
+    }
+    case DistPolicy::kPerWorker: {
+      int64_t total = 0;
+      for (const auto& q : per_worker_) {
+        std::lock_guard<std::mutex> lock(q->mu);
+        total += static_cast<int64_t>(q->q.size());
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+// ---- Runtime ----------------------------------------------------------
+
+Runtime::Runtime(RuntimeConfig config) : config_(config) {
+  if (config_.workers < 1) config_.workers = 1;
+  distributor_ =
+      std::make_unique<Distributor>(config_.policy, config_.workers);
+}
+
+Runtime::~Runtime() { stop(); }
+
+Status Runtime::register_module(const std::string& name,
+                                const std::vector<uint8_t>& wasm_bytes) {
+  return register_module(name, wasm_bytes, config_.engine);
+}
+
+Status Runtime::register_module(
+    const std::string& name, const std::vector<uint8_t>& wasm_bytes,
+    const engine::WasmModule::Config& engine_config) {
+  if (modules_.count(name)) {
+    return Status::error("module '" + name + "' already registered");
+  }
+  Result<engine::WasmModule> mod =
+      engine::WasmModule::load(wasm_bytes, engine_config);
+  if (!mod.ok()) {
+    return Status::error("module '" + name + "': " + mod.error_message());
+  }
+  auto loaded = std::make_unique<LoadedModule>();
+  loaded->name = name;
+  loaded->module = mod.take();
+  modules_[name] = std::move(loaded);
+  return Status::ok();
+}
+
+LoadedModule* Runtime::find_module(const std::string& name) {
+  auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : it->second.get();
+}
+
+Status Runtime::start() {
+  if (running_.load()) return Status::error("already running");
+  listener_ = std::make_unique<Listener>(this);
+  Status s = listener_->init(config_.port, &bound_port_);
+  if (!s.is_ok()) return s;
+
+  running_.store(true, std::memory_order_release);
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(this, i));
+    workers_.back()->start();
+  }
+  listener_->start();
+  SLEDGE_LOG_INFO("sledge runtime on port %u (%d workers, quantum %lu us, %s)",
+                  bound_port_, config_.workers,
+                  static_cast<unsigned long>(config_.quantum_us),
+                  to_string(config_.policy));
+  return Status::ok();
+}
+
+void Runtime::stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_) listener_->wake();
+  for (auto& w : workers_) w->join();
+  if (listener_) listener_->join();
+  // Fold worker counters into the retired totals before tearing down.
+  for (const auto& w : workers_) {
+    retired_totals_.completed +=
+        w->stats().completed.load(std::memory_order_relaxed);
+    retired_totals_.failed += w->stats().failed.load(std::memory_order_relaxed);
+    retired_totals_.preemptions +=
+        w->stats().preemptions.load(std::memory_order_relaxed);
+    retired_totals_.steals += w->stats().steals.load(std::memory_order_relaxed);
+  }
+  workers_.clear();
+  listener_.reset();
+}
+
+void Runtime::return_connection(int fd) {
+  if (listener_ && running()) {
+    listener_->return_connection(fd);
+  } else {
+    ::close(fd);
+  }
+}
+
+void Runtime::record_completion(Sandbox* sb, bool ok) {
+  auto* mod = static_cast<LoadedModule*>(sb->user_tag);
+  if (!mod) return;
+  std::lock_guard<std::mutex> lock(mod->stats.mu);
+  if (!ok) mod->stats.failures++;
+  mod->stats.end_to_end.record(sb->done_ns() - sb->created_ns());
+}
+
+Runtime::Totals Runtime::totals() const {
+  Totals t = retired_totals_;
+  for (const auto& w : workers_) {
+    t.completed += w->stats().completed.load(std::memory_order_relaxed);
+    t.failed += w->stats().failed.load(std::memory_order_relaxed);
+    t.preemptions += w->stats().preemptions.load(std::memory_order_relaxed);
+    t.steals += w->stats().steals.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+std::string Runtime::stats_report() const {
+  std::string out;
+  char buf[256];
+  Totals t = totals();
+  std::snprintf(buf, sizeof(buf),
+                "runtime: completed=%llu failed=%llu preemptions=%llu "
+                "steals=%llu\n",
+                static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.failed),
+                static_cast<unsigned long long>(t.preemptions),
+                static_cast<unsigned long long>(t.steals));
+  out += buf;
+  for (const auto& [name, mod] : modules_) {
+    std::lock_guard<std::mutex> lock(mod->stats.mu);
+    std::snprintf(buf, sizeof(buf),
+                  "  %-12s reqs=%llu fail=%llu e2e(avg=%.3fms p99=%.3fms) "
+                  "startup(avg=%.1fus p99=%.1fus)\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(mod->stats.requests),
+                  static_cast<unsigned long long>(mod->stats.failures),
+                  mod->stats.end_to_end.mean_ms(), mod->stats.end_to_end.p99_ms(),
+                  mod->stats.startup.mean_us(), mod->stats.startup.p99_us());
+    out += buf;
+  }
+  return out;
+}
+
+Status run_sandbox_inline(Sandbox* sandbox) {
+  ucontext_t here;
+  while (true) {
+    SandboxState st = sandbox->state();
+    if (st == SandboxState::kComplete) return Status::ok();
+    if (st == SandboxState::kFailed) {
+      return Status::error(sandbox->outcome().describe());
+    }
+    if (st == SandboxState::kBlocked) {
+      uint64_t now = now_ns();
+      if (sandbox->wake_at_ns() > now) {
+        ::usleep(static_cast<useconds_t>(
+            (sandbox->wake_at_ns() - now) / 1000 + 1));
+      }
+      sandbox->set_state(SandboxState::kRunnable);
+    }
+    sandbox->dispatch(&here);
+  }
+}
+
+}  // namespace sledge::runtime

@@ -1,0 +1,150 @@
+// The Sledge single-process serverless runtime (paper §3.3–§3.5, §4).
+//
+// One listener thread accepts TCP connections, parses HTTP requests and
+// instantiates sandboxes; a global work-distribution structure (Chase–Lev
+// deque by default) hands them to N worker threads; each worker runs a
+// preemptive round-robin scheduler over user-level sandbox contexts with a
+// configurable quantum (paper default 5 ms). Request routing is by path:
+// POST /<module-name>.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/status.hpp"
+#include "engine/engine.hpp"
+#include "sledge/deque.hpp"
+#include "sledge/sandbox.hpp"
+
+namespace sledge::runtime {
+
+class Worker;
+class Listener;
+
+// Work-distribution policy (the queue ablation of DESIGN.md):
+//   kWorkStealing — lock-free global Chase–Lev deque (the paper's design)
+//   kGlobalLock   — one mutex-protected FIFO (work-conserving, not scalable)
+//   kPerWorker    — per-worker mutex FIFOs, round-robin assignment, no
+//                   stealing (scalable, not work-conserving)
+enum class DistPolicy : uint8_t { kWorkStealing, kGlobalLock, kPerWorker };
+
+const char* to_string(DistPolicy p);
+
+struct RuntimeConfig {
+  uint16_t port = 0;  // 0 = pick a free port (see Runtime::bound_port)
+  int workers = 3;
+  uint64_t quantum_us = 5000;  // paper's 5 ms time slice
+  bool preemption = true;      // false = cooperative-only (ablation)
+  DistPolicy policy = DistPolicy::kWorkStealing;
+  engine::WasmModule::Config engine;  // default tier/bounds for modules
+};
+
+struct ModuleStats {
+  std::mutex mu;
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  LatencyHistogram end_to_end;  // sandbox creation -> completion
+  LatencyHistogram startup;     // sandbox allocation cost
+};
+
+struct LoadedModule {
+  std::string name;
+  engine::WasmModule module;
+  ModuleStats stats;
+};
+
+// Work distribution with swappable policy. push() is listener-only for
+// kWorkStealing (single deque owner); fetch() is called by workers.
+class Distributor {
+ public:
+  Distributor(DistPolicy policy, int workers);
+
+  void push(Sandbox* sb);
+  bool fetch(int worker_index, Sandbox** out);
+  int64_t backlog_estimate() const;
+
+ private:
+  DistPolicy policy_;
+  int workers_;
+  WorkStealingDeque<Sandbox*> deque_;
+  mutable std::mutex global_mu_;
+  std::deque<Sandbox*> global_q_;
+  struct PerWorkerQ {
+    std::mutex mu;
+    std::deque<Sandbox*> q;
+  };
+  std::vector<std::unique_ptr<PerWorkerQ>> per_worker_;
+  std::atomic<uint64_t> rr_cursor_{0};
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Heavyweight module registration (decode/validate/AoT-compile/dlopen);
+  // never on the request path. Optional per-module engine override.
+  Status register_module(const std::string& name,
+                         const std::vector<uint8_t>& wasm_bytes);
+  Status register_module(const std::string& name,
+                         const std::vector<uint8_t>& wasm_bytes,
+                         const engine::WasmModule::Config& engine_config);
+
+  // Starts the listener and worker threads. Modules can still be registered
+  // afterwards, but typically are not (the paper loads modules at startup).
+  Status start();
+  void stop();
+
+  uint16_t bound_port() const { return bound_port_; }
+  LoadedModule* find_module(const std::string& name);
+
+  const RuntimeConfig& config() const { return config_; }
+  Distributor& distributor() { return *distributor_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Worker -> listener: hand a kept-alive connection back after a response.
+  void return_connection(int fd);
+
+  // Worker -> runtime: per-module latency/failure accounting.
+  void record_completion(Sandbox* sb, bool ok);
+
+  // Aggregate counters (summed over workers on demand).
+  struct Totals {
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t preemptions = 0;
+    uint64_t steals = 0;
+  };
+  Totals totals() const;
+
+  std::string stats_report() const;
+
+ private:
+  friend class Worker;
+  friend class Listener;
+
+  RuntimeConfig config_;
+  std::map<std::string, std::unique_ptr<LoadedModule>> modules_;
+  std::unique_ptr<Distributor> distributor_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Listener> listener_;
+  std::atomic<bool> running_{false};
+  uint16_t bound_port_ = 0;
+  Totals retired_totals_;  // accumulated from workers at stop()
+};
+
+// Runs a sandbox to completion on the calling thread (no server needed):
+// the unit-test / churn-benchmark path. Handles cooperative blocking.
+Status run_sandbox_inline(Sandbox* sandbox);
+
+}  // namespace sledge::runtime

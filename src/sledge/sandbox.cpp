@@ -1,0 +1,106 @@
+#include "sledge/sandbox.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "engine/trap.hpp"
+
+namespace sledge::runtime {
+
+namespace {
+constexpr size_t kStackSize = 512 * 1024;
+constexpr size_t kGuardSize = 4096;
+}  // namespace
+
+std::unique_ptr<Sandbox> Sandbox::create(const engine::WasmModule* module,
+                                         std::vector<uint8_t> request,
+                                         int conn_fd, bool keep_alive) {
+  Stopwatch sw;
+  std::unique_ptr<Sandbox> sb(new Sandbox());
+  sb->module_ = module;
+  sb->env_.request = std::move(request);
+  sb->conn_fd_ = conn_fd;
+  sb->keep_alive_ = keep_alive;
+  sb->t_created_ = now_ns();
+
+  // Linear memory + instance (cheap: the module is already linked/loaded).
+  Result<engine::WasmSandbox> wasm = module->instantiate();
+  if (!wasm.ok()) {
+    SLEDGE_LOG_ERROR("sandbox instantiate failed: %s",
+                     wasm.error_message().c_str());
+    return nullptr;
+  }
+  sb->wasm_ = wasm.take();
+
+  // Guarded execution stack, outside linear memory (Wasm's split-stack
+  // design: the C stack is unreachable from sandboxed loads/stores).
+  void* mem = ::mmap(nullptr, kStackSize + kGuardSize,
+                     PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (mem == MAP_FAILED) return nullptr;
+  sb->stack_base_ = static_cast<uint8_t*>(mem);
+  sb->stack_size_ = kStackSize + kGuardSize;
+  ::mprotect(sb->stack_base_, kGuardSize, PROT_NONE);
+  engine::install_trap_signal_handler();
+  sb->stack_guard_id_ =
+      engine::register_guard_region(sb->stack_base_, kGuardSize);
+
+  // User-level context (the paper's ip/sp/mcontext_t triple).
+  ::getcontext(&sb->ctx_);
+  sb->ctx_.uc_stack.ss_sp = sb->stack_base_ + kGuardSize;
+  sb->ctx_.uc_stack.ss_size = kStackSize;
+  sb->ctx_.uc_link = nullptr;
+  // Sandbox code runs with the preemption signal unblocked; the scheduler
+  // keeps it blocked, so quanta only expire inside sandbox execution.
+  sigdelset(&sb->ctx_.uc_sigmask, SIGALRM);
+  uintptr_t p = reinterpret_cast<uintptr_t>(sb.get());
+  ::makecontext(&sb->ctx_, reinterpret_cast<void (*)()>(&entry_trampoline), 2,
+                static_cast<unsigned>(p >> 32),
+                static_cast<unsigned>(p & 0xFFFFFFFFu));
+
+  sb->startup_cost_ns_ = sw.elapsed_ns();
+  sb->set_state(SandboxState::kRunnable);
+  return sb;
+}
+
+Sandbox::~Sandbox() {
+  if (stack_guard_id_ >= 0) engine::unregister_guard_region(stack_guard_id_);
+  if (stack_base_) ::munmap(stack_base_, stack_size_);
+}
+
+void Sandbox::entry_trampoline(unsigned hi, unsigned lo) {
+  uintptr_t p = (static_cast<uintptr_t>(hi) << 32) | lo;
+  reinterpret_cast<Sandbox*>(p)->entry();
+}
+
+void Sandbox::entry() {
+  if (t_first_run_ == 0) t_first_run_ = now_ns();
+  env_.sleep_hook = [this](uint64_t ns) { sleep_yield(ns); };
+
+  outcome_ = wasm_.call("run", {}, &env_);
+
+  t_done_ = now_ns();
+  set_state(outcome_.ok() ? SandboxState::kComplete : SandboxState::kFailed);
+  // Never returns: hand the core back to the scheduler for good.
+  ::setcontext(scheduler_ctx_);
+  std::fprintf(stderr, "fatal: sandbox resumed after completion\n");
+  std::abort();
+}
+
+void Sandbox::dispatch(ucontext_t* scheduler_ctx) {
+  scheduler_ctx_ = scheduler_ctx;
+  set_state(SandboxState::kRunning);
+  ::swapcontext(scheduler_ctx, &ctx_);
+  // Back in the scheduler; state tells it what happened.
+}
+
+void Sandbox::sleep_yield(uint64_t ns) {
+  wake_at_ns_ = now_ns() + ns;
+  set_state(SandboxState::kBlocked);
+  ::swapcontext(&ctx_, scheduler_ctx_);
+}
+
+}  // namespace sledge::runtime

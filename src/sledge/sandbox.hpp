@@ -1,0 +1,105 @@
+// A Sledge sandbox: one client request executing one Wasm function.
+//
+// Creation is the paper's "optimized function startup" path — it only
+// allocates linear memory (via the already-loaded module), a guarded
+// execution stack, and a user-level context (§4: "allocation of required
+// linear memory, a dedicated stack, and a user-level context"). The
+// expensive link/load happened once in WasmModule::load.
+//
+// Sandboxes are green threads: the worker swapcontext()s into them, and
+// they come back by completing, blocking (cooperative I/O / sleep), or
+// being preempted by the quantum timer.
+#pragma once
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "engine/engine.hpp"
+
+namespace sledge::runtime {
+
+enum class SandboxState : uint8_t {
+  kAllocated,  // created, never run
+  kRunnable,   // on a runqueue (or preempted)
+  kRunning,    // currently on a worker core
+  kBlocked,    // waiting on a timer (cooperative yield)
+  kComplete,   // function returned
+  kFailed,     // trapped or errored
+};
+
+class Sandbox {
+ public:
+  // Creation = the cheap per-request path. `module` must outlive the
+  // sandbox. Returns nullptr only on resource exhaustion.
+  static std::unique_ptr<Sandbox> create(const engine::WasmModule* module,
+                                         std::vector<uint8_t> request,
+                                         int conn_fd = -1,
+                                         bool keep_alive = false);
+  ~Sandbox();
+
+  Sandbox(const Sandbox&) = delete;
+  Sandbox& operator=(const Sandbox&) = delete;
+
+  // Worker-side: run/resume the sandbox on the calling thread. Returns when
+  // the sandbox completes, blocks or is preempted; inspect state() after.
+  void dispatch(ucontext_t* scheduler_ctx);
+
+  // Sandbox-side (host hook): block for `ns`, yielding the worker core.
+  void sleep_yield(uint64_t ns);
+
+  SandboxState state() const { return state_.load(std::memory_order_acquire); }
+  void set_state(SandboxState s) {
+    state_.store(s, std::memory_order_release);
+  }
+
+  const engine::InvokeOutcome& outcome() const { return outcome_; }
+  std::vector<uint8_t>& response() { return env_.response; }
+  int conn_fd() const { return conn_fd_; }
+  bool keep_alive() const { return keep_alive_; }
+  uint64_t wake_at_ns() const { return wake_at_ns_; }
+
+  uint64_t created_ns() const { return t_created_; }
+  uint64_t first_run_ns() const { return t_first_run_; }
+  uint64_t done_ns() const { return t_done_; }
+  uint64_t startup_cost_ns() const { return startup_cost_ns_; }
+
+  ucontext_t* context() { return &ctx_; }
+  ucontext_t* scheduler_context() { return scheduler_ctx_; }
+
+  // Opaque owner tag (the runtime stores its LoadedModule* here so workers
+  // can attribute completions without a sandbox->runtime dependency).
+  void* user_tag = nullptr;
+
+ private:
+  Sandbox() = default;
+  static void entry_trampoline(unsigned hi, unsigned lo);
+  void entry();
+
+  const engine::WasmModule* module_ = nullptr;
+  engine::WasmSandbox wasm_;
+  engine::ServerlessEnv env_;
+  engine::InvokeOutcome outcome_;
+
+  std::atomic<SandboxState> state_{SandboxState::kAllocated};
+  int conn_fd_ = -1;
+  bool keep_alive_ = false;
+
+  uint8_t* stack_base_ = nullptr;  // mmap'd; page 0 is the guard
+  size_t stack_size_ = 0;
+  int stack_guard_id_ = -1;
+  ucontext_t ctx_;
+  ucontext_t* scheduler_ctx_ = nullptr;  // valid while running
+  uint64_t wake_at_ns_ = 0;
+
+  uint64_t t_created_ = 0;
+  uint64_t t_first_run_ = 0;
+  uint64_t t_done_ = 0;
+  uint64_t startup_cost_ns_ = 0;  // memory+stack+context allocation time
+};
+
+}  // namespace sledge::runtime

@@ -1,0 +1,168 @@
+// sledged: the Sledge serverless runtime as a standalone server.
+//
+//   $ sledged config.json
+//
+// Config format (paper §4: "a JSON-based configuration file"):
+// {
+//   "port": 8080,            // 0 = pick a free port
+//   "workers": 3,
+//   "quantum_us": 5000,
+//   "preemption": true,
+//   "policy": "work_stealing",   // | "global_lock" | "per_worker"
+//   "tier": "aot",               // | "aot_o1" | "interp_fast" | "interp"
+//   "bounds": "vm_guard",        // | "software" | "mpx_sim" | "none"
+//   "modules": [
+//     {"name": "fib", "wasm": "path/to/fib.wasm"},
+//     {"name": "ekf", "minicc": "src/apps/wasm_src/ekf.mc"}
+//   ]
+// }
+//
+// Functions are served at POST /<name>. SIGINT/SIGTERM shut down cleanly.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "common/file_util.hpp"
+#include "common/json.hpp"
+#include "minicc/minicc.hpp"
+#include "sledge/runtime.hpp"
+
+using namespace sledge;
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+void on_signal(int) { g_shutdown.store(true); }
+
+Result<runtime::RuntimeConfig> parse_config(const json::Value& doc) {
+  runtime::RuntimeConfig cfg;
+  cfg.port = static_cast<uint16_t>(doc["port"].as_int(0));
+  cfg.workers = static_cast<int>(doc["workers"].as_int(3));
+  cfg.quantum_us = static_cast<uint64_t>(doc["quantum_us"].as_int(5000));
+  if (doc["preemption"].is_bool()) cfg.preemption = doc["preemption"].as_bool();
+
+  const std::string& policy = doc["policy"].as_string();
+  if (policy == "global_lock") {
+    cfg.policy = runtime::DistPolicy::kGlobalLock;
+  } else if (policy == "per_worker") {
+    cfg.policy = runtime::DistPolicy::kPerWorker;
+  } else if (policy.empty() || policy == "work_stealing") {
+    cfg.policy = runtime::DistPolicy::kWorkStealing;
+  } else {
+    return Result<runtime::RuntimeConfig>::error("unknown policy: " + policy);
+  }
+
+  const std::string& tier = doc["tier"].as_string();
+  if (tier == "interp") {
+    cfg.engine.tier = engine::Tier::kInterp;
+  } else if (tier == "interp_fast") {
+    cfg.engine.tier = engine::Tier::kInterpFast;
+  } else if (tier == "aot_o1") {
+    cfg.engine.tier = engine::Tier::kAotO0;
+  } else if (tier.empty() || tier == "aot") {
+    cfg.engine.tier = engine::Tier::kAot;
+  } else {
+    return Result<runtime::RuntimeConfig>::error("unknown tier: " + tier);
+  }
+
+  const std::string& bounds = doc["bounds"].as_string();
+  if (bounds == "software") {
+    cfg.engine.strategy = engine::BoundsStrategy::kSoftware;
+  } else if (bounds == "mpx_sim") {
+    cfg.engine.strategy = engine::BoundsStrategy::kMpxSim;
+  } else if (bounds == "none") {
+    cfg.engine.strategy = engine::BoundsStrategy::kNone;
+  } else if (bounds.empty() || bounds == "vm_guard") {
+    cfg.engine.strategy = engine::BoundsStrategy::kVmGuard;
+  } else {
+    return Result<runtime::RuntimeConfig>::error("unknown bounds: " + bounds);
+  }
+  return Result<runtime::RuntimeConfig>(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::setvbuf(stdout, nullptr, _IOLBF, 0);  // line-buffered even when piped
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: sledged <config.json>\n");
+    return 2;
+  }
+  auto text = read_file(argv[1]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.error_message().c_str());
+    return 1;
+  }
+  auto doc = json::parse(*text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.error_message().c_str());
+    return 1;
+  }
+  auto cfg = parse_config(*doc);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "%s\n", cfg.error_message().c_str());
+    return 1;
+  }
+
+  runtime::Runtime rt(*cfg);
+
+  for (const json::Value& module : (*doc)["modules"].as_array()) {
+    const std::string& name = module["name"].as_string();
+    if (name.empty()) {
+      std::fprintf(stderr, "module without a name\n");
+      return 1;
+    }
+    std::vector<uint8_t> wasm_bytes;
+    if (module["wasm"].is_string()) {
+      auto bytes = read_file(module["wasm"].as_string());
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     bytes.error_message().c_str());
+        return 1;
+      }
+      wasm_bytes.assign(bytes->begin(), bytes->end());
+    } else if (module["minicc"].is_string()) {
+      auto src = read_file(module["minicc"].as_string());
+      if (!src.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     src.error_message().c_str());
+        return 1;
+      }
+      auto wasm = minicc::compile_to_wasm(*src);
+      if (!wasm.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     wasm.error_message().c_str());
+        return 1;
+      }
+      wasm_bytes = wasm.take();
+    } else {
+      std::fprintf(stderr, "module %s needs \"wasm\" or \"minicc\"\n",
+                   name.c_str());
+      return 1;
+    }
+    Status s = rt.register_module(name, wasm_bytes);
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    std::printf("loaded /%s (%zu bytes)\n", name.c_str(), wasm_bytes.size());
+  }
+
+  Status s = rt.start();
+  if (!s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("sledged on 127.0.0.1:%u — Ctrl-C to stop\n", rt.bound_port());
+
+  ::signal(SIGINT, on_signal);
+  ::signal(SIGTERM, on_signal);
+  while (!g_shutdown.load()) ::usleep(100000);
+
+  std::printf("\n%s", rt.stats_report().c_str());
+  rt.stop();
+  return 0;
+}

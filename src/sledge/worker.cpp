@@ -1,0 +1,272 @@
+#include "sledge/worker.hpp"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "engine/trap.hpp"
+#include "http/http.hpp"
+#include "sledge/runtime.hpp"
+
+namespace sledge::runtime {
+
+namespace {
+thread_local Worker* tls_worker = nullptr;
+}
+
+// Quantum expiry: save the running sandbox's context (the paper's
+// mcontext_t save) and switch to the scheduler context. Runs on the
+// sandbox's stack; the sandbox resumes by returning from this handler.
+void worker_quantum_handler(int) {
+  Worker* w = tls_worker;
+  if (!w) return;
+  Sandbox* sb = w->current_;
+  if (!sb || sb->state() != SandboxState::kRunning) return;
+  sb->set_state(SandboxState::kRunnable);
+  w->stats_.preemptions.fetch_add(1, std::memory_order_relaxed);
+  ::swapcontext(sb->context(), &w->sched_ctx_);
+  // Resumed: returning re-enters the interrupted sandbox code.
+}
+
+namespace {
+
+void install_quantum_handler_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    sa.sa_handler = worker_quantum_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGALRM, &sa, nullptr);
+  });
+}
+
+}  // namespace
+
+Worker::Worker(Runtime* rt, int index) : rt_(rt), index_(index) {}
+
+Worker::~Worker() { join(); }
+
+void Worker::start() {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::setup_timer() {
+  struct sigevent sev;
+  std::memset(&sev, 0, sizeof(sev));
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGALRM;
+  sev._sigev_un._tid = static_cast<pid_t>(::syscall(SYS_gettid));
+  if (::timer_create(CLOCK_MONOTONIC, &sev, &timer_) == 0) {
+    timer_valid_ = true;
+  } else {
+    SLEDGE_LOG_WARN("worker %d: timer_create failed; preemption disabled",
+                    index_);
+  }
+}
+
+void Worker::arm_timer() {
+  if (!timer_valid_) return;
+  uint64_t us = rt_->config().quantum_us;
+  itimerspec its{};
+  its.it_value.tv_sec = us / 1'000'000;
+  its.it_value.tv_nsec = (us % 1'000'000) * 1000;
+  ::timer_settime(timer_, 0, &its, nullptr);
+}
+
+void Worker::disarm_timer() {
+  if (!timer_valid_) return;
+  itimerspec its{};  // zero = disarm
+  ::timer_settime(timer_, 0, &its, nullptr);
+}
+
+void Worker::thread_main() {
+  tls_worker = this;
+  engine::ensure_sigaltstack();
+
+  // The scheduler runs with SIGALRM blocked; only sandbox contexts (whose
+  // uc_sigmask unblocks it) can take the quantum signal.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGALRM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  if (rt_->config().preemption) {
+    install_quantum_handler_once();
+    setup_timer();
+  }
+
+  int idle_spins = 0;
+  while (rt_->running()) {
+    pump_timers();
+    bool wrote = pump_writes();
+
+    Sandbox* sb = next_sandbox();
+    if (!sb) {
+      if (wrote || !writes_.empty() || !sleeping_.empty()) {
+        idle_spins = 0;
+        continue;  // I/O in flight: stay hot
+      }
+      // Idle loop: back off briefly, then re-check the deque (this is where
+      // new-request dequeueing integrates with scheduling, paper §3.4).
+      if (++idle_spins > 64) {
+        ::usleep(200);
+      }
+      continue;
+    }
+    idle_spins = 0;
+    dispatch(sb);
+  }
+
+  // Drain without running: connections die with the process lifetime.
+  Sandbox* sb = nullptr;
+  while (rt_->distributor().fetch(index_, &sb)) delete sb;
+  for (Sandbox* s : runqueue_) delete s;
+  for (Sandbox* s : sleeping_) delete s;
+  for (WriteJob& w : writes_) ::close(w.fd);
+  runqueue_.clear();
+  sleeping_.clear();
+  writes_.clear();
+
+  if (timer_valid_) ::timer_delete(timer_);
+  tls_worker = nullptr;
+}
+
+Sandbox* Worker::next_sandbox() {
+  // Dequeueing of new requests is integrated into the scheduling loop
+  // (paper §3.4): admit at most one stolen request per iteration so freshly
+  // arrived short functions round-robin fairly with long-running preempted
+  // ones, while idle workers (empty runqueue) still drain the deque fast.
+  Sandbox* stolen = nullptr;
+  if (rt_->distributor().fetch(index_, &stolen)) {
+    stats_.steals.fetch_add(1, std::memory_order_relaxed);
+    runqueue_.push_back(stolen);
+  }
+  if (runqueue_.empty()) return nullptr;
+  Sandbox* sb = runqueue_.front();
+  runqueue_.pop_front();
+  return sb;
+}
+
+void Worker::dispatch(Sandbox* sb) {
+  stats_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  current_ = sb;
+  if (rt_->config().preemption) arm_timer();
+  sb->dispatch(&sched_ctx_);
+  if (rt_->config().preemption) disarm_timer();
+  current_ = nullptr;
+
+  switch (sb->state()) {
+    case SandboxState::kRunnable:  // preempted: round-robin to the tail
+      runqueue_.push_back(sb);
+      break;
+    case SandboxState::kBlocked:
+      sleeping_.push_back(sb);
+      break;
+    case SandboxState::kComplete:
+    case SandboxState::kFailed:
+      finalize(sb);
+      break;
+    default:
+      SLEDGE_LOG_ERROR("worker %d: sandbox in unexpected state", index_);
+      delete sb;
+      break;
+  }
+}
+
+void Worker::finalize(Sandbox* sb) {
+  bool ok = sb->state() == SandboxState::kComplete;
+  if (ok) {
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  rt_->record_completion(sb, ok);
+
+  if (sb->conn_fd() >= 0) {
+    std::string payload;
+    if (ok) {
+      payload = http::serialize_response(200, "OK", sb->response(),
+                                         sb->keep_alive());
+    } else {
+      std::string reason = sb->outcome().describe();
+      payload = http::serialize_response(
+          500, "Function Error",
+          std::vector<uint8_t>(reason.begin(), reason.end()),
+          sb->keep_alive());
+    }
+    writes_.push_back(WriteJob{sb->conn_fd(), std::move(payload), 0,
+                               sb->keep_alive()});
+  }
+  delete sb;
+  pump_writes();
+}
+
+void Worker::pump_timers() {
+  if (sleeping_.empty()) return;
+  uint64_t now = now_ns();
+  for (size_t i = 0; i < sleeping_.size();) {
+    if (sleeping_[i]->wake_at_ns() <= now) {
+      Sandbox* sb = sleeping_[i];
+      sb->set_state(SandboxState::kRunnable);
+      runqueue_.push_back(sb);
+      sleeping_[i] = sleeping_.back();
+      sleeping_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool Worker::pump_writes() {
+  bool progressed = false;
+  for (size_t i = 0; i < writes_.size();) {
+    WriteJob& w = writes_[i];
+    bool done = false, dead = false;
+    while (w.offset < w.data.size()) {
+      ssize_t n = ::send(w.fd, w.data.data() + w.offset,
+                         w.data.size() - w.offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        w.offset += static_cast<size_t>(n);
+        progressed = true;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      dead = true;  // peer went away
+      break;
+    }
+    if (w.offset == w.data.size()) done = true;
+
+    if (done || dead) {
+      if (done && w.keep_alive && !dead) {
+        rt_->return_connection(w.fd);
+      } else {
+        ::close(w.fd);
+      }
+      writes_[i] = std::move(writes_.back());
+      writes_.pop_back();
+      progressed = true;
+    } else {
+      ++i;
+    }
+  }
+  return progressed;
+}
+
+}  // namespace sledge::runtime

@@ -1,0 +1,76 @@
+// A Sledge worker core: local run queue, preemptive round-robin scheduling
+// over sandbox contexts, cooperative timers, and non-blocking response
+// writes (the libuv-style per-worker event loop of paper §4).
+#pragma once
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sledge/sandbox.hpp"
+
+namespace sledge::runtime {
+
+class Runtime;
+
+class Worker {
+ public:
+  Worker(Runtime* rt, int index);
+  ~Worker();
+
+  void start();
+  void join();
+
+  struct Stats {
+    std::atomic<uint64_t> dispatches{0};
+    std::atomic<uint64_t> preemptions{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> failed{0};
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend void worker_quantum_handler(int);
+
+  struct WriteJob {
+    int fd;
+    std::string data;
+    size_t offset = 0;
+    bool keep_alive = false;
+  };
+
+  void thread_main();
+  Sandbox* next_sandbox();
+  void dispatch(Sandbox* sb);
+  void finalize(Sandbox* sb);
+  void pump_timers();
+  // Returns true if any write made progress or completed.
+  bool pump_writes();
+  void setup_timer();
+  void arm_timer();
+  void disarm_timer();
+
+  Runtime* rt_;
+  int index_;
+  std::thread thread_;
+
+  ucontext_t sched_ctx_;
+  Sandbox* current_ = nullptr;
+
+  std::deque<Sandbox*> runqueue_;
+  std::vector<Sandbox*> sleeping_;
+  std::vector<WriteJob> writes_;
+
+  timer_t timer_{};
+  bool timer_valid_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace sledge::runtime

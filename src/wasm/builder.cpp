@@ -1,0 +1,250 @@
+#include "wasm/builder.hpp"
+
+#include <cassert>
+
+namespace sledge::wasm {
+namespace {
+
+// Writes `payload` as section `id` (id byte, LEB size, payload).
+void write_section(ByteWriter& out, uint8_t id, const ByteWriter& payload) {
+  out.u8(id);
+  out.u32_leb(static_cast<uint32_t>(payload.bytes.size()));
+  out.raw(payload.bytes);
+}
+
+void write_limits(ByteWriter& w, const Limits& lim) {
+  w.u8(lim.has_max ? 1 : 0);
+  w.u32_leb(lim.min);
+  if (lim.has_max) w.u32_leb(lim.max);
+}
+
+}  // namespace
+
+uint32_t ModuleBuilder::add_type(FuncType ft) {
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i] == ft) return static_cast<uint32_t>(i);
+  }
+  types_.push_back(std::move(ft));
+  return static_cast<uint32_t>(types_.size() - 1);
+}
+
+uint32_t ModuleBuilder::add_import(const std::string& module,
+                                   const std::string& field,
+                                   uint32_t type_index) {
+  assert(functions_.empty() && "imports must precede function declarations");
+  imports_.push_back({module, field, type_index});
+  return static_cast<uint32_t>(imports_.size() - 1);
+}
+
+uint32_t ModuleBuilder::declare_function(uint32_t type_index) {
+  assert(type_index < types_.size());
+  uint32_t num_params = static_cast<uint32_t>(types_[type_index].params.size());
+  functions_.push_back(FunctionBuilder(type_index, num_params));
+  return num_imports() + static_cast<uint32_t>(functions_.size()) - 1;
+}
+
+FunctionBuilder& ModuleBuilder::function(uint32_t func_index) {
+  assert(func_index >= num_imports());
+  return functions_[func_index - num_imports()];
+}
+
+void ModuleBuilder::set_memory(uint32_t min_pages,
+                               std::optional<uint32_t> max_pages) {
+  Limits lim;
+  lim.min = min_pages;
+  lim.has_max = max_pages.has_value();
+  lim.max = max_pages.value_or(0xFFFFFFFFu);
+  memory_ = lim;
+}
+
+void ModuleBuilder::set_table(uint32_t min, std::optional<uint32_t> max) {
+  Limits lim;
+  lim.min = min;
+  lim.has_max = max.has_value();
+  lim.max = max.value_or(0xFFFFFFFFu);
+  table_ = lim;
+}
+
+uint32_t ModuleBuilder::add_global(ValType type, bool mutable_,
+                                   uint64_t init_bits) {
+  globals_.push_back({type, mutable_, init_bits});
+  return static_cast<uint32_t>(globals_.size() - 1);
+}
+
+void ModuleBuilder::add_export(const std::string& name, ExternalKind kind,
+                               uint32_t index) {
+  exports_.push_back({name, kind, index});
+}
+
+void ModuleBuilder::add_element(uint32_t offset,
+                                std::vector<uint32_t> func_indices) {
+  elements_.push_back({offset, std::move(func_indices)});
+}
+
+void ModuleBuilder::add_data(uint32_t offset, std::vector<uint8_t> bytes) {
+  data_.push_back({offset, std::move(bytes)});
+}
+
+std::vector<uint8_t> ModuleBuilder::build() const {
+  ByteWriter out;
+  out.u8(0x00);
+  out.u8('a');
+  out.u8('s');
+  out.u8('m');
+  out.u8(0x01);
+  out.u8(0x00);
+  out.u8(0x00);
+  out.u8(0x00);
+
+  if (!types_.empty()) {
+    ByteWriter w;
+    w.u32_leb(static_cast<uint32_t>(types_.size()));
+    for (const FuncType& ft : types_) {
+      w.u8(0x60);
+      w.u32_leb(static_cast<uint32_t>(ft.params.size()));
+      for (ValType t : ft.params) w.u8(static_cast<uint8_t>(t));
+      w.u32_leb(static_cast<uint32_t>(ft.results.size()));
+      for (ValType t : ft.results) w.u8(static_cast<uint8_t>(t));
+    }
+    write_section(out, 1, w);
+  }
+
+  if (!imports_.empty()) {
+    ByteWriter w;
+    w.u32_leb(static_cast<uint32_t>(imports_.size()));
+    for (const PendingImport& imp : imports_) {
+      w.name(imp.module);
+      w.name(imp.field);
+      w.u8(0);  // function import
+      w.u32_leb(imp.type_index);
+    }
+    write_section(out, 2, w);
+  }
+
+  if (!functions_.empty()) {
+    ByteWriter w;
+    w.u32_leb(static_cast<uint32_t>(functions_.size()));
+    for (const FunctionBuilder& f : functions_) w.u32_leb(f.type_index_);
+    write_section(out, 3, w);
+  }
+
+  if (table_) {
+    ByteWriter w;
+    w.u32_leb(1);
+    w.u8(0x70);  // funcref
+    write_limits(w, *table_);
+    write_section(out, 4, w);
+  }
+
+  if (memory_) {
+    ByteWriter w;
+    w.u32_leb(1);
+    write_limits(w, *memory_);
+    write_section(out, 5, w);
+  }
+
+  if (!globals_.empty()) {
+    ByteWriter w;
+    w.u32_leb(static_cast<uint32_t>(globals_.size()));
+    for (const PendingGlobal& g : globals_) {
+      w.u8(static_cast<uint8_t>(g.type));
+      w.u8(g.mutable_ ? 1 : 0);
+      switch (g.type) {
+        case ValType::kI32:
+          w.u8(static_cast<uint8_t>(Op::kI32Const));
+          w.i32_leb(static_cast<int32_t>(g.init));
+          break;
+        case ValType::kI64:
+          w.u8(static_cast<uint8_t>(Op::kI64Const));
+          w.i64_leb(static_cast<int64_t>(g.init));
+          break;
+        case ValType::kF32:
+          w.u8(static_cast<uint8_t>(Op::kF32Const));
+          w.f32_bits(static_cast<uint32_t>(g.init));
+          break;
+        case ValType::kF64:
+          w.u8(static_cast<uint8_t>(Op::kF64Const));
+          w.f64_bits(g.init);
+          break;
+      }
+      w.u8(static_cast<uint8_t>(Op::kEnd));
+    }
+    write_section(out, 6, w);
+  }
+
+  if (!exports_.empty()) {
+    ByteWriter w;
+    w.u32_leb(static_cast<uint32_t>(exports_.size()));
+    for (const PendingExport& e : exports_) {
+      w.name(e.name);
+      w.u8(static_cast<uint8_t>(e.kind));
+      w.u32_leb(e.index);
+    }
+    write_section(out, 7, w);
+  }
+
+  if (start_) {
+    ByteWriter w;
+    w.u32_leb(*start_);
+    write_section(out, 8, w);
+  }
+
+  if (!elements_.empty()) {
+    ByteWriter w;
+    w.u32_leb(static_cast<uint32_t>(elements_.size()));
+    for (const PendingElement& e : elements_) {
+      w.u32_leb(0);  // table index
+      w.u8(static_cast<uint8_t>(Op::kI32Const));
+      w.i32_leb(static_cast<int32_t>(e.offset));
+      w.u8(static_cast<uint8_t>(Op::kEnd));
+      w.u32_leb(static_cast<uint32_t>(e.funcs.size()));
+      for (uint32_t f : e.funcs) w.u32_leb(f);
+    }
+    write_section(out, 9, w);
+  }
+
+  if (!functions_.empty()) {
+    ByteWriter w;
+    w.u32_leb(static_cast<uint32_t>(functions_.size()));
+    for (const FunctionBuilder& f : functions_) {
+      assert(f.depth_ == 0 && "function body must close with end()");
+      ByteWriter body;
+      // Locals are emitted as runs of identical types.
+      std::vector<std::pair<uint32_t, ValType>> groups;
+      for (ValType t : f.locals_) {
+        if (!groups.empty() && groups.back().second == t) {
+          ++groups.back().first;
+        } else {
+          groups.push_back({1, t});
+        }
+      }
+      body.u32_leb(static_cast<uint32_t>(groups.size()));
+      for (auto& [n, t] : groups) {
+        body.u32_leb(n);
+        body.u8(static_cast<uint8_t>(t));
+      }
+      body.raw(f.w_.bytes);
+      w.u32_leb(static_cast<uint32_t>(body.bytes.size()));
+      w.raw(body.bytes);
+    }
+    write_section(out, 10, w);
+  }
+
+  if (!data_.empty()) {
+    ByteWriter w;
+    w.u32_leb(static_cast<uint32_t>(data_.size()));
+    for (const PendingData& d : data_) {
+      w.u32_leb(0);  // memory index
+      w.u8(static_cast<uint8_t>(Op::kI32Const));
+      w.i32_leb(static_cast<int32_t>(d.offset));
+      w.u8(static_cast<uint8_t>(Op::kEnd));
+      w.u32_leb(static_cast<uint32_t>(d.bytes.size()));
+      w.raw(d.bytes);
+    }
+    write_section(out, 11, w);
+  }
+
+  return out.bytes;
+}
+
+}  // namespace sledge::wasm

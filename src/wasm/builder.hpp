@@ -1,0 +1,228 @@
+// Programmatic WebAssembly module construction.
+//
+// The mini-C compiler and the test suites author modules through this
+// builder; build() emits a genuine Wasm 1.0 binary which then flows through
+// the same decoder/validator path as any external module — the builder is
+// *not* a side door into the engine.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wasm/leb128.hpp"
+#include "wasm/module.hpp"
+#include "wasm/types.hpp"
+
+namespace sledge::wasm {
+
+class ModuleBuilder;
+
+// Emits the instruction stream for one function body. All emitters append
+// binary-format bytes immediately; structural correctness (balanced end)
+// is asserted at finish().
+class FunctionBuilder {
+ public:
+  // Declares an additional local of type t; returns its index (params come
+  // first in the local index space).
+  uint32_t add_local(ValType t) {
+    locals_.push_back(t);
+    return num_params_ + static_cast<uint32_t>(locals_.size()) - 1;
+  }
+
+  void emit(Op op) { w_.u8(static_cast<uint8_t>(op)); }
+
+  void block(std::optional<ValType> result = std::nullopt) {
+    emit(Op::kBlock);
+    block_type(result);
+    ++depth_;
+  }
+  void loop(std::optional<ValType> result = std::nullopt) {
+    emit(Op::kLoop);
+    block_type(result);
+    ++depth_;
+  }
+  void if_(std::optional<ValType> result = std::nullopt) {
+    emit(Op::kIf);
+    block_type(result);
+    ++depth_;
+  }
+  void else_() { emit(Op::kElse); }
+  void end() {
+    emit(Op::kEnd);
+    --depth_;
+  }
+
+  void br(uint32_t depth) {
+    emit(Op::kBr);
+    w_.u32_leb(depth);
+  }
+  void br_if(uint32_t depth) {
+    emit(Op::kBrIf);
+    w_.u32_leb(depth);
+  }
+  void br_table(const std::vector<uint32_t>& targets, uint32_t default_target) {
+    emit(Op::kBrTable);
+    w_.u32_leb(static_cast<uint32_t>(targets.size()));
+    for (uint32_t t : targets) w_.u32_leb(t);
+    w_.u32_leb(default_target);
+  }
+  void ret() { emit(Op::kReturn); }
+  void call(uint32_t func_index) {
+    emit(Op::kCall);
+    w_.u32_leb(func_index);
+  }
+  void call_indirect(uint32_t type_index) {
+    emit(Op::kCallIndirect);
+    w_.u32_leb(type_index);
+    w_.u8(0);  // reserved table index
+  }
+
+  void local_get(uint32_t i) {
+    emit(Op::kLocalGet);
+    w_.u32_leb(i);
+  }
+  void local_set(uint32_t i) {
+    emit(Op::kLocalSet);
+    w_.u32_leb(i);
+  }
+  void local_tee(uint32_t i) {
+    emit(Op::kLocalTee);
+    w_.u32_leb(i);
+  }
+  void global_get(uint32_t i) {
+    emit(Op::kGlobalGet);
+    w_.u32_leb(i);
+  }
+  void global_set(uint32_t i) {
+    emit(Op::kGlobalSet);
+    w_.u32_leb(i);
+  }
+
+  void i32_const(int32_t v) {
+    emit(Op::kI32Const);
+    w_.i32_leb(v);
+  }
+  void i64_const(int64_t v) {
+    emit(Op::kI64Const);
+    w_.i64_leb(v);
+  }
+  void f32_const(float v) {
+    emit(Op::kF32Const);
+    uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    w_.f32_bits(bits);
+  }
+  void f64_const(double v) {
+    emit(Op::kF64Const);
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    w_.f64_bits(bits);
+  }
+
+  // Memory access; align_log2 defaults to the natural alignment.
+  void mem(Op op, uint32_t offset = 0, int align_log2 = -1) {
+    emit(op);
+    uint32_t width = access_width(op);
+    uint32_t natural = width == 1 ? 0 : width == 2 ? 1 : width == 4 ? 2 : 3;
+    w_.u32_leb(align_log2 < 0 ? natural : static_cast<uint32_t>(align_log2));
+    w_.u32_leb(offset);
+  }
+  void memory_size() {
+    emit(Op::kMemorySize);
+    w_.u8(0);
+  }
+  void memory_grow() {
+    emit(Op::kMemoryGrow);
+    w_.u8(0);
+  }
+
+  int depth() const { return depth_; }
+
+ private:
+  friend class ModuleBuilder;
+  FunctionBuilder(uint32_t type_index, uint32_t num_params)
+      : type_index_(type_index), num_params_(num_params) {}
+
+  void block_type(std::optional<ValType> result) {
+    w_.u8(result ? static_cast<uint8_t>(*result) : 0x40);
+  }
+
+  uint32_t type_index_;
+  uint32_t num_params_;
+  std::vector<ValType> locals_;
+  ByteWriter w_;
+  int depth_ = 1;  // implicit function block
+};
+
+class ModuleBuilder {
+ public:
+  // Returns the index of the (possibly deduplicated) function type.
+  uint32_t add_type(FuncType ft);
+  uint32_t add_type(std::vector<ValType> params, std::vector<ValType> results) {
+    return add_type(FuncType{std::move(params), std::move(results)});
+  }
+
+  // All imports must be added before the first declare_function call.
+  uint32_t add_import(const std::string& module, const std::string& field,
+                      uint32_t type_index);
+
+  // Reserves a function index (imports + declaration order); the body is
+  // attached later via function(). Two-phase so bodies can call forward.
+  uint32_t declare_function(uint32_t type_index);
+  FunctionBuilder& function(uint32_t func_index);
+
+  void set_memory(uint32_t min_pages, std::optional<uint32_t> max_pages = {});
+  void set_table(uint32_t min, std::optional<uint32_t> max = {});
+  uint32_t add_global(ValType type, bool mutable_, uint64_t init_bits);
+  void add_export(const std::string& name, ExternalKind kind, uint32_t index);
+  void export_function(const std::string& name, uint32_t func_index) {
+    add_export(name, ExternalKind::kFunction, func_index);
+  }
+  void add_element(uint32_t offset, std::vector<uint32_t> func_indices);
+  void add_data(uint32_t offset, std::vector<uint8_t> bytes);
+  void set_start(uint32_t func_index) { start_ = func_index; }
+
+  uint32_t num_imports() const { return static_cast<uint32_t>(imports_.size()); }
+
+  std::vector<uint8_t> build() const;
+
+ private:
+  struct PendingImport {
+    std::string module, field;
+    uint32_t type_index;
+  };
+  struct PendingGlobal {
+    ValType type;
+    bool mutable_;
+    uint64_t init;
+  };
+  struct PendingExport {
+    std::string name;
+    ExternalKind kind;
+    uint32_t index;
+  };
+  struct PendingElement {
+    uint32_t offset;
+    std::vector<uint32_t> funcs;
+  };
+  struct PendingData {
+    uint32_t offset;
+    std::vector<uint8_t> bytes;
+  };
+
+  std::vector<FuncType> types_;
+  std::vector<PendingImport> imports_;
+  std::vector<FunctionBuilder> functions_;
+  std::optional<Limits> memory_;
+  std::optional<Limits> table_;
+  std::vector<PendingGlobal> globals_;
+  std::vector<PendingExport> exports_;
+  std::vector<PendingElement> elements_;
+  std::vector<PendingData> data_;
+  std::optional<uint32_t> start_;
+};
+
+}  // namespace sledge::wasm

@@ -1,0 +1,455 @@
+#include "wasm/decoder.hpp"
+
+#include <string>
+
+#include "wasm/leb128.hpp"
+
+namespace sledge::wasm {
+namespace {
+
+// Defensive ceiling on every vector count read from the binary, so a hostile
+// module cannot make us allocate unbounded memory before validation.
+constexpr uint32_t kMaxCount = 1u << 20;
+
+class Decoder {
+ public:
+  explicit Decoder(const uint8_t* data, size_t size) : r_(data, size) {}
+
+  Result<Module> run() {
+    uint8_t magic[4];
+    if (!r_.read_bytes(magic, 4) || magic[0] != 0 || magic[1] != 'a' ||
+        magic[2] != 's' || magic[3] != 'm') {
+      return err("bad magic");
+    }
+    uint8_t version[4];
+    if (!r_.read_bytes(version, 4) || version[0] != 1 || version[1] != 0 ||
+        version[2] != 0 || version[3] != 0) {
+      return err("unsupported version");
+    }
+
+    int last_section = 0;
+    while (!r_.at_end()) {
+      uint8_t id = r_.read_u8();
+      uint32_t size = r_.read_u32_leb();
+      if (!r_.ok()) return err("truncated section header");
+      if (size > r_.remaining()) return err("section size beyond end");
+      size_t section_end = r_.pos + size;
+
+      if (id != 0) {  // custom sections may appear anywhere
+        if (id <= last_section) return err("out-of-order section");
+        if (id > 11) return err("unknown section id");
+        last_section = id;
+      }
+
+      Status s = Status::ok();
+      switch (id) {
+        case 0: r_.skip(size); break;  // custom: name payload ignored
+        case 1: s = decode_types(); break;
+        case 2: s = decode_imports(); break;
+        case 3: s = decode_func_decls(); break;
+        case 4: s = decode_table(); break;
+        case 5: s = decode_memory(); break;
+        case 6: s = decode_globals(); break;
+        case 7: s = decode_exports(); break;
+        case 8: s = decode_start(); break;
+        case 9: s = decode_elements(); break;
+        case 10: s = decode_code(); break;
+        case 11: s = decode_data(); break;
+        default: return err("unreachable section id");
+      }
+      if (!s.is_ok()) return Result<Module>(s);
+      if (!r_.ok()) return err("truncated section body");
+      if (r_.pos != section_end) return err("section size mismatch");
+    }
+
+    if (m_.functions.size() != func_type_decls_.size()) {
+      return err("function and code section counts differ");
+    }
+    return Result<Module>(std::move(m_));
+  }
+
+ private:
+  Result<Module> err(const std::string& msg) {
+    return Result<Module>::error("wasm decode: " + msg + " (offset " +
+                                 std::to_string(r_.pos) + ")");
+  }
+  Status serr(const std::string& msg) {
+    return Status::error("wasm decode: " + msg + " (offset " +
+                         std::to_string(r_.pos) + ")");
+  }
+
+  Result<ValType> read_val_type() {
+    uint8_t b = r_.read_u8();
+    if (!r_.ok() || !is_val_type(b)) {
+      return Result<ValType>::error("invalid value type");
+    }
+    return Result<ValType>(static_cast<ValType>(b));
+  }
+
+  Status read_limits(Limits* out) {
+    uint8_t flags = r_.read_u8();
+    if (flags > 1) return serr("bad limits flags");
+    out->min = r_.read_u32_leb();
+    out->has_max = flags == 1;
+    out->max = out->has_max ? r_.read_u32_leb() : 0xFFFFFFFFu;
+    if (out->has_max && out->max < out->min) return serr("limits max < min");
+    return Status::ok();
+  }
+
+  Status read_name(std::string* out) {
+    uint32_t n = r_.read_u32_leb();
+    if (!r_.ok() || n > r_.remaining()) return serr("bad name length");
+    out->assign(reinterpret_cast<const char*>(r_.data + r_.pos), n);
+    r_.skip(n);
+    return Status::ok();
+  }
+
+  Status decode_types() {
+    uint32_t count = r_.read_u32_leb();
+    if (count > kMaxCount) return serr("type count too large");
+    for (uint32_t i = 0; i < count; ++i) {
+      if (r_.read_u8() != 0x60) return serr("expected functype tag 0x60");
+      FuncType ft;
+      uint32_t nparams = r_.read_u32_leb();
+      if (nparams > kMaxCount) return serr("param count too large");
+      for (uint32_t p = 0; p < nparams; ++p) {
+        auto t = read_val_type();
+        if (!t.ok()) return t.status();
+        ft.params.push_back(t.value());
+      }
+      uint32_t nresults = r_.read_u32_leb();
+      if (nresults > 1) return serr("multi-value results unsupported (MVP)");
+      for (uint32_t q = 0; q < nresults; ++q) {
+        auto t = read_val_type();
+        if (!t.ok()) return t.status();
+        ft.results.push_back(t.value());
+      }
+      m_.types.push_back(std::move(ft));
+    }
+    return Status::ok();
+  }
+
+  Status decode_imports() {
+    uint32_t count = r_.read_u32_leb();
+    if (count > kMaxCount) return serr("import count too large");
+    for (uint32_t i = 0; i < count; ++i) {
+      Import imp;
+      Status s = read_name(&imp.module);
+      if (!s.is_ok()) return s;
+      s = read_name(&imp.field);
+      if (!s.is_ok()) return s;
+      uint8_t kind = r_.read_u8();
+      if (kind != 0) {
+        // Sledge modules own their memory/table; only function imports (the
+        // runtime's host ABI) cross the sandbox boundary.
+        return serr("only function imports are supported");
+      }
+      imp.kind = ExternalKind::kFunction;
+      imp.type_index = r_.read_u32_leb();
+      if (imp.type_index >= m_.types.size()) {
+        return serr("import type index out of range");
+      }
+      m_.imports.push_back(std::move(imp));
+    }
+    return Status::ok();
+  }
+
+  Status decode_func_decls() {
+    uint32_t count = r_.read_u32_leb();
+    if (count > kMaxCount) return serr("function count too large");
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t type_index = r_.read_u32_leb();
+      if (type_index >= m_.types.size()) {
+        return serr("function type index out of range");
+      }
+      func_type_decls_.push_back(type_index);
+    }
+    return Status::ok();
+  }
+
+  Status decode_table() {
+    uint32_t count = r_.read_u32_leb();
+    if (count > 1) return serr("at most one table (MVP)");
+    if (count == 1) {
+      if (r_.read_u8() != 0x70) return serr("table element type must be funcref");
+      Limits lim;
+      Status s = read_limits(&lim);
+      if (!s.is_ok()) return s;
+      m_.table = lim;
+    }
+    return Status::ok();
+  }
+
+  Status decode_memory() {
+    uint32_t count = r_.read_u32_leb();
+    if (count > 1) return serr("at most one memory (MVP)");
+    if (count == 1) {
+      Limits lim;
+      Status s = read_limits(&lim);
+      if (!s.is_ok()) return s;
+      if (lim.min > kMaxPages || (lim.has_max && lim.max > kMaxPages)) {
+        return serr("memory limits exceed 4GiB");
+      }
+      m_.memory = lim;
+    }
+    return Status::ok();
+  }
+
+  // MVP initializer expressions: a single const instruction + end.
+  Status read_const_init(ValType expected, uint64_t* out) {
+    uint8_t op = r_.read_u8();
+    switch (static_cast<Op>(op)) {
+      case Op::kI32Const:
+        if (expected != ValType::kI32) return serr("init type mismatch");
+        *out = static_cast<uint64_t>(
+            static_cast<int64_t>(r_.read_i32_leb()));
+        break;
+      case Op::kI64Const:
+        if (expected != ValType::kI64) return serr("init type mismatch");
+        *out = static_cast<uint64_t>(r_.read_i64_leb());
+        break;
+      case Op::kF32Const:
+        if (expected != ValType::kF32) return serr("init type mismatch");
+        *out = r_.read_f32_bits();
+        break;
+      case Op::kF64Const:
+        if (expected != ValType::kF64) return serr("init type mismatch");
+        *out = r_.read_f64_bits();
+        break;
+      default:
+        return serr("unsupported initializer expression");
+    }
+    if (static_cast<Op>(r_.read_u8()) != Op::kEnd) {
+      return serr("initializer must end with 'end'");
+    }
+    return Status::ok();
+  }
+
+  Status decode_globals() {
+    uint32_t count = r_.read_u32_leb();
+    if (count > kMaxCount) return serr("global count too large");
+    for (uint32_t i = 0; i < count; ++i) {
+      GlobalDef g;
+      auto t = read_val_type();
+      if (!t.ok()) return t.status();
+      g.type = t.value();
+      uint8_t mut = r_.read_u8();
+      if (mut > 1) return serr("bad global mutability");
+      g.mutable_ = mut == 1;
+      Status s = read_const_init(g.type, &g.init_value);
+      if (!s.is_ok()) return s;
+      m_.globals.push_back(g);
+    }
+    return Status::ok();
+  }
+
+  Status decode_exports() {
+    uint32_t count = r_.read_u32_leb();
+    if (count > kMaxCount) return serr("export count too large");
+    for (uint32_t i = 0; i < count; ++i) {
+      Export e;
+      Status s = read_name(&e.name);
+      if (!s.is_ok()) return s;
+      uint8_t kind = r_.read_u8();
+      if (kind > 3) return serr("bad export kind");
+      e.kind = static_cast<ExternalKind>(kind);
+      e.index = r_.read_u32_leb();
+      m_.exports.push_back(std::move(e));
+    }
+    return Status::ok();
+  }
+
+  Status decode_start() {
+    m_.start = r_.read_u32_leb();
+    return Status::ok();
+  }
+
+  Status decode_elements() {
+    uint32_t count = r_.read_u32_leb();
+    if (count > kMaxCount) return serr("element count too large");
+    for (uint32_t i = 0; i < count; ++i) {
+      ElementSegment seg;
+      seg.table_index = r_.read_u32_leb();
+      if (seg.table_index != 0) return serr("element table index must be 0");
+      uint64_t off = 0;
+      Status s = read_const_init(ValType::kI32, &off);
+      if (!s.is_ok()) return s;
+      seg.offset = static_cast<uint32_t>(off);
+      uint32_t n = r_.read_u32_leb();
+      if (n > kMaxCount) return serr("element segment too large");
+      for (uint32_t j = 0; j < n; ++j) {
+        seg.func_indices.push_back(r_.read_u32_leb());
+      }
+      m_.elements.push_back(std::move(seg));
+    }
+    return Status::ok();
+  }
+
+  Status decode_data() {
+    uint32_t count = r_.read_u32_leb();
+    if (count > kMaxCount) return serr("data count too large");
+    for (uint32_t i = 0; i < count; ++i) {
+      DataSegment seg;
+      seg.memory_index = r_.read_u32_leb();
+      if (seg.memory_index != 0) return serr("data memory index must be 0");
+      uint64_t off = 0;
+      Status s = read_const_init(ValType::kI32, &off);
+      if (!s.is_ok()) return s;
+      seg.offset = static_cast<uint32_t>(off);
+      uint32_t n = r_.read_u32_leb();
+      if (!r_.ok() || n > r_.remaining()) return serr("data segment too large");
+      seg.bytes.assign(r_.data + r_.pos, r_.data + r_.pos + n);
+      r_.skip(n);
+      m_.data.push_back(std::move(seg));
+    }
+    return Status::ok();
+  }
+
+  Status decode_code() {
+    uint32_t count = r_.read_u32_leb();
+    if (count != func_type_decls_.size()) {
+      return serr("code count != function count");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t body_size = r_.read_u32_leb();
+      if (!r_.ok() || body_size > r_.remaining()) {
+        return serr("code body size beyond end");
+      }
+      size_t body_end = r_.pos + body_size;
+
+      FunctionBody body;
+      body.type_index = func_type_decls_[i];
+
+      uint32_t local_groups = r_.read_u32_leb();
+      if (local_groups > kMaxCount) return serr("too many local groups");
+      uint64_t total_locals = 0;
+      for (uint32_t g = 0; g < local_groups; ++g) {
+        uint32_t n = r_.read_u32_leb();
+        auto t = read_val_type();
+        if (!t.ok()) return t.status();
+        total_locals += n;
+        if (total_locals > 65536) return serr("too many locals");
+        body.locals.insert(body.locals.end(), n, t.value());
+      }
+
+      Status s = decode_expr(&body.code, body_end);
+      if (!s.is_ok()) return s;
+      if (r_.pos != body_end) return serr("code body size mismatch");
+      m_.functions.push_back(std::move(body));
+    }
+    return Status::ok();
+  }
+
+  // Decodes instructions until the `end` matching the implicit function
+  // block. Nesting is tracked structurally; type checking happens later.
+  Status decode_expr(std::vector<Instr>* out, size_t limit) {
+    int depth = 1;
+    while (true) {
+      if (r_.pos >= limit) return serr("unterminated expression");
+      Instr ins;
+      uint8_t opb = r_.read_u8();
+      if (!r_.ok()) return serr("truncated opcode");
+      if (!is_known_opcode(opb)) {
+        return serr("unknown opcode 0x" + hex(opb));
+      }
+      ins.op = static_cast<Op>(opb);
+
+      switch (imm_kind(ins.op)) {
+        case ImmKind::kNone:
+          break;
+        case ImmKind::kBlockType: {
+          uint8_t bt = r_.read_u8();
+          if (bt != 0x40 && !is_val_type(bt)) return serr("bad block type");
+          ins.block_type = bt;
+          break;
+        }
+        case ImmKind::kLabel:
+          ins.a = r_.read_u32_leb();
+          break;
+        case ImmKind::kBrTable: {
+          uint32_t n = r_.read_u32_leb();
+          if (n > kMaxCount) return serr("br_table too large");
+          std::vector<uint32_t> targets(n + 1);
+          for (uint32_t j = 0; j < n; ++j) targets[j] = r_.read_u32_leb();
+          targets[n] = r_.read_u32_leb();  // default target last
+          ins.b = static_cast<uint32_t>(m_.br_tables.size());
+          m_.br_tables.push_back(std::move(targets));
+          break;
+        }
+        case ImmKind::kFuncIdx:
+        case ImmKind::kLocalIdx:
+        case ImmKind::kGlobalIdx:
+          ins.a = r_.read_u32_leb();
+          break;
+        case ImmKind::kTypeIdxTableIdx:
+          ins.a = r_.read_u32_leb();
+          if (r_.read_u8() != 0) return serr("call_indirect reserved byte");
+          break;
+        case ImmKind::kMemArg: {
+          ins.a = r_.read_u32_leb();  // log2(alignment)
+          ins.b = r_.read_u32_leb();  // offset
+          uint32_t width = access_width(ins.op);
+          uint32_t natural = width == 1 ? 0 : width == 2 ? 1 : width == 4 ? 2 : 3;
+          if (ins.a > natural) return serr("alignment exceeds natural");
+          break;
+        }
+        case ImmKind::kMemIdx:
+          if (r_.read_u8() != 0) return serr("memory index reserved byte");
+          break;
+        case ImmKind::kI32Const:
+          ins.imm = static_cast<uint64_t>(
+              static_cast<int64_t>(r_.read_i32_leb()));
+          break;
+        case ImmKind::kI64Const:
+          ins.imm = static_cast<uint64_t>(r_.read_i64_leb());
+          break;
+        case ImmKind::kF32Const:
+          ins.imm = r_.read_f32_bits();
+          break;
+        case ImmKind::kF64Const:
+          ins.imm = r_.read_f64_bits();
+          break;
+      }
+      if (!r_.ok()) return serr("truncated immediate");
+
+      if (ins.op == Op::kBlock || ins.op == Op::kLoop || ins.op == Op::kIf) {
+        ++depth;
+      } else if (ins.op == Op::kEnd) {
+        --depth;
+      }
+      out->push_back(ins);
+      if (depth == 0) return Status::ok();
+    }
+  }
+
+  static bool is_known_opcode(uint8_t b) {
+    if (b <= 0x11) {
+      return b <= 0x05 || b == 0x0B || (b >= 0x0C && b <= 0x11);
+    }
+    if (b == 0x1A || b == 0x1B) return true;
+    if (b >= 0x20 && b <= 0x24) return true;
+    if (b >= 0x28 && b <= 0xC4) return true;
+    return false;
+  }
+
+  static std::string hex(uint8_t b) {
+    const char* digits = "0123456789abcdef";
+    return std::string{digits[b >> 4], digits[b & 0xF]};
+  }
+
+  ByteReader r_;
+  Module m_;
+  std::vector<uint32_t> func_type_decls_;
+};
+
+}  // namespace
+
+Result<Module> decode(const uint8_t* data, size_t size) {
+  return Decoder(data, size).run();
+}
+
+Result<Module> decode(const std::vector<uint8_t>& bytes) {
+  return decode(bytes.data(), bytes.size());
+}
+
+}  // namespace sledge::wasm

@@ -1,0 +1,20 @@
+// WebAssembly binary decoder (Wasm 1.0 + sign-extension ops).
+//
+// Produces a Module with fully decoded instruction streams. Structural
+// malformations (bad magic, truncated sections, unknown opcodes, over-long
+// LEBs, misaligned memargs) are rejected here; *type* errors are the
+// validator's job.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "wasm/module.hpp"
+
+namespace sledge::wasm {
+
+Result<Module> decode(const std::vector<uint8_t>& bytes);
+Result<Module> decode(const uint8_t* data, size_t size);
+
+}  // namespace sledge::wasm

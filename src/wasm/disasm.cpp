@@ -1,0 +1,180 @@
+#include "wasm/disasm.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace sledge::wasm {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::string type_use(const FuncType& ft) {
+  std::string s;
+  if (!ft.params.empty()) {
+    s += " (param";
+    for (ValType t : ft.params) s += std::string(" ") + to_string(t);
+    s += ")";
+  }
+  if (!ft.results.empty()) {
+    s += " (result";
+    for (ValType t : ft.results) s += std::string(" ") + to_string(t);
+    s += ")";
+  }
+  return s;
+}
+
+std::string block_suffix(const Instr& ins) {
+  if (ins.block_type == 0x40) return "";
+  return std::string(" (result ") +
+         to_string(static_cast<ValType>(ins.block_type)) + ")";
+}
+
+void disasm_body(const Module& m, const FunctionBody& body, std::string* out) {
+  int indent = 2;
+  auto pad = [&] { out->append(static_cast<size_t>(indent) * 2, ' '); };
+
+  for (size_t i = 0; i < body.code.size(); ++i) {
+    const Instr& ins = body.code[i];
+    if (ins.op == Op::kEnd || ins.op == Op::kElse) {
+      if (indent > 1) --indent;
+    }
+    if (ins.op == Op::kEnd && i + 1 == body.code.size()) break;  // func end
+    pad();
+    switch (imm_kind(ins.op)) {
+      case ImmKind::kNone:
+        *out += op_name(ins.op);
+        break;
+      case ImmKind::kBlockType:
+        *out += std::string(op_name(ins.op)) + block_suffix(ins);
+        break;
+      case ImmKind::kLabel:
+      case ImmKind::kFuncIdx:
+      case ImmKind::kLocalIdx:
+      case ImmKind::kGlobalIdx:
+        *out += fmt("%s %u", op_name(ins.op), ins.a);
+        break;
+      case ImmKind::kTypeIdxTableIdx:
+        *out += fmt("%s (type %u)", op_name(ins.op), ins.a);
+        break;
+      case ImmKind::kBrTable: {
+        *out += op_name(ins.op);
+        const std::vector<uint32_t>& targets = m.br_tables[ins.b];
+        for (uint32_t t : targets) *out += fmt(" %u", t);
+        break;
+      }
+      case ImmKind::kMemArg:
+        if (ins.b) {
+          *out += fmt("%s offset=%u", op_name(ins.op), ins.b);
+        } else {
+          *out += op_name(ins.op);
+        }
+        break;
+      case ImmKind::kMemIdx:
+        *out += op_name(ins.op);
+        break;
+      case ImmKind::kI32Const:
+        *out += fmt("i32.const %d", ins.imm_i32());
+        break;
+      case ImmKind::kI64Const:
+        *out += fmt("i64.const %" PRId64, ins.imm_i64());
+        break;
+      case ImmKind::kF32Const: {
+        float v;
+        uint32_t bits = ins.f32_bits();
+        std::memcpy(&v, &bits, 4);
+        *out += fmt("f32.const %g", static_cast<double>(v));
+        break;
+      }
+      case ImmKind::kF64Const: {
+        double v;
+        uint64_t bits = ins.f64_bits();
+        std::memcpy(&v, &bits, 8);
+        *out += fmt("f64.const %g", v);
+        break;
+      }
+    }
+    *out += "\n";
+    if (ins.op == Op::kBlock || ins.op == Op::kLoop || ins.op == Op::kIf ||
+        ins.op == Op::kElse) {
+      ++indent;
+    }
+  }
+}
+
+}  // namespace
+
+std::string disassemble_function(const Module& m, uint32_t func_index) {
+  std::string out;
+  const FuncType& ft = m.func_type(func_index);
+  if (m.is_imported(func_index)) {
+    const Import& imp = m.imports[func_index];
+    out += fmt("  (import \"%s\" \"%s\" (func $f%u%s))\n", imp.module.c_str(),
+               imp.field.c_str(), func_index, type_use(ft).c_str());
+    return out;
+  }
+  const FunctionBody& body = m.functions[func_index - m.num_imported_funcs()];
+  out += fmt("  (func $f%u%s", func_index, type_use(ft).c_str());
+  if (!body.locals.empty()) {
+    out += " (local";
+    for (ValType t : body.locals) out += std::string(" ") + to_string(t);
+    out += ")";
+  }
+  out += "\n";
+  disasm_body(m, body, &out);
+  out += "  )\n";
+  return out;
+}
+
+std::string disassemble(const Module& m) {
+  std::string out = "(module\n";
+
+  if (m.memory) {
+    out += fmt("  (memory %u", m.memory->min);
+    if (m.memory->has_max) out += fmt(" %u", m.memory->max);
+    out += ")\n";
+  }
+  if (m.table) {
+    out += fmt("  (table %u", m.table->min);
+    if (m.table->has_max) out += fmt(" %u", m.table->max);
+    out += " funcref)\n";
+  }
+  for (size_t i = 0; i < m.globals.size(); ++i) {
+    const GlobalDef& g = m.globals[i];
+    out += fmt("  (global $g%zu %s%s%s)\n", i, g.mutable_ ? "(mut " : "",
+               to_string(g.type), g.mutable_ ? ")" : "");
+  }
+  for (uint32_t i = 0; i < m.num_funcs(); ++i) {
+    out += disassemble_function(m, i);
+  }
+  for (const ElementSegment& seg : m.elements) {
+    out += fmt("  (elem (i32.const %u)", seg.offset);
+    for (uint32_t f : seg.func_indices) out += fmt(" $f%u", f);
+    out += ")\n";
+  }
+  for (const DataSegment& seg : m.data) {
+    out += fmt("  (data (i32.const %u) ;; %zu bytes\n  )\n", seg.offset,
+               seg.bytes.size());
+  }
+  for (const Export& e : m.exports) {
+    const char* kind = e.kind == ExternalKind::kFunction ? "func"
+                       : e.kind == ExternalKind::kMemory ? "memory"
+                       : e.kind == ExternalKind::kTable  ? "table"
+                                                         : "global";
+    out += fmt("  (export \"%s\" (%s %u))\n", e.name.c_str(), kind, e.index);
+  }
+  if (m.start) out += fmt("  (start $f%u)\n", *m.start);
+  out += ")\n";
+  return out;
+}
+
+}  // namespace sledge::wasm

@@ -1,0 +1,20 @@
+// WebAssembly text-format (WAT-flavored) disassembler for decoded modules.
+// Used by the `minicc --dump-wat` tool flag, by tests asserting on generated
+// code shape, and for debugging workloads by hand.
+#pragma once
+
+#include <string>
+
+#include "wasm/module.hpp"
+
+namespace sledge::wasm {
+
+// Renders the whole module in a folded, WAT-like syntax. Output is for
+// humans and tests; it is not guaranteed to round-trip through a WAT parser.
+std::string disassemble(const Module& module);
+
+// Renders a single function body (joint index space; imports render as
+// their declaration).
+std::string disassemble_function(const Module& module, uint32_t func_index);
+
+}  // namespace sledge::wasm

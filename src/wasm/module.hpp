@@ -1,0 +1,126 @@
+// In-memory representation of a decoded WebAssembly module.
+//
+// The decoder turns the binary into this structure; the validator type-checks
+// it; the interpreter tiers execute the decoded instruction stream; the
+// AoT translator lowers it to C. Function bodies are stored as a flat
+// vector<Instr> with immediates already decoded — branch *targets* are
+// resolved later (engine/predecode) because the slow interpreter tier
+// deliberately resolves them dynamically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wasm/types.hpp"
+
+namespace sledge::wasm {
+
+// One decoded instruction. Immediates:
+//   a: label depth / func idx / type idx / local idx / global idx / align
+//   b: memarg offset / br_table pool index
+//   imm: i32/i64 const (sign-extended) or f32/f64 bit pattern
+struct Instr {
+  Op op;
+  uint8_t block_type = 0x40;  // for block/loop/if: 0x40 or a ValType byte
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint64_t imm = 0;
+
+  int32_t imm_i32() const { return static_cast<int32_t>(imm); }
+  int64_t imm_i64() const { return static_cast<int64_t>(imm); }
+  uint32_t f32_bits() const { return static_cast<uint32_t>(imm); }
+  uint64_t f64_bits() const { return imm; }
+};
+
+enum class ExternalKind : uint8_t {
+  kFunction = 0,
+  kTable = 1,
+  kMemory = 2,
+  kGlobal = 3,
+};
+
+struct Import {
+  std::string module;
+  std::string field;
+  ExternalKind kind = ExternalKind::kFunction;
+  uint32_t type_index = 0;  // for function imports
+};
+
+struct Export {
+  std::string name;
+  ExternalKind kind = ExternalKind::kFunction;
+  uint32_t index = 0;
+};
+
+struct GlobalDef {
+  ValType type = ValType::kI32;
+  bool mutable_ = false;
+  // MVP global initializers are a single const instruction.
+  uint64_t init_value = 0;  // bit pattern for the declared type
+};
+
+struct ElementSegment {
+  uint32_t table_index = 0;
+  uint32_t offset = 0;  // const-evaluated offset
+  std::vector<uint32_t> func_indices;
+};
+
+struct DataSegment {
+  uint32_t memory_index = 0;
+  uint32_t offset = 0;  // const-evaluated offset
+  std::vector<uint8_t> bytes;
+};
+
+struct FunctionBody {
+  uint32_t type_index = 0;
+  // Expanded local declarations (params NOT included).
+  std::vector<ValType> locals;
+  std::vector<Instr> code;  // terminated by the function's final kEnd
+};
+
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;          // function imports only (MVP subset)
+  std::vector<FunctionBody> functions;  // defined functions
+  std::optional<Limits> table;          // funcref table
+  std::optional<Limits> memory;         // limits in 64KiB pages
+  std::vector<GlobalDef> globals;
+  std::vector<Export> exports;
+  std::optional<uint32_t> start;
+  std::vector<ElementSegment> elements;
+  std::vector<DataSegment> data;
+  // Pool of br_table target lists; Instr.b indexes into this.
+  std::vector<std::vector<uint32_t>> br_tables;
+
+  uint32_t num_imported_funcs() const {
+    return static_cast<uint32_t>(imports.size());
+  }
+  uint32_t num_funcs() const {
+    return num_imported_funcs() + static_cast<uint32_t>(functions.size());
+  }
+  // Type of function `idx` in the joint (imports ++ defined) index space.
+  const FuncType& func_type(uint32_t idx) const {
+    if (idx < imports.size()) return types[imports[idx].type_index];
+    return types[functions[idx - imports.size()].type_index];
+  }
+  bool is_imported(uint32_t idx) const { return idx < imports.size(); }
+
+  const Export* find_export(const std::string& name, ExternalKind kind) const {
+    for (const Export& e : exports) {
+      if (e.kind == kind && e.name == name) return &e;
+    }
+    return nullptr;
+  }
+
+  // Total linear-memory size in bytes implied by the minimum page count.
+  uint64_t initial_memory_bytes() const {
+    return memory ? static_cast<uint64_t>(memory->min) * 65536ull : 0;
+  }
+};
+
+constexpr uint32_t kPageSize = 65536;
+constexpr uint32_t kMaxPages = 65536;  // 4 GiB
+
+}  // namespace sledge::wasm

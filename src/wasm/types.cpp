@@ -1,0 +1,278 @@
+#include "wasm/types.hpp"
+
+namespace sledge::wasm {
+
+std::string FuncType::to_string() const {
+  std::string s = "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i) s += ", ";
+    s += sledge::wasm::to_string(params[i]);
+  }
+  s += ") -> (";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i) s += ", ";
+    s += sledge::wasm::to_string(results[i]);
+  }
+  s += ")";
+  return s;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kUnreachable: return "unreachable";
+    case Op::kNop: return "nop";
+    case Op::kBlock: return "block";
+    case Op::kLoop: return "loop";
+    case Op::kIf: return "if";
+    case Op::kElse: return "else";
+    case Op::kEnd: return "end";
+    case Op::kBr: return "br";
+    case Op::kBrIf: return "br_if";
+    case Op::kBrTable: return "br_table";
+    case Op::kReturn: return "return";
+    case Op::kCall: return "call";
+    case Op::kCallIndirect: return "call_indirect";
+    case Op::kDrop: return "drop";
+    case Op::kSelect: return "select";
+    case Op::kLocalGet: return "local.get";
+    case Op::kLocalSet: return "local.set";
+    case Op::kLocalTee: return "local.tee";
+    case Op::kGlobalGet: return "global.get";
+    case Op::kGlobalSet: return "global.set";
+    case Op::kI32Load: return "i32.load";
+    case Op::kI64Load: return "i64.load";
+    case Op::kF32Load: return "f32.load";
+    case Op::kF64Load: return "f64.load";
+    case Op::kI32Load8S: return "i32.load8_s";
+    case Op::kI32Load8U: return "i32.load8_u";
+    case Op::kI32Load16S: return "i32.load16_s";
+    case Op::kI32Load16U: return "i32.load16_u";
+    case Op::kI64Load8S: return "i64.load8_s";
+    case Op::kI64Load8U: return "i64.load8_u";
+    case Op::kI64Load16S: return "i64.load16_s";
+    case Op::kI64Load16U: return "i64.load16_u";
+    case Op::kI64Load32S: return "i64.load32_s";
+    case Op::kI64Load32U: return "i64.load32_u";
+    case Op::kI32Store: return "i32.store";
+    case Op::kI64Store: return "i64.store";
+    case Op::kF32Store: return "f32.store";
+    case Op::kF64Store: return "f64.store";
+    case Op::kI32Store8: return "i32.store8";
+    case Op::kI32Store16: return "i32.store16";
+    case Op::kI64Store8: return "i64.store8";
+    case Op::kI64Store16: return "i64.store16";
+    case Op::kI64Store32: return "i64.store32";
+    case Op::kMemorySize: return "memory.size";
+    case Op::kMemoryGrow: return "memory.grow";
+    case Op::kI32Const: return "i32.const";
+    case Op::kI64Const: return "i64.const";
+    case Op::kF32Const: return "f32.const";
+    case Op::kF64Const: return "f64.const";
+    case Op::kI32Eqz: return "i32.eqz";
+    case Op::kI32Eq: return "i32.eq";
+    case Op::kI32Ne: return "i32.ne";
+    case Op::kI32LtS: return "i32.lt_s";
+    case Op::kI32LtU: return "i32.lt_u";
+    case Op::kI32GtS: return "i32.gt_s";
+    case Op::kI32GtU: return "i32.gt_u";
+    case Op::kI32LeS: return "i32.le_s";
+    case Op::kI32LeU: return "i32.le_u";
+    case Op::kI32GeS: return "i32.ge_s";
+    case Op::kI32GeU: return "i32.ge_u";
+    case Op::kI64Eqz: return "i64.eqz";
+    case Op::kI64Eq: return "i64.eq";
+    case Op::kI64Ne: return "i64.ne";
+    case Op::kI64LtS: return "i64.lt_s";
+    case Op::kI64LtU: return "i64.lt_u";
+    case Op::kI64GtS: return "i64.gt_s";
+    case Op::kI64GtU: return "i64.gt_u";
+    case Op::kI64LeS: return "i64.le_s";
+    case Op::kI64LeU: return "i64.le_u";
+    case Op::kI64GeS: return "i64.ge_s";
+    case Op::kI64GeU: return "i64.ge_u";
+    case Op::kF32Eq: return "f32.eq";
+    case Op::kF32Ne: return "f32.ne";
+    case Op::kF32Lt: return "f32.lt";
+    case Op::kF32Gt: return "f32.gt";
+    case Op::kF32Le: return "f32.le";
+    case Op::kF32Ge: return "f32.ge";
+    case Op::kF64Eq: return "f64.eq";
+    case Op::kF64Ne: return "f64.ne";
+    case Op::kF64Lt: return "f64.lt";
+    case Op::kF64Gt: return "f64.gt";
+    case Op::kF64Le: return "f64.le";
+    case Op::kF64Ge: return "f64.ge";
+    case Op::kI32Clz: return "i32.clz";
+    case Op::kI32Ctz: return "i32.ctz";
+    case Op::kI32Popcnt: return "i32.popcnt";
+    case Op::kI32Add: return "i32.add";
+    case Op::kI32Sub: return "i32.sub";
+    case Op::kI32Mul: return "i32.mul";
+    case Op::kI32DivS: return "i32.div_s";
+    case Op::kI32DivU: return "i32.div_u";
+    case Op::kI32RemS: return "i32.rem_s";
+    case Op::kI32RemU: return "i32.rem_u";
+    case Op::kI32And: return "i32.and";
+    case Op::kI32Or: return "i32.or";
+    case Op::kI32Xor: return "i32.xor";
+    case Op::kI32Shl: return "i32.shl";
+    case Op::kI32ShrS: return "i32.shr_s";
+    case Op::kI32ShrU: return "i32.shr_u";
+    case Op::kI32Rotl: return "i32.rotl";
+    case Op::kI32Rotr: return "i32.rotr";
+    case Op::kI64Clz: return "i64.clz";
+    case Op::kI64Ctz: return "i64.ctz";
+    case Op::kI64Popcnt: return "i64.popcnt";
+    case Op::kI64Add: return "i64.add";
+    case Op::kI64Sub: return "i64.sub";
+    case Op::kI64Mul: return "i64.mul";
+    case Op::kI64DivS: return "i64.div_s";
+    case Op::kI64DivU: return "i64.div_u";
+    case Op::kI64RemS: return "i64.rem_s";
+    case Op::kI64RemU: return "i64.rem_u";
+    case Op::kI64And: return "i64.and";
+    case Op::kI64Or: return "i64.or";
+    case Op::kI64Xor: return "i64.xor";
+    case Op::kI64Shl: return "i64.shl";
+    case Op::kI64ShrS: return "i64.shr_s";
+    case Op::kI64ShrU: return "i64.shr_u";
+    case Op::kI64Rotl: return "i64.rotl";
+    case Op::kI64Rotr: return "i64.rotr";
+    case Op::kF32Abs: return "f32.abs";
+    case Op::kF32Neg: return "f32.neg";
+    case Op::kF32Ceil: return "f32.ceil";
+    case Op::kF32Floor: return "f32.floor";
+    case Op::kF32Trunc: return "f32.trunc";
+    case Op::kF32Nearest: return "f32.nearest";
+    case Op::kF32Sqrt: return "f32.sqrt";
+    case Op::kF32Add: return "f32.add";
+    case Op::kF32Sub: return "f32.sub";
+    case Op::kF32Mul: return "f32.mul";
+    case Op::kF32Div: return "f32.div";
+    case Op::kF32Min: return "f32.min";
+    case Op::kF32Max: return "f32.max";
+    case Op::kF32Copysign: return "f32.copysign";
+    case Op::kF64Abs: return "f64.abs";
+    case Op::kF64Neg: return "f64.neg";
+    case Op::kF64Ceil: return "f64.ceil";
+    case Op::kF64Floor: return "f64.floor";
+    case Op::kF64Trunc: return "f64.trunc";
+    case Op::kF64Nearest: return "f64.nearest";
+    case Op::kF64Sqrt: return "f64.sqrt";
+    case Op::kF64Add: return "f64.add";
+    case Op::kF64Sub: return "f64.sub";
+    case Op::kF64Mul: return "f64.mul";
+    case Op::kF64Div: return "f64.div";
+    case Op::kF64Min: return "f64.min";
+    case Op::kF64Max: return "f64.max";
+    case Op::kF64Copysign: return "f64.copysign";
+    case Op::kI32WrapI64: return "i32.wrap_i64";
+    case Op::kI32TruncF32S: return "i32.trunc_f32_s";
+    case Op::kI32TruncF32U: return "i32.trunc_f32_u";
+    case Op::kI32TruncF64S: return "i32.trunc_f64_s";
+    case Op::kI32TruncF64U: return "i32.trunc_f64_u";
+    case Op::kI64ExtendI32S: return "i64.extend_i32_s";
+    case Op::kI64ExtendI32U: return "i64.extend_i32_u";
+    case Op::kI64TruncF32S: return "i64.trunc_f32_s";
+    case Op::kI64TruncF32U: return "i64.trunc_f32_u";
+    case Op::kI64TruncF64S: return "i64.trunc_f64_s";
+    case Op::kI64TruncF64U: return "i64.trunc_f64_u";
+    case Op::kF32ConvertI32S: return "f32.convert_i32_s";
+    case Op::kF32ConvertI32U: return "f32.convert_i32_u";
+    case Op::kF32ConvertI64S: return "f32.convert_i64_s";
+    case Op::kF32ConvertI64U: return "f32.convert_i64_u";
+    case Op::kF32DemoteF64: return "f32.demote_f64";
+    case Op::kF64ConvertI32S: return "f64.convert_i32_s";
+    case Op::kF64ConvertI32U: return "f64.convert_i32_u";
+    case Op::kF64ConvertI64S: return "f64.convert_i64_s";
+    case Op::kF64ConvertI64U: return "f64.convert_i64_u";
+    case Op::kF64PromoteF32: return "f64.promote_f32";
+    case Op::kI32ReinterpretF32: return "i32.reinterpret_f32";
+    case Op::kI64ReinterpretF64: return "i64.reinterpret_f64";
+    case Op::kF32ReinterpretI32: return "f32.reinterpret_i32";
+    case Op::kF64ReinterpretI64: return "f64.reinterpret_i64";
+    case Op::kI32Extend8S: return "i32.extend8_s";
+    case Op::kI32Extend16S: return "i32.extend16_s";
+    case Op::kI64Extend8S: return "i64.extend8_s";
+    case Op::kI64Extend16S: return "i64.extend16_s";
+    case Op::kI64Extend32S: return "i64.extend32_s";
+  }
+  return "<invalid>";
+}
+
+ImmKind imm_kind(Op op) {
+  switch (op) {
+    case Op::kBlock:
+    case Op::kLoop:
+    case Op::kIf:
+      return ImmKind::kBlockType;
+    case Op::kBr:
+    case Op::kBrIf:
+      return ImmKind::kLabel;
+    case Op::kBrTable:
+      return ImmKind::kBrTable;
+    case Op::kCall:
+      return ImmKind::kFuncIdx;
+    case Op::kCallIndirect:
+      return ImmKind::kTypeIdxTableIdx;
+    case Op::kLocalGet:
+    case Op::kLocalSet:
+    case Op::kLocalTee:
+      return ImmKind::kLocalIdx;
+    case Op::kGlobalGet:
+    case Op::kGlobalSet:
+      return ImmKind::kGlobalIdx;
+    case Op::kMemorySize:
+    case Op::kMemoryGrow:
+      return ImmKind::kMemIdx;
+    case Op::kI32Const:
+      return ImmKind::kI32Const;
+    case Op::kI64Const:
+      return ImmKind::kI64Const;
+    case Op::kF32Const:
+      return ImmKind::kF32Const;
+    case Op::kF64Const:
+      return ImmKind::kF64Const;
+    default:
+      break;
+  }
+  uint8_t b = static_cast<uint8_t>(op);
+  if (b >= 0x28 && b <= 0x3E) return ImmKind::kMemArg;
+  return ImmKind::kNone;
+}
+
+uint32_t access_width(Op op) {
+  switch (op) {
+    case Op::kI32Load8S:
+    case Op::kI32Load8U:
+    case Op::kI64Load8S:
+    case Op::kI64Load8U:
+    case Op::kI32Store8:
+    case Op::kI64Store8:
+      return 1;
+    case Op::kI32Load16S:
+    case Op::kI32Load16U:
+    case Op::kI64Load16S:
+    case Op::kI64Load16U:
+    case Op::kI32Store16:
+    case Op::kI64Store16:
+      return 2;
+    case Op::kI32Load:
+    case Op::kF32Load:
+    case Op::kI64Load32S:
+    case Op::kI64Load32U:
+    case Op::kI32Store:
+    case Op::kF32Store:
+    case Op::kI64Store32:
+      return 4;
+    case Op::kI64Load:
+    case Op::kF64Load:
+    case Op::kI64Store:
+    case Op::kF64Store:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace sledge::wasm

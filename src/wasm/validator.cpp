@@ -1,0 +1,521 @@
+#include "wasm/validator.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sledge::wasm {
+namespace {
+
+// A value-stack slot: a concrete type or "unknown" (bottom) in unreachable
+// code, per the spec's validation algorithm.
+struct StackType {
+  bool unknown = false;
+  ValType type = ValType::kI32;
+};
+
+struct ControlFrame {
+  Op opcode = Op::kBlock;
+  std::optional<ValType> result;  // block result type (MVP: 0 or 1)
+  size_t height = 0;              // value-stack height at entry
+  bool unreachable = false;
+};
+
+// Signature of a "simple" numeric/parametric instruction: up to two operand
+// types and an optional result.
+struct SimpleSig {
+  int nargs = 0;
+  ValType args[2] = {ValType::kI32, ValType::kI32};
+  std::optional<ValType> result;
+};
+
+bool simple_sig(Op op, SimpleSig* sig) {
+  using V = ValType;
+  auto make = [sig](std::initializer_list<V> in, std::optional<V> out) {
+    sig->nargs = static_cast<int>(in.size());
+    int i = 0;
+    for (V v : in) sig->args[i++] = v;
+    sig->result = out;
+    return true;
+  };
+  uint8_t b = static_cast<uint8_t>(op);
+  // i32 test/compare
+  if (op == Op::kI32Eqz) return make({V::kI32}, V::kI32);
+  if (b >= 0x46 && b <= 0x4F) return make({V::kI32, V::kI32}, V::kI32);
+  if (op == Op::kI64Eqz) return make({V::kI64}, V::kI32);
+  if (b >= 0x51 && b <= 0x5A) return make({V::kI64, V::kI64}, V::kI32);
+  if (b >= 0x5B && b <= 0x60) return make({V::kF32, V::kF32}, V::kI32);
+  if (b >= 0x61 && b <= 0x66) return make({V::kF64, V::kF64}, V::kI32);
+  // numeric
+  if (b >= 0x67 && b <= 0x69) return make({V::kI32}, V::kI32);
+  if (b >= 0x6A && b <= 0x78) return make({V::kI32, V::kI32}, V::kI32);
+  if (b >= 0x79 && b <= 0x7B) return make({V::kI64}, V::kI64);
+  if (b >= 0x7C && b <= 0x8A) return make({V::kI64, V::kI64}, V::kI64);
+  if (b >= 0x8B && b <= 0x91) return make({V::kF32}, V::kF32);
+  if (b >= 0x92 && b <= 0x98) return make({V::kF32, V::kF32}, V::kF32);
+  if (b >= 0x99 && b <= 0x9F) return make({V::kF64}, V::kF64);
+  if (b >= 0xA0 && b <= 0xA6) return make({V::kF64, V::kF64}, V::kF64);
+  // conversions
+  switch (op) {
+    case Op::kI32WrapI64: return make({V::kI64}, V::kI32);
+    case Op::kI32TruncF32S:
+    case Op::kI32TruncF32U: return make({V::kF32}, V::kI32);
+    case Op::kI32TruncF64S:
+    case Op::kI32TruncF64U: return make({V::kF64}, V::kI32);
+    case Op::kI64ExtendI32S:
+    case Op::kI64ExtendI32U: return make({V::kI32}, V::kI64);
+    case Op::kI64TruncF32S:
+    case Op::kI64TruncF32U: return make({V::kF32}, V::kI64);
+    case Op::kI64TruncF64S:
+    case Op::kI64TruncF64U: return make({V::kF64}, V::kI64);
+    case Op::kF32ConvertI32S:
+    case Op::kF32ConvertI32U: return make({V::kI32}, V::kF32);
+    case Op::kF32ConvertI64S:
+    case Op::kF32ConvertI64U: return make({V::kI64}, V::kF32);
+    case Op::kF32DemoteF64: return make({V::kF64}, V::kF32);
+    case Op::kF64ConvertI32S:
+    case Op::kF64ConvertI32U: return make({V::kI32}, V::kF64);
+    case Op::kF64ConvertI64S:
+    case Op::kF64ConvertI64U: return make({V::kI64}, V::kF64);
+    case Op::kF64PromoteF32: return make({V::kF32}, V::kF64);
+    case Op::kI32ReinterpretF32: return make({V::kF32}, V::kI32);
+    case Op::kI64ReinterpretF64: return make({V::kF64}, V::kI64);
+    case Op::kF32ReinterpretI32: return make({V::kI32}, V::kF32);
+    case Op::kF64ReinterpretI64: return make({V::kI64}, V::kF64);
+    case Op::kI32Extend8S:
+    case Op::kI32Extend16S: return make({V::kI32}, V::kI32);
+    case Op::kI64Extend8S:
+    case Op::kI64Extend16S:
+    case Op::kI64Extend32S: return make({V::kI64}, V::kI64);
+    default: return false;
+  }
+}
+
+// Memory op value type (the type loaded/stored).
+ValType mem_val_type(Op op) {
+  switch (op) {
+    case Op::kF32Load:
+    case Op::kF32Store:
+      return ValType::kF32;
+    case Op::kF64Load:
+    case Op::kF64Store:
+      return ValType::kF64;
+    case Op::kI64Load:
+    case Op::kI64Load8S:
+    case Op::kI64Load8U:
+    case Op::kI64Load16S:
+    case Op::kI64Load16U:
+    case Op::kI64Load32S:
+    case Op::kI64Load32U:
+    case Op::kI64Store:
+    case Op::kI64Store8:
+    case Op::kI64Store16:
+    case Op::kI64Store32:
+      return ValType::kI64;
+    default:
+      return ValType::kI32;
+  }
+}
+
+bool is_load(Op op) {
+  uint8_t b = static_cast<uint8_t>(op);
+  return b >= 0x28 && b <= 0x35;
+}
+bool is_store(Op op) {
+  uint8_t b = static_cast<uint8_t>(op);
+  return b >= 0x36 && b <= 0x3E;
+}
+
+class FuncValidator {
+ public:
+  FuncValidator(const Module& m, const FunctionBody& body, uint32_t func_idx)
+      : m_(m), body_(body), func_idx_(func_idx) {
+    const FuncType& ft = m_.types[body.type_index];
+    locals_ = ft.params;
+    locals_.insert(locals_.end(), body.locals.begin(), body.locals.end());
+    result_ = ft.results.empty() ? std::nullopt
+                                 : std::optional<ValType>(ft.results[0]);
+  }
+
+  Status run() {
+    push_ctrl(Op::kBlock, result_);
+    for (size_t i = 0; i < body_.code.size(); ++i) {
+      Status s = check(body_.code[i]);
+      if (!s.is_ok()) {
+        return Status::error("func " + std::to_string(func_idx_) + " instr " +
+                             std::to_string(i) + " (" +
+                             op_name(body_.code[i].op) + "): " + s.message());
+      }
+    }
+    if (!ctrl_.empty()) return fail("missing final end");
+    return Status::ok();
+  }
+
+ private:
+  Status fail(const std::string& msg) { return Status::error(msg); }
+
+  void push(ValType t) { stack_.push_back({false, t}); }
+  void push_unknown() { stack_.push_back({true, ValType::kI32}); }
+
+  // Pops a value expecting `want` (or anything when unknown).
+  Status pop(std::optional<ValType> want, StackType* got = nullptr) {
+    ControlFrame& frame = ctrl_.back();
+    if (stack_.size() == frame.height) {
+      if (frame.unreachable) {
+        if (got) *got = {true, want.value_or(ValType::kI32)};
+        return Status::ok();
+      }
+      return fail("value stack underflow");
+    }
+    StackType t = stack_.back();
+    stack_.pop_back();
+    if (want && !t.unknown && t.type != *want) {
+      return fail(std::string("expected ") + to_string(*want) + " got " +
+                  to_string(t.type));
+    }
+    if (got) *got = t;
+    return Status::ok();
+  }
+
+  void push_ctrl(Op opcode, std::optional<ValType> result) {
+    ctrl_.push_back({opcode, result, stack_.size(), false});
+  }
+
+  Status pop_ctrl(ControlFrame* out) {
+    if (ctrl_.empty()) return fail("control stack underflow");
+    ControlFrame frame = ctrl_.back();
+    if (frame.result) {
+      Status s = pop(frame.result);
+      if (!s.is_ok()) return s;
+    }
+    if (stack_.size() != frame.height) {
+      return fail("values remain on stack at block end");
+    }
+    ctrl_.pop_back();
+    *out = frame;
+    return Status::ok();
+  }
+
+  // Types a branch to relative depth d must provide (MVP: loop labels take
+  // nothing; block/if labels take the block result).
+  Status label_types(uint32_t depth, std::optional<ValType>* out) {
+    if (depth >= ctrl_.size()) return fail("branch depth out of range");
+    const ControlFrame& frame = ctrl_[ctrl_.size() - 1 - depth];
+    *out = frame.opcode == Op::kLoop ? std::nullopt : frame.result;
+    return Status::ok();
+  }
+
+  void mark_unreachable() {
+    ControlFrame& frame = ctrl_.back();
+    stack_.resize(frame.height);
+    frame.unreachable = true;
+  }
+
+  Status check(const Instr& ins) {
+    switch (ins.op) {
+      case Op::kUnreachable:
+        mark_unreachable();
+        return Status::ok();
+      case Op::kNop:
+        return Status::ok();
+
+      case Op::kBlock:
+      case Op::kLoop: {
+        push_ctrl(ins.op, block_result(ins));
+        return Status::ok();
+      }
+      case Op::kIf: {
+        Status s = pop(ValType::kI32);
+        if (!s.is_ok()) return s;
+        push_ctrl(Op::kIf, block_result(ins));
+        return Status::ok();
+      }
+      case Op::kElse: {
+        ControlFrame frame;
+        Status s = pop_ctrl(&frame);
+        if (!s.is_ok()) return s;
+        if (frame.opcode != Op::kIf) return fail("else without if");
+        push_ctrl(Op::kElse, frame.result);
+        return Status::ok();
+      }
+      case Op::kEnd: {
+        ControlFrame frame;
+        Status s = pop_ctrl(&frame);
+        if (!s.is_ok()) return s;
+        // An `if` with a result but no else cannot produce the result on the
+        // false path.
+        if (frame.opcode == Op::kIf && frame.result) {
+          return fail("if with result type requires else");
+        }
+        if (frame.result) push(*frame.result);
+        return Status::ok();
+      }
+
+      case Op::kBr: {
+        std::optional<ValType> need;
+        Status s = label_types(ins.a, &need);
+        if (!s.is_ok()) return s;
+        if (need) {
+          s = pop(*need);
+          if (!s.is_ok()) return s;
+        }
+        mark_unreachable();
+        return Status::ok();
+      }
+      case Op::kBrIf: {
+        Status s = pop(ValType::kI32);
+        if (!s.is_ok()) return s;
+        std::optional<ValType> need;
+        s = label_types(ins.a, &need);
+        if (!s.is_ok()) return s;
+        if (need) {
+          s = pop(*need);
+          if (!s.is_ok()) return s;
+          push(*need);
+        }
+        return Status::ok();
+      }
+      case Op::kBrTable: {
+        Status s = pop(ValType::kI32);
+        if (!s.is_ok()) return s;
+        const std::vector<uint32_t>& targets = m_.br_tables[ins.b];
+        std::optional<ValType> need;
+        s = label_types(targets.back(), &need);
+        if (!s.is_ok()) return s;
+        for (uint32_t t : targets) {
+          std::optional<ValType> other;
+          s = label_types(t, &other);
+          if (!s.is_ok()) return s;
+          if (other != need) return fail("br_table label types differ");
+        }
+        if (need) {
+          s = pop(*need);
+          if (!s.is_ok()) return s;
+        }
+        mark_unreachable();
+        return Status::ok();
+      }
+      case Op::kReturn: {
+        if (result_) {
+          Status s = pop(*result_);
+          if (!s.is_ok()) return s;
+        }
+        mark_unreachable();
+        return Status::ok();
+      }
+
+      case Op::kCall: {
+        if (ins.a >= m_.num_funcs()) return fail("call index out of range");
+        return apply_call(m_.func_type(ins.a));
+      }
+      case Op::kCallIndirect: {
+        if (!m_.table) return fail("call_indirect without table");
+        if (ins.a >= m_.types.size()) return fail("bad call_indirect type");
+        Status s = pop(ValType::kI32);  // table element index
+        if (!s.is_ok()) return s;
+        return apply_call(m_.types[ins.a]);
+      }
+
+      case Op::kDrop:
+        return pop(std::nullopt);
+      case Op::kSelect: {
+        Status s = pop(ValType::kI32);
+        if (!s.is_ok()) return s;
+        StackType a, b;
+        s = pop(std::nullopt, &a);
+        if (!s.is_ok()) return s;
+        s = pop(std::nullopt, &b);
+        if (!s.is_ok()) return s;
+        if (!a.unknown && !b.unknown && a.type != b.type) {
+          return fail("select operand types differ");
+        }
+        const StackType& known = a.unknown ? b : a;
+        if (known.unknown) {
+          push_unknown();
+        } else {
+          push(known.type);
+        }
+        return Status::ok();
+      }
+
+      case Op::kLocalGet: {
+        if (ins.a >= locals_.size()) return fail("local index out of range");
+        push(locals_[ins.a]);
+        return Status::ok();
+      }
+      case Op::kLocalSet: {
+        if (ins.a >= locals_.size()) return fail("local index out of range");
+        return pop(locals_[ins.a]);
+      }
+      case Op::kLocalTee: {
+        if (ins.a >= locals_.size()) return fail("local index out of range");
+        Status s = pop(locals_[ins.a]);
+        if (!s.is_ok()) return s;
+        push(locals_[ins.a]);
+        return Status::ok();
+      }
+      case Op::kGlobalGet: {
+        if (ins.a >= m_.globals.size()) return fail("global index out of range");
+        push(m_.globals[ins.a].type);
+        return Status::ok();
+      }
+      case Op::kGlobalSet: {
+        if (ins.a >= m_.globals.size()) return fail("global index out of range");
+        if (!m_.globals[ins.a].mutable_) return fail("set of immutable global");
+        return pop(m_.globals[ins.a].type);
+      }
+
+      case Op::kMemorySize: {
+        if (!m_.memory) return fail("memory.size without memory");
+        push(ValType::kI32);
+        return Status::ok();
+      }
+      case Op::kMemoryGrow: {
+        if (!m_.memory) return fail("memory.grow without memory");
+        Status s = pop(ValType::kI32);
+        if (!s.is_ok()) return s;
+        push(ValType::kI32);
+        return Status::ok();
+      }
+
+      case Op::kI32Const:
+        push(ValType::kI32);
+        return Status::ok();
+      case Op::kI64Const:
+        push(ValType::kI64);
+        return Status::ok();
+      case Op::kF32Const:
+        push(ValType::kF32);
+        return Status::ok();
+      case Op::kF64Const:
+        push(ValType::kF64);
+        return Status::ok();
+
+      default:
+        break;
+    }
+
+    if (is_load(ins.op)) {
+      if (!m_.memory) return fail("load without memory");
+      Status s = pop(ValType::kI32);
+      if (!s.is_ok()) return s;
+      push(mem_val_type(ins.op));
+      return Status::ok();
+    }
+    if (is_store(ins.op)) {
+      if (!m_.memory) return fail("store without memory");
+      Status s = pop(mem_val_type(ins.op));
+      if (!s.is_ok()) return s;
+      return pop(ValType::kI32);
+    }
+
+    SimpleSig sig;
+    if (simple_sig(ins.op, &sig)) {
+      for (int i = sig.nargs - 1; i >= 0; --i) {
+        Status s = pop(sig.args[i]);
+        if (!s.is_ok()) return s;
+      }
+      if (sig.result) push(*sig.result);
+      return Status::ok();
+    }
+    return fail("unhandled opcode in validator");
+  }
+
+  Status apply_call(const FuncType& ft) {
+    for (size_t i = ft.params.size(); i > 0; --i) {
+      Status s = pop(ft.params[i - 1]);
+      if (!s.is_ok()) return s;
+    }
+    if (!ft.results.empty()) push(ft.results[0]);
+    return Status::ok();
+  }
+
+  static std::optional<ValType> block_result(const Instr& ins) {
+    if (ins.block_type == 0x40) return std::nullopt;
+    return static_cast<ValType>(ins.block_type);
+  }
+
+  const Module& m_;
+  const FunctionBody& body_;
+  uint32_t func_idx_;
+  std::vector<ValType> locals_;
+  std::optional<ValType> result_;
+  std::vector<StackType> stack_;
+  std::vector<ControlFrame> ctrl_;
+};
+
+Status validate_module_level(const Module& m) {
+  // Export indices must be in range.
+  for (const Export& e : m.exports) {
+    switch (e.kind) {
+      case ExternalKind::kFunction:
+        if (e.index >= m.num_funcs()) {
+          return Status::error("export '" + e.name + "': bad function index");
+        }
+        break;
+      case ExternalKind::kTable:
+        if (!m.table || e.index != 0) {
+          return Status::error("export '" + e.name + "': bad table index");
+        }
+        break;
+      case ExternalKind::kMemory:
+        if (!m.memory || e.index != 0) {
+          return Status::error("export '" + e.name + "': bad memory index");
+        }
+        break;
+      case ExternalKind::kGlobal:
+        if (e.index >= m.globals.size()) {
+          return Status::error("export '" + e.name + "': bad global index");
+        }
+        break;
+    }
+  }
+  // Start function: () -> ().
+  if (m.start) {
+    if (*m.start >= m.num_funcs()) {
+      return Status::error("start function index out of range");
+    }
+    const FuncType& ft = m.func_type(*m.start);
+    if (!ft.params.empty() || !ft.results.empty()) {
+      return Status::error("start function must have type () -> ()");
+    }
+  }
+  // Element segments reference real functions and fit the declared table.
+  for (const ElementSegment& seg : m.elements) {
+    if (!m.table) return Status::error("element segment without table");
+    uint64_t end = static_cast<uint64_t>(seg.offset) + seg.func_indices.size();
+    if (end > m.table->min) {
+      return Status::error("element segment exceeds table minimum size");
+    }
+    for (uint32_t f : seg.func_indices) {
+      if (f >= m.num_funcs()) {
+        return Status::error("element segment function index out of range");
+      }
+    }
+  }
+  // Data segments must fit the initial memory.
+  for (const DataSegment& seg : m.data) {
+    if (!m.memory) return Status::error("data segment without memory");
+    uint64_t end = static_cast<uint64_t>(seg.offset) + seg.bytes.size();
+    if (end > m.initial_memory_bytes()) {
+      return Status::error("data segment exceeds initial memory");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status validate(const Module& m) {
+  Status s = validate_module_level(m);
+  if (!s.is_ok()) return s;
+  for (size_t i = 0; i < m.functions.size(); ++i) {
+    uint32_t func_idx = m.num_imported_funcs() + static_cast<uint32_t>(i);
+    FuncValidator fv(m, m.functions[i], func_idx);
+    s = fv.run();
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+}  // namespace sledge::wasm

@@ -1,0 +1,19 @@
+// WebAssembly validator.
+//
+// Implements the spec's stack-polymorphic validation algorithm over the
+// decoded instruction stream: every function body is type-checked, branch
+// depths and branch operand types are verified, call and call_indirect
+// signatures are checked against the type section (this is the static half
+// of Sledge's control-flow-integrity story), and all index spaces are
+// bounds-checked. Execution engines may assume a validated module is
+// structurally sound.
+#pragma once
+
+#include "common/status.hpp"
+#include "wasm/module.hpp"
+
+namespace sledge::wasm {
+
+Status validate(const Module& module);
+
+}  // namespace sledge::wasm

@@ -1,0 +1,156 @@
+// Unit tests for the common substrate: Result/Status, JSON, histogram, RNG,
+// file utilities.
+#include <gtest/gtest.h>
+
+#include "common/file_util.hpp"
+#include "common/histogram.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace sledge {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::ok();
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  Status err = Status::error("boom");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.message(), "boom");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  Result<int> e = Result<int>::error("nope");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error_message(), "nope");
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = r.take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null")->is_null());
+  EXPECT_EQ(json::parse("true")->as_bool(), true);
+  EXPECT_EQ(json::parse("42")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(json::parse("-2.5e2")->as_number(), -250.0);
+  EXPECT_EQ(json::parse("\"hi\\nthere\"")->as_string(), "hi\nthere");
+}
+
+TEST(JsonTest, ParsesNested) {
+  auto doc = json::parse(R"({"modules":[{"name":"ping","port":8080}],"n":3})");
+  ASSERT_TRUE(doc.ok());
+  const json::Value& v = *doc;
+  EXPECT_EQ(v["n"].as_int(), 3);
+  ASSERT_EQ(v["modules"].as_array().size(), 1u);
+  EXPECT_EQ(v["modules"].as_array()[0]["name"].as_string(), "ping");
+  EXPECT_EQ(v["modules"].as_array()[0]["port"].as_int(), 8080);
+  EXPECT_TRUE(v["missing"].is_null());
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(json::parse("").ok());
+  EXPECT_FALSE(json::parse("{").ok());
+  EXPECT_FALSE(json::parse("[1,]").ok());
+  EXPECT_FALSE(json::parse("{\"a\":}").ok());
+  EXPECT_FALSE(json::parse("42 43").ok());
+  EXPECT_FALSE(json::parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, RejectsDeepNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(json::parse(deep).ok());
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  auto doc = json::parse(R"({"a":[1,2.5,"x"],"b":{"c":true}})");
+  ASSERT_TRUE(doc.ok());
+  auto again = json::parse(doc->dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->dump(), doc->dump());
+}
+
+TEST(HistogramTest, PercentilesExact) {
+  LatencyHistogram h;
+  for (uint64_t i = 1; i <= 100; ++i) h.record(i * 1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean_ns(), 50500.0, 1.0);
+  EXPECT_EQ(h.percentile_ns(0.0), 1000u);
+  EXPECT_EQ(h.percentile_ns(1.0), 100000u);
+  EXPECT_NEAR(static_cast<double>(h.percentile_ns(0.5)), 50000.0, 1000.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile_ns(0.99)), 99000.0, 1000.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  LatencyHistogram a, b;
+  a.record(10);
+  b.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean_ns(), 20.0);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_ns(0.99), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(FileUtilTest, WriteReadRoundTrip) {
+  auto dir = make_temp_dir("sledge_test");
+  ASSERT_TRUE(dir.ok());
+  std::string path = *dir + "/file.bin";
+  std::string contents = "hello\0world", full(contents.data(), 11);
+  ASSERT_TRUE(write_file(path, full).is_ok());
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_EQ(file_size(path), 11);
+  auto back = read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, full);
+  ::unlink(path.c_str());
+  ::rmdir(dir->c_str());
+}
+
+TEST(FileUtilTest, MissingFileErrors) {
+  EXPECT_FALSE(read_file("/nonexistent/really/not/here").ok());
+  EXPECT_FALSE(file_exists("/nonexistent/really/not/here"));
+  EXPECT_EQ(file_size("/nonexistent/really/not/here"), -1);
+}
+
+}  // namespace
+}  // namespace sledge

@@ -1,0 +1,128 @@
+// Chase-Lev work-stealing deque tests: single-owner semantics, growth, and
+// a multi-thief stress test verifying every pushed item is consumed exactly
+// once (the correctness property that matters for request dispatch).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sledge/deque.hpp"
+
+namespace sledge::runtime {
+namespace {
+
+TEST(DequeTest, TakeFromEmptyFails) {
+  WorkStealingDeque<int*> dq;
+  int* out = nullptr;
+  EXPECT_FALSE(dq.take(&out));
+  EXPECT_FALSE(dq.steal(&out));
+}
+
+TEST(DequeTest, OwnerTakeIsLifo) {
+  WorkStealingDeque<intptr_t> dq;
+  dq.push(1);
+  dq.push(2);
+  dq.push(3);
+  intptr_t v;
+  ASSERT_TRUE(dq.take(&v));
+  EXPECT_EQ(v, 3);
+  ASSERT_TRUE(dq.take(&v));
+  EXPECT_EQ(v, 2);
+  ASSERT_TRUE(dq.take(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(dq.take(&v));
+}
+
+TEST(DequeTest, StealIsFifo) {
+  WorkStealingDeque<intptr_t> dq;
+  dq.push(1);
+  dq.push(2);
+  dq.push(3);
+  intptr_t v;
+  ASSERT_TRUE(dq.steal(&v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(dq.steal(&v));
+  EXPECT_EQ(v, 2);
+  ASSERT_TRUE(dq.steal(&v));
+  EXPECT_EQ(v, 3);
+  EXPECT_FALSE(dq.steal(&v));
+}
+
+TEST(DequeTest, GrowsBeyondInitialCapacity) {
+  WorkStealingDeque<intptr_t> dq(16);
+  for (intptr_t i = 0; i < 10000; ++i) dq.push(i);
+  EXPECT_EQ(dq.size_estimate(), 10000);
+  intptr_t v;
+  for (intptr_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(dq.steal(&v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(DequeTest, InterleavedPushTakeSteal) {
+  WorkStealingDeque<intptr_t> dq;
+  intptr_t v;
+  dq.push(1);
+  dq.push(2);
+  ASSERT_TRUE(dq.steal(&v));
+  EXPECT_EQ(v, 1);
+  dq.push(3);
+  ASSERT_TRUE(dq.take(&v));
+  EXPECT_EQ(v, 3);
+  ASSERT_TRUE(dq.take(&v));
+  EXPECT_EQ(v, 2);
+}
+
+// Stress: one producer pushes N tokens; T thieves steal concurrently; the
+// producer also takes. Every token must be consumed exactly once.
+TEST(DequeTest, StressEveryItemConsumedExactlyOnce) {
+  constexpr int kItems = 200000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque<intptr_t> dq;
+  std::vector<std::atomic<int>> seen(kItems);
+  std::atomic<bool> done{false};
+  std::atomic<long> consumed{0};
+
+  auto thief = [&] {
+    intptr_t v;
+    while (!done.load(std::memory_order_acquire) || dq.size_estimate() > 0) {
+      if (dq.steal(&v)) {
+        seen[v].fetch_add(1, std::memory_order_relaxed);
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> thieves;
+  for (int i = 0; i < kThieves; ++i) thieves.emplace_back(thief);
+
+  intptr_t v;
+  for (intptr_t i = 0; i < kItems; ++i) {
+    dq.push(i);
+    if (i % 3 == 0 && dq.take(&v)) {
+      seen[v].fetch_add(1, std::memory_order_relaxed);
+      consumed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Drain what's left from the owner side too.
+  while (dq.take(&v)) {
+    seen[v].fetch_add(1, std::memory_order_relaxed);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  // Final sweep in case thieves exited between push and visibility.
+  while (dq.steal(&v)) {
+    seen[v].fetch_add(1, std::memory_order_relaxed);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  EXPECT_EQ(consumed.load(), kItems);
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sledge::runtime

@@ -1,0 +1,341 @@
+// Differential property testing: randomly generated (but always valid) Wasm
+// programs must produce bit-identical outcomes — value or trap code — on
+// every execution tier and bounds strategy. This is the strongest evidence
+// that the interpreter tiers and the aWsm AoT translator implement one
+// semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "engine/engine.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/validator.hpp"
+
+namespace sledge::engine {
+namespace {
+
+using sledge::Rng;
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using V = wasm::ValType;
+
+// Generates a random well-typed expression of type `t` into `f`. Loads are
+// masked into the first page so only genuine semantics (not layout) vary.
+class ExprGen {
+ public:
+  ExprGen(Rng& rng, FunctionBuilder& f, const std::vector<V>& locals)
+      : rng_(rng), f_(f), locals_(locals) {}
+
+  void gen(V t, int depth) {
+    if (depth <= 0) {
+      leaf(t);
+      return;
+    }
+    switch (rng_.below(8)) {
+      case 0:
+        leaf(t);
+        return;
+      case 1:  // unary
+        gen_unop(t, depth);
+        return;
+      case 2:
+      case 3:
+      case 4:  // binary
+        gen_binop(t, depth);
+        return;
+      case 5:  // select
+        gen(t, depth - 1);
+        gen(t, depth - 1);
+        gen(V::kI32, depth - 1);
+        f_.emit(Op::kSelect);
+        return;
+      case 6:  // if/else with result
+        gen(V::kI32, depth - 1);
+        f_.if_(t);
+        gen(t, depth - 1);
+        f_.else_();
+        gen(t, depth - 1);
+        f_.end();
+        return;
+      case 7:  // load from the first page
+        gen(V::kI32, depth - 1);
+        f_.i32_const(0xFF8);
+        f_.emit(Op::kI32And);  // mask well inside page 0
+        switch (t) {
+          case V::kI32: f_.mem(Op::kI32Load); break;
+          case V::kI64: f_.mem(Op::kI64Load); break;
+          case V::kF32: f_.mem(Op::kF32Load); break;
+          case V::kF64: f_.mem(Op::kF64Load); break;
+        }
+        return;
+    }
+  }
+
+ private:
+  void leaf(V t) {
+    // Prefer locals when one of the right type exists.
+    std::vector<uint32_t> candidates;
+    for (uint32_t i = 0; i < locals_.size(); ++i) {
+      if (locals_[i] == t) candidates.push_back(i);
+    }
+    if (!candidates.empty() && rng_.chance(0.6)) {
+      f_.local_get(candidates[rng_.below(
+          static_cast<uint32_t>(candidates.size()))]);
+      return;
+    }
+    switch (t) {
+      case V::kI32: f_.i32_const(static_cast<int32_t>(rng_.next_u32())); break;
+      case V::kI64: f_.i64_const(static_cast<int64_t>(rng_.next_u64())); break;
+      case V::kF32:
+        f_.f32_const(static_cast<float>(rng_.next_double() * 200.0 - 100.0));
+        break;
+      case V::kF64:
+        f_.f64_const(rng_.next_double() * 200.0 - 100.0);
+        break;
+    }
+  }
+
+  void gen_unop(V t, int depth) {
+    if (t == V::kI32) {
+      switch (rng_.below(6)) {
+        case 0: gen(V::kI32, depth - 1); f_.emit(Op::kI32Clz); return;
+        case 1: gen(V::kI32, depth - 1); f_.emit(Op::kI32Ctz); return;
+        case 2: gen(V::kI32, depth - 1); f_.emit(Op::kI32Popcnt); return;
+        case 3: gen(V::kI64, depth - 1); f_.emit(Op::kI32WrapI64); return;
+        case 4: gen(V::kI32, depth - 1); f_.emit(Op::kI32Extend8S); return;
+        case 5: gen(V::kI64, depth - 1); f_.emit(Op::kI64Eqz); return;
+      }
+    }
+    if (t == V::kI64) {
+      switch (rng_.below(3)) {
+        case 0: gen(V::kI64, depth - 1); f_.emit(Op::kI64Popcnt); return;
+        case 1: gen(V::kI32, depth - 1); f_.emit(Op::kI64ExtendI32S); return;
+        case 2: gen(V::kI32, depth - 1); f_.emit(Op::kI64ExtendI32U); return;
+      }
+    }
+    if (t == V::kF32) {
+      switch (rng_.below(4)) {
+        case 0: gen(V::kF32, depth - 1); f_.emit(Op::kF32Abs); return;
+        case 1: gen(V::kF32, depth - 1); f_.emit(Op::kF32Neg); return;
+        case 2: gen(V::kF64, depth - 1); f_.emit(Op::kF32DemoteF64); return;
+        case 3: gen(V::kF32, depth - 1); f_.emit(Op::kF32Floor); return;
+      }
+    }
+    // f64
+    switch (rng_.below(5)) {
+      case 0: gen(V::kF64, depth - 1); f_.emit(Op::kF64Abs); return;
+      case 1: gen(V::kF64, depth - 1); f_.emit(Op::kF64Neg); return;
+      case 2: gen(V::kF32, depth - 1); f_.emit(Op::kF64PromoteF32); return;
+      case 3: gen(V::kI32, depth - 1); f_.emit(Op::kF64ConvertI32S); return;
+      case 4: gen(V::kF64, depth - 1); f_.emit(Op::kF64Sqrt); return;
+    }
+  }
+
+  void gen_binop(V t, int depth) {
+    if (t == V::kI32) {
+      static const Op kOps[] = {Op::kI32Add, Op::kI32Sub, Op::kI32Mul,
+                                Op::kI32And, Op::kI32Or, Op::kI32Xor,
+                                Op::kI32Shl, Op::kI32ShrS, Op::kI32ShrU,
+                                Op::kI32Rotl, Op::kI32Rotr, Op::kI32DivS,
+                                Op::kI32DivU, Op::kI32RemS, Op::kI32RemU,
+                                Op::kI32Eq, Op::kI32LtS, Op::kI32GtU};
+      Op op = kOps[rng_.below(18)];
+      gen(V::kI32, depth - 1);
+      gen(V::kI32, depth - 1);
+      f_.emit(op);
+      return;
+    }
+    if (t == V::kI64) {
+      static const Op kOps[] = {Op::kI64Add, Op::kI64Sub, Op::kI64Mul,
+                                Op::kI64And, Op::kI64Xor, Op::kI64Shl,
+                                Op::kI64ShrU, Op::kI64Rotl, Op::kI64DivS,
+                                Op::kI64RemU};
+      gen(V::kI64, depth - 1);
+      gen(V::kI64, depth - 1);
+      f_.emit(kOps[rng_.below(10)]);
+      return;
+    }
+    if (t == V::kF32) {
+      static const Op kOps[] = {Op::kF32Add, Op::kF32Sub, Op::kF32Mul,
+                                Op::kF32Div, Op::kF32Min, Op::kF32Max,
+                                Op::kF32Copysign};
+      gen(V::kF32, depth - 1);
+      gen(V::kF32, depth - 1);
+      f_.emit(kOps[rng_.below(7)]);
+      return;
+    }
+    static const Op kOps[] = {Op::kF64Add, Op::kF64Sub, Op::kF64Mul,
+                              Op::kF64Div, Op::kF64Min, Op::kF64Max,
+                              Op::kF64Copysign};
+    gen(V::kF64, depth - 1);
+    gen(V::kF64, depth - 1);
+    f_.emit(kOps[rng_.below(7)]);
+  }
+
+  Rng& rng_;
+  FunctionBuilder& f_;
+  const std::vector<V>& locals_;
+};
+
+// Builds a random module: locals of all types get random statements
+// assigned, a bounded loop mixes state, and an i32 digest of every local is
+// returned.
+std::vector<uint8_t> random_module(uint64_t seed) {
+  Rng rng(seed);
+  ModuleBuilder b;
+  uint32_t t_main = b.add_type({V::kI32, V::kI64, V::kF64}, {V::kI32});
+  b.set_memory(1, 2);
+  // Deterministic data so loads differ from zero.
+  std::vector<uint8_t> data(4096);
+  Rng drng(seed ^ 0x5EED);
+  for (auto& byte : data) byte = static_cast<uint8_t>(drng.next_u32());
+  b.add_data(0, std::move(data));
+
+  uint32_t f = b.declare_function(t_main);
+  FunctionBuilder& fb = b.function(f);
+
+  std::vector<V> locals = {V::kI32, V::kI64, V::kF64};  // params
+  int extra = 2 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < extra; ++i) {
+    V t = static_cast<V>(0x7F - rng.below(4));
+    fb.add_local(t);
+    locals.push_back(t);
+  }
+
+  ExprGen gen(rng, fb, locals);
+
+  int statements = 3 + static_cast<int>(rng.below(6));
+  for (int s = 0; s < statements; ++s) {
+    uint32_t target = rng.below(static_cast<uint32_t>(locals.size()));
+    gen.gen(locals[target], 3);
+    fb.local_set(target);
+    if (rng.chance(0.3)) {
+      // Store an i32 expression into page 0.
+      gen.gen(V::kI32, 2);     // value
+      uint32_t tmp = fb.add_local(V::kI32);
+      locals.push_back(V::kI32);
+      fb.local_set(tmp);
+      gen.gen(V::kI32, 1);     // address
+      fb.i32_const(0xFF8);
+      fb.emit(Op::kI32And);
+      fb.local_get(tmp);
+      fb.mem(Op::kI32Store);
+    }
+  }
+
+  // Digest: xor/mix every local into an i32.
+  uint32_t acc = fb.add_local(V::kI32);
+  locals.push_back(V::kI32);
+  for (uint32_t i = 0; i + 1 < locals.size(); ++i) {
+    fb.local_get(acc);
+    switch (locals[i]) {
+      case V::kI32:
+        fb.local_get(i);
+        break;
+      case V::kI64:
+        fb.local_get(i);
+        fb.emit(Op::kI32WrapI64);
+        break;
+      case V::kF32:
+        fb.local_get(i);
+        fb.emit(Op::kI32ReinterpretF32);
+        break;
+      case V::kF64:
+        fb.local_get(i);
+        fb.emit(Op::kI64ReinterpretF64);
+        fb.emit(Op::kI32WrapI64);
+        break;
+    }
+    fb.emit(Op::kI32Xor);
+    fb.i32_const(0x9E3779B9);
+    fb.emit(Op::kI32Add);
+    fb.local_set(acc);
+  }
+  fb.local_get(acc);
+  fb.end();
+  b.export_function("main", f);
+  return b.build();
+}
+
+struct Outcome {
+  TrapCode trap = TrapCode::kNone;
+  int32_t value = 0;
+  std::string error;
+
+  bool operator==(const Outcome& o) const {
+    return trap == o.trap && value == o.value && error == o.error;
+  }
+};
+
+Outcome run_one(const std::vector<uint8_t>& bytes, Tier tier,
+                BoundsStrategy strategy) {
+  WasmModule::Config cfg;
+  cfg.tier = tier;
+  cfg.strategy = strategy;
+  Outcome o;
+  auto mod = WasmModule::load(bytes, cfg);
+  if (!mod.ok()) {
+    o.error = "load: " + mod.error_message();
+    return o;
+  }
+  auto sandbox = mod->instantiate();
+  if (!sandbox.ok()) {
+    o.error = "inst: " + sandbox.error_message();
+    return o;
+  }
+  auto out = sandbox->call(
+      "main", {Value::i32(12345), Value::i64(-987654321), Value::f64(2.5)});
+  o.trap = out.trap;
+  o.error = out.error;
+  if (out.ok() && out.value) o.value = out.value->as_i32();
+  return o;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, AllTiersAgree) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 7919 + 13;
+  std::vector<uint8_t> bytes = random_module(seed);
+
+  // Sanity: the generator must always produce valid modules.
+  auto decoded = wasm::decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error_message();
+  ASSERT_TRUE(wasm::validate(*decoded).is_ok())
+      << wasm::validate(*decoded).message();
+
+  Outcome reference = run_one(bytes, Tier::kInterp, BoundsStrategy::kSoftware);
+  ASSERT_TRUE(reference.error.empty()) << reference.error;
+
+  const struct {
+    Tier tier;
+    BoundsStrategy strategy;
+  } kConfigs[] = {
+      {Tier::kInterp, BoundsStrategy::kVmGuard},
+      {Tier::kInterpFast, BoundsStrategy::kSoftware},
+      {Tier::kInterpFast, BoundsStrategy::kMpxSim},
+      {Tier::kAot, BoundsStrategy::kSoftware},
+      {Tier::kAot, BoundsStrategy::kVmGuard},
+      {Tier::kAot, BoundsStrategy::kMpxSim},
+      {Tier::kAot, BoundsStrategy::kNone},
+      {Tier::kAotO0, BoundsStrategy::kSoftware},
+  };
+  for (const auto& cfg : kConfigs) {
+    Outcome other = run_one(bytes, cfg.tier, cfg.strategy);
+    EXPECT_EQ(reference, other)
+        << "seed=" << seed << " tier=" << to_string(cfg.tier)
+        << " strategy=" << to_string(cfg.strategy) << " ref=("
+        << trap_name(reference.trap) << "," << reference.value << ","
+        << reference.error << ") got=(" << trap_name(other.trap) << ","
+        << other.value << "," << other.error << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, DifferentialTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sledge::engine

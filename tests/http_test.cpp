@@ -1,0 +1,192 @@
+// HTTP layer tests: incremental parsing under arbitrary TCP segmentation
+// (property test), header handling, keep-alive semantics, malformed input,
+// and serializer round-trips.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "http/http.hpp"
+
+namespace sledge::http {
+namespace {
+
+const char kSimpleRequest[] =
+    "POST /fib HTTP/1.1\r\n"
+    "Host: localhost\r\n"
+    "Content-Length: 5\r\n"
+    "Connection: keep-alive\r\n"
+    "\r\n"
+    "hello";
+
+TEST(RequestParserTest, ParsesWholeRequest) {
+  RequestParser p;
+  int used = p.feed(kSimpleRequest, sizeof(kSimpleRequest) - 1);
+  ASSERT_EQ(used, static_cast<int>(sizeof(kSimpleRequest) - 1));
+  ASSERT_TRUE(p.done());
+  Request& r = p.request();
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.target, "/fib");
+  EXPECT_EQ(r.version, "HTTP/1.1");
+  EXPECT_EQ(r.headers.at("host"), "localhost");
+  EXPECT_EQ(r.body, (std::vector<uint8_t>{'h', 'e', 'l', 'l', 'o'}));
+  EXPECT_TRUE(r.keep_alive());
+}
+
+TEST(RequestParserTest, ByteAtATime) {
+  RequestParser p;
+  const char* s = kSimpleRequest;
+  for (size_t i = 0; i < sizeof(kSimpleRequest) - 1; ++i) {
+    int used = p.feed(s + i, 1);
+    ASSERT_GE(used, 0) << "at byte " << i;
+  }
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().body.size(), 5u);
+}
+
+// Property: any segmentation of the byte stream parses identically.
+TEST(RequestParserTest, PropertyRandomSegmentation) {
+  std::string req = "POST /echo HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+  std::string body(1000, 'x');
+  for (size_t i = 0; i < body.size(); ++i) body[i] = static_cast<char>('a' + i % 26);
+  req += body;
+
+  Rng rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    RequestParser p;
+    size_t pos = 0;
+    while (pos < req.size()) {
+      size_t chunk = 1 + rng.below(200);
+      if (pos + chunk > req.size()) chunk = req.size() - pos;
+      size_t chunk_pos = 0;
+      while (chunk_pos < chunk) {
+        int used = p.feed(req.data() + pos + chunk_pos, chunk - chunk_pos);
+        ASSERT_GE(used, 0);
+        ASSERT_GT(used, 0);  // must always make progress
+        chunk_pos += static_cast<size_t>(used);
+      }
+      pos += chunk;
+    }
+    ASSERT_TRUE(p.done()) << "trial " << trial;
+    EXPECT_EQ(p.request().body.size(), 1000u);
+    EXPECT_EQ(std::string(p.request().body.begin(), p.request().body.end()),
+              body);
+  }
+}
+
+TEST(RequestParserTest, NoBodyWithoutContentLength) {
+  RequestParser p;
+  const char req[] = "GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
+  p.feed(req, sizeof(req) - 1);
+  ASSERT_TRUE(p.done());
+  EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(RequestParserTest, ConsumesOnlyItsRequest) {
+  // Two pipelined requests: the parser must stop at the first boundary.
+  std::string two = "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nXY";
+  std::string second = "POST /b HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+  std::string all = two + second;
+  RequestParser p;
+  int used = p.feed(all.data(), all.size());
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(used, static_cast<int>(two.size()));
+  p.reset();
+  used = p.feed(all.data() + two.size(), second.size());
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().target, "/b");
+}
+
+TEST(RequestParserTest, MalformedRequestLine) {
+  for (const char* bad : {"GARBAGE\r\n\r\n", "POST\r\n\r\n",
+                          "POST /x\r\n\r\n", "POST /x FTP/9\r\n\r\n"}) {
+    RequestParser p;
+    int used = p.feed(bad, strlen(bad));
+    EXPECT_TRUE(used < 0 || p.failed()) << bad;
+  }
+}
+
+TEST(RequestParserTest, MalformedHeaderLine) {
+  RequestParser p;
+  const char req[] = "POST /x HTTP/1.1\r\nNoColonHere\r\n\r\n";
+  int used = p.feed(req, sizeof(req) - 1);
+  EXPECT_TRUE(used < 0 || p.failed());
+}
+
+TEST(RequestParserTest, BadContentLength) {
+  RequestParser p;
+  const char req[] = "POST /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n";
+  int used = p.feed(req, sizeof(req) - 1);
+  EXPECT_TRUE(used < 0 || p.failed());
+}
+
+TEST(RequestParserTest, OversizedHeadersRejected) {
+  RequestParser p;
+  std::string req = "POST /x HTTP/1.1\r\n";
+  req += "X-Long: " + std::string(RequestParser::kMaxHeaderBytes, 'a');
+  int used = p.feed(req.data(), req.size());
+  EXPECT_TRUE(used < 0 || p.failed());
+}
+
+TEST(RequestParserTest, OversizedBodyRejected) {
+  RequestParser p;
+  std::string req =
+      "POST /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n";
+  int used = p.feed(req.data(), req.size());
+  EXPECT_TRUE(used < 0 || p.failed());
+}
+
+TEST(RequestParserTest, KeepAliveDefaults) {
+  {
+    RequestParser p;
+    const char req[] = "POST /x HTTP/1.1\r\n\r\n";
+    p.feed(req, sizeof(req) - 1);
+    ASSERT_TRUE(p.done());
+    EXPECT_TRUE(p.request().keep_alive());  // 1.1 default
+  }
+  {
+    RequestParser p;
+    const char req[] = "POST /x HTTP/1.0\r\n\r\n";
+    p.feed(req, sizeof(req) - 1);
+    ASSERT_TRUE(p.done());
+    EXPECT_FALSE(p.request().keep_alive());  // 1.0 default
+  }
+  {
+    RequestParser p;
+    const char req[] = "POST /x HTTP/1.1\r\nConnection: close\r\n\r\n";
+    p.feed(req, sizeof(req) - 1);
+    ASSERT_TRUE(p.done());
+    EXPECT_FALSE(p.request().keep_alive());
+  }
+}
+
+TEST(RequestParserTest, HeaderKeysLowercasedValuesTrimmed) {
+  RequestParser p;
+  const char req[] = "POST /x HTTP/1.1\r\nX-FOO:   Bar Baz  \r\n\r\n";
+  p.feed(req, sizeof(req) - 1);
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().headers.at("x-foo"), "Bar Baz");
+}
+
+TEST(SerializerTest, ResponseRoundTrip) {
+  std::vector<uint8_t> body = {1, 2, 3};
+  std::string resp = serialize_response(200, "OK", body, true);
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(resp.substr(resp.size() - 3), std::string("\x01\x02\x03", 3));
+}
+
+TEST(SerializerTest, RequestParsesBack) {
+  std::vector<uint8_t> body = {'p', 'q'};
+  std::string req = serialize_request("POST", "/mod", body, false, "h");
+  RequestParser p;
+  int used = p.feed(req.data(), req.size());
+  ASSERT_EQ(used, static_cast<int>(req.size()));
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().method, "POST");
+  EXPECT_EQ(p.request().target, "/mod");
+  EXPECT_EQ(p.request().body, body);
+  EXPECT_FALSE(p.request().keep_alive());
+}
+
+}  // namespace
+}  // namespace sledge::http

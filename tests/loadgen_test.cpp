@@ -1,0 +1,111 @@
+// Load-generator tests: request accounting, latency recording, expect-body
+// validation, connection-failure handling — against a live Sledge runtime.
+#include <gtest/gtest.h>
+
+#include "loadgen/loadgen.hpp"
+#include "minicc/minicc.hpp"
+#include "sledge/runtime.hpp"
+
+namespace sledge::loadgen {
+namespace {
+
+const char* kPingSrc = R"(
+char out[1];
+int main() { out[0] = 112; resp_write(out, 1); return 0; }
+)";
+
+class LoadgenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime::RuntimeConfig cfg;
+    cfg.workers = 2;
+    rt_ = std::make_unique<runtime::Runtime>(cfg);
+    auto wasm = minicc::compile_to_wasm(kPingSrc);
+    ASSERT_TRUE(wasm.ok());
+    ASSERT_TRUE(rt_->register_module("ping", wasm.value()).is_ok());
+    ASSERT_TRUE(rt_->start().is_ok());
+  }
+  void TearDown() override { rt_->stop(); }
+
+  std::unique_ptr<runtime::Runtime> rt_;
+};
+
+TEST_F(LoadgenTest, CountsExactlyTotalRequests) {
+  Options opt;
+  opt.port = rt_->bound_port();
+  opt.path = "/ping";
+  opt.concurrency = 3;
+  opt.total_requests = 101;  // deliberately not divisible by concurrency
+  auto report = run_load(opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ok + report->errors, 101u);
+  EXPECT_EQ(report->ok, 101u);
+  EXPECT_EQ(report->latency.count(), 101u);
+  EXPECT_GT(report->throughput_rps, 0.0);
+  EXPECT_GT(report->latency.mean_ns(), 0u);
+}
+
+TEST_F(LoadgenTest, ExpectBodyMismatchCountsAsError) {
+  Options opt;
+  opt.port = rt_->bound_port();
+  opt.path = "/ping";
+  opt.concurrency = 1;
+  opt.total_requests = 5;
+  opt.expect_body = {'q'};  // function replies 'p'
+  auto report = run_load(opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ok, 0u);
+  EXPECT_EQ(report->errors, 5u);
+}
+
+TEST_F(LoadgenTest, NonKeepAliveMode) {
+  Options opt;
+  opt.port = rt_->bound_port();
+  opt.path = "/ping";
+  opt.concurrency = 2;
+  opt.total_requests = 20;
+  opt.keep_alive = false;
+  opt.expect_body = {'p'};
+  auto report = run_load(opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ok, 20u);
+}
+
+TEST_F(LoadgenTest, NotFoundRouteIsError) {
+  Options opt;
+  opt.port = rt_->bound_port();
+  opt.path = "/missing";
+  opt.concurrency = 1;
+  opt.total_requests = 3;
+  auto report = run_load(opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ok, 0u);
+  EXPECT_EQ(report->errors, 3u);
+}
+
+TEST(LoadgenStandaloneTest, ConnectFailureReported) {
+  // A port with (almost certainly) no listener.
+  auto resp = single_request("127.0.0.1", 1, "/x", {});
+  EXPECT_FALSE(resp.ok());
+
+  Options opt;
+  opt.port = 1;
+  opt.concurrency = 1;
+  opt.total_requests = 2;
+  auto report = run_load(opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ok, 0u);
+  EXPECT_EQ(report->errors, 2u);
+}
+
+TEST(LoadgenStandaloneTest, RejectsBadOptions) {
+  Options opt;
+  opt.concurrency = 0;
+  EXPECT_FALSE(run_load(opt).ok());
+  opt.concurrency = 1;
+  opt.total_requests = 0;
+  EXPECT_FALSE(run_load(opt).ok());
+}
+
+}  // namespace
+}  // namespace sledge::loadgen

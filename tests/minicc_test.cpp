@@ -1,0 +1,355 @@
+// mini-C compiler tests: lexer/parser/sema diagnostics and end-to-end
+// execution of every language feature through the fast interpreter, plus a
+// native-twin equivalence check through the C backend.
+#include <gtest/gtest.h>
+
+#include <dlfcn.h>
+
+#include "minicc/lexer.hpp"
+#include "minicc/minicc.hpp"
+#include "test_util.hpp"
+
+namespace sledge::minicc {
+namespace {
+
+using engine::Tier;
+using engine::Value;
+using sledge::testutil::run_module;
+
+engine::WasmModule::Config fast_cfg() {
+  engine::WasmModule::Config cfg;
+  cfg.tier = Tier::kInterpFast;
+  return cfg;
+}
+
+// Compiles `src` and runs exported `fn` with int args; expects an int.
+int32_t run_int(const std::string& src, const std::string& fn,
+                std::vector<int32_t> args = {}) {
+  auto wasm = compile_to_wasm(src);
+  EXPECT_TRUE(wasm.ok()) << wasm.error_message();
+  if (!wasm.ok()) return INT32_MIN;
+  std::vector<Value> values;
+  for (int32_t a : args) values.push_back(Value::i32(a));
+  auto out = run_module(wasm.value(), fast_cfg(), fn, values);
+  EXPECT_TRUE(out.ok()) << out.describe();
+  if (!out.ok() || !out.value) return INT32_MIN;
+  return out.value->as_i32();
+}
+
+double run_double(const std::string& src, const std::string& fn,
+                  std::vector<double> args = {}) {
+  auto wasm = compile_to_wasm(src);
+  EXPECT_TRUE(wasm.ok()) << wasm.error_message();
+  if (!wasm.ok()) return -1;
+  std::vector<Value> values;
+  for (double a : args) values.push_back(Value::f64(a));
+  auto out = run_module(wasm.value(), fast_cfg(), fn, values);
+  EXPECT_TRUE(out.ok()) << out.describe();
+  if (!out.ok() || !out.value) return -1;
+  return out.value->as_f64();
+}
+
+TEST(LexerTest, TokenizesOperators) {
+  auto toks = lex("<< >> <= >= == != && || ++ -- += /*c*/ //x\nb");
+  ASSERT_TRUE(toks.ok());
+  const auto& t = *toks;
+  Tok expected[] = {Tok::kShl, Tok::kShr, Tok::kLe, Tok::kGe, Tok::kEq,
+                    Tok::kNe, Tok::kAndAnd, Tok::kOrOr, Tok::kPlusPlus,
+                    Tok::kMinusMinus, Tok::kPlusEq, Tok::kIdent, Tok::kEof};
+  ASSERT_EQ(t.size(), 13u);
+  for (size_t i = 0; i < 13; ++i) EXPECT_EQ(t[i].kind, expected[i]) << i;
+  EXPECT_EQ(t[11].line, 2);  // comment newline counted
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(lex("int a @ b;").ok());
+  EXPECT_FALSE(lex("x $ y").ok());
+}
+
+TEST(LexerTest, NumbersAndSuffixes) {
+  auto toks = lex("42 0x1F 3.5 1e3 2.5f 7L");
+  ASSERT_TRUE(toks.ok());
+  const auto& t = *toks;
+  EXPECT_EQ(t[0].int_value, 42);
+  EXPECT_EQ(t[1].int_value, 31);
+  EXPECT_DOUBLE_EQ(t[2].float_value, 3.5);
+  EXPECT_DOUBLE_EQ(t[3].float_value, 1000.0);
+  EXPECT_EQ(t[4].kind, Tok::kFloatLit);
+  EXPECT_EQ(t[4].text, "f");
+  EXPECT_EQ(t[5].kind, Tok::kIntLit);
+  EXPECT_EQ(t[5].text, "L");
+}
+
+TEST(LexerTest, UnterminatedCommentErrors) {
+  EXPECT_FALSE(lex("int a; /* never closed").ok());
+}
+
+TEST(ParserTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(frontend("int main( { return 0; }").ok());
+  EXPECT_FALSE(frontend("int main() { return 0 }").ok());
+  EXPECT_FALSE(frontend("int main() { if return; }").ok());
+  EXPECT_FALSE(frontend("int x[; ").ok());
+  EXPECT_FALSE(frontend("int main() { 1 = 2; }").ok());
+}
+
+TEST(SemaTest, RejectsTypeErrors) {
+  EXPECT_FALSE(frontend("int main() { return y; }").ok());
+  EXPECT_FALSE(frontend("int main() { foo(); return 0; }").ok());
+  EXPECT_FALSE(frontend("double d; int main() { return d[0]; }").ok());
+  EXPECT_FALSE(frontend("int a[4]; int main() { return a; }").ok());
+  EXPECT_FALSE(frontend("int a[4][4]; int main() { return a[0]; }").ok());
+  EXPECT_FALSE(frontend("int main() { break; }").ok());
+  EXPECT_FALSE(frontend("int main() { int x; int x; return 0; }").ok());
+  EXPECT_FALSE(frontend("void f() {} int main() { return f() + 1; }").ok());
+  EXPECT_FALSE(frontend("int main() { return 1.5 % 2; }").ok());
+  EXPECT_FALSE(frontend("int sqrt() { return 0; }").ok());
+}
+
+TEST(SemaTest, RejectsBadBuiltinUse) {
+  EXPECT_FALSE(frontend("int main() { return req_len(1); }").ok());
+  EXPECT_FALSE(frontend("int main() { return req_read(1, 2, 3); }").ok());
+  EXPECT_FALSE(frontend("int x; int main() { return req_read(x, 0, 1); }").ok());
+}
+
+TEST(MiniccExecTest, ArithmeticAndPrecedence) {
+  EXPECT_EQ(run_int("int main() { return 2 + 3 * 4 - 6 / 2; }", "main"), 11);
+  EXPECT_EQ(run_int("int main() { return (2 + 3) * 4 % 7; }", "main"), 6);
+  EXPECT_EQ(run_int("int main() { return 1 << 4 | 3; }", "main"), 19);
+  EXPECT_EQ(run_int("int main() { return ~0 & 0xFF; }", "main"), 255);
+  EXPECT_EQ(run_int("int main() { return -7 / 2; }", "main"), -3);  // trunc
+  EXPECT_EQ(run_int("int main() { return -7 % 2; }", "main"), -1);
+}
+
+TEST(MiniccExecTest, ComparisonAndLogical) {
+  EXPECT_EQ(run_int("int main() { return (3 < 4) + (4 <= 4) + (5 > 9); }",
+                    "main"),
+            2);
+  EXPECT_EQ(run_int("int main() { return 1 && 2; }", "main"), 1);
+  EXPECT_EQ(run_int("int main() { return 0 || 0; }", "main"), 0);
+  EXPECT_EQ(run_int("int main() { return !5; }", "main"), 0);
+  EXPECT_EQ(run_int("int main() { return !0; }", "main"), 1);
+}
+
+TEST(MiniccExecTest, ShortCircuitSkipsSideEffects) {
+  const char* src = R"(
+    int g = 0;
+    int bump() { g = g + 1; return 1; }
+    int main() {
+      int a = 0 && bump();
+      int b = 1 || bump();
+      return g * 10 + a + b;
+    }
+  )";
+  EXPECT_EQ(run_int(src, "main"), 1);  // bump never ran
+}
+
+TEST(MiniccExecTest, TernaryAndNestedCalls) {
+  const char* src = R"(
+    int maxi(int a, int b) { return a > b ? a : b; }
+    int main() { return maxi(maxi(1, 7), 5); }
+  )";
+  EXPECT_EQ(run_int(src, "main"), 7);
+}
+
+TEST(MiniccExecTest, WhileForBreakContinue) {
+  const char* src = R"(
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 20) break;
+        sum += i;
+      }
+      int j = 0;
+      while (j < 5) { sum += 100; j++; }
+      return sum;
+    }
+  )";
+  // odd numbers 1..19 sum to 100, plus 500
+  EXPECT_EQ(run_int(src, "main"), 600);
+}
+
+TEST(MiniccExecTest, RecursionWorks) {
+  const char* src = R"(
+    int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+    int main() { return fact(10); }
+  )";
+  EXPECT_EQ(run_int(src, "main"), 3628800);
+}
+
+TEST(MiniccExecTest, ForwardReferences) {
+  // mini-C has no prototypes; later same-file definitions resolve fine.
+  const char* src = R"(
+    int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+    int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+    int main() { return even(10) * 10 + odd(7); }
+  )";
+  EXPECT_EQ(run_int(src, "main"), 11);
+}
+
+TEST(MiniccExecTest, GlobalsAndArrays2D) {
+  const char* src = R"(
+    int counter = 5;
+    double M[4][6];
+    int main() {
+      for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 6; j++)
+          M[i][j] = (double)(i * 10 + j);
+      counter += 1;
+      return (int)M[3][5] + counter;
+    }
+  )";
+  EXPECT_EQ(run_int(src, "main"), 41);
+}
+
+TEST(MiniccExecTest, CharArraysPromoteAndNarrow) {
+  const char* src = R"(
+    char buf[8];
+    int main() {
+      buf[0] = 300;        // narrows to 44
+      buf[1] = 255;
+      return buf[0] + buf[1];  // 44 + 255 (unsigned char reads)
+    }
+  )";
+  EXPECT_EQ(run_int(src, "main"), 299);
+}
+
+TEST(MiniccExecTest, TypeConversions) {
+  EXPECT_EQ(run_int("int main() { return (int)3.99; }", "main"), 3);
+  EXPECT_EQ(run_int("int main() { return (int)-3.99; }", "main"), -3);
+  EXPECT_DOUBLE_EQ(
+      run_double("double main() { return (double)7 / (double)2; }", "main"),
+      3.5);
+  EXPECT_EQ(run_int("long big() { return 5000000000L; }\n"
+                    "int main() { return (int)(big() / 1000000000L); }",
+                    "main"),
+            5);
+  EXPECT_DOUBLE_EQ(run_double("float h() { return 0.5f; }\n"
+                              "double main() { return (double)h() + 0.25; }",
+                              "main"),
+                   0.75);
+}
+
+TEST(MiniccExecTest, MathBuiltins) {
+  EXPECT_DOUBLE_EQ(run_double("double main() { return sqrt(16.0); }", "main"),
+                   4.0);
+  EXPECT_DOUBLE_EQ(
+      run_double("double main() { return fabs(-2.5) + floor(1.9) + ceil(0.1); }",
+                 "main"),
+      4.5);
+  EXPECT_NEAR(run_double("double main() { return exp(1.0); }", "main"),
+              2.718281828, 1e-8);
+  EXPECT_NEAR(run_double("double main() { return pow(2.0, 10.0); }", "main"),
+              1024.0, 1e-9);
+  EXPECT_NEAR(run_double("double main() { return sin(0.0) + cos(0.0); }",
+                         "main"),
+              1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      run_double("double main() { return fmin(1.0, 2.0) + fmax(1.0, 2.0); }",
+                 "main"),
+      3.0);
+}
+
+TEST(MiniccExecTest, CompoundAssignAndIncDec) {
+  const char* src = R"(
+    int main() {
+      int x = 10;
+      x += 5; x -= 3; x *= 2; x /= 4;
+      int y = ++x;        // value-of-assignment semantics
+      int z = x--;        // documented quirk: postfix == prefix value
+      return x * 100 + y * 10 + z;
+    }
+  )";
+  // x: 10->15->12->24->6; ++x -> 7, y=7; x-- -> 6, z=6; x=6
+  // 6*100 + 7*10 + 6 = 676
+  EXPECT_EQ(run_int(src, "main"), 676);
+}
+
+TEST(MiniccExecTest, ServerlessAbi) {
+  const char* src = R"(
+    char buf[64];
+    int main() {
+      int n = req_len();
+      req_read(buf, 0, n);
+      for (int i = 0; i < n; i++) buf[i] = buf[i] + 1;
+      resp_write(buf, n);
+      return n;
+    }
+  )";
+  auto wasm = compile_to_wasm(src);
+  ASSERT_TRUE(wasm.ok()) << wasm.error_message();
+  engine::ServerlessEnv env;
+  env.request = {'a', 'b', 'c'};
+  auto out = run_module(wasm.value(), fast_cfg(), "run", {}, &env);
+  ASSERT_TRUE(out.ok()) << out.describe();
+  EXPECT_EQ(env.response, (std::vector<uint8_t>{'b', 'c', 'd'}));
+}
+
+TEST(MiniccExecTest, MainExportedAsRun) {
+  auto wasm = compile_to_wasm("int main() { return 7; }");
+  ASSERT_TRUE(wasm.ok());
+  auto out = run_module(wasm.value(), fast_cfg(), "run", {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value->as_i32(), 7);
+}
+
+TEST(CodegenCTest, EmitsCompilableC) {
+  const char* src = R"(
+    double A[3][3];
+    int helper(int x) { return x * 2; }
+    int main() {
+      A[1][2] = sqrt(2.0);
+      return helper(21) + (int)A[1][2];
+    }
+  )";
+  auto c = compile_to_c(src, "tw_");
+  ASSERT_TRUE(c.ok()) << c.error_message();
+  EXPECT_NE(c->find("int32_t tw_main(void)"), std::string::npos);
+  EXPECT_NE(c->find("static double tw_A[3][3]"), std::string::npos);
+  EXPECT_NE(c->find("tw_helper"), std::string::npos);
+  EXPECT_NE(c->find("sqrt"), std::string::npos);
+}
+
+// Native-twin equivalence: run a program in Wasm and compile its C twin
+// with the system compiler; results must agree.
+TEST(CodegenCTest, NativeTwinAgreesWithWasm) {
+  const char* src = R"(
+    double acc[4];
+    int main() {
+      double s = 0.0;
+      for (int i = 1; i <= 64; i++) {
+        acc[i % 4] = sqrt((double)i) * 3.0;
+        s += acc[i % 4];
+      }
+      return (int)s;
+    }
+  )";
+  int32_t wasm_result = run_int(src, "main");
+
+  // Build + dlopen the C twin.
+  auto c = compile_to_c(src, "twin_");
+  ASSERT_TRUE(c.ok());
+  std::string full = *c +
+                     "\nint32_t mc_req_len(void){return 0;}"
+                     "\nint32_t mc_req_read(void*d,int32_t o,int32_t l){(void)d;(void)o;(void)l;return 0;}"
+                     "\nint32_t mc_resp_write(const void*s,int32_t l){(void)s;(void)l;return 0;}"
+                     "\nvoid mc_sleep_ms(int32_t m){(void)m;}"
+                     "\nvoid mc_debug_i32(int32_t v){(void)v;}"
+                     "\ndouble mc_req_f64(int32_t o){(void)o;return 0;}"
+                     "\nvoid mc_resp_f64(double v){(void)v;}"
+                     "\nint32_t mc_req_i32(int32_t o){(void)o;return 0;}"
+                     "\nvoid mc_resp_i32(int32_t v){(void)v;}\n";
+  auto compiled = engine::compile_c_to_so(full, engine::CcOptions{});
+  ASSERT_TRUE(compiled.ok()) << compiled.error_message();
+  void* handle = dlopen(compiled->so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  ASSERT_NE(handle, nullptr) << dlerror();
+  auto twin_main =
+      reinterpret_cast<int32_t (*)()>(dlsym(handle, "twin_main"));
+  ASSERT_NE(twin_main, nullptr);
+  EXPECT_EQ(twin_main(), wasm_result);
+  dlclose(handle);
+  engine::remove_work_dir(*compiled);
+}
+
+}  // namespace
+}  // namespace sledge::minicc

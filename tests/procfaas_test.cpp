@@ -1,0 +1,146 @@
+// procfaas (Nuclio-model baseline) tests: the fork+exec invocation path,
+// the HTTP server end-to-end with real function binaries, and the
+// fork-only mode.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "loadgen/loadgen.hpp"
+#include "procfaas/procfaas.hpp"
+
+namespace sledge::procfaas {
+namespace {
+
+// fn_* binaries live next to the apps library in the build tree; the test
+// binary receives the directory via compile definition.
+std::string fn_path(const std::string& app) {
+  return std::string(SLEDGE_FN_BINDIR) + "/fn_" + app;
+}
+
+TEST(SpawnTest, ForkExecRoundTrip) {
+  std::vector<uint8_t> req = {'h', 'i'};
+  std::vector<uint8_t> resp;
+  ASSERT_TRUE(spawn_function_process(fn_path("echo"), req, &resp));
+  EXPECT_EQ(resp, req);
+}
+
+TEST(SpawnTest, LargePayloadNoDeadlock) {
+  // Larger than the pipe buffer in both directions.
+  std::vector<uint8_t> req(400000);
+  for (size_t i = 0; i < req.size(); ++i) req[i] = static_cast<uint8_t>(i);
+  std::vector<uint8_t> resp;
+  ASSERT_TRUE(spawn_function_process(fn_path("echo"), req, &resp));
+  EXPECT_EQ(resp, req);
+}
+
+TEST(SpawnTest, MissingBinaryFails) {
+  std::vector<uint8_t> resp;
+  EXPECT_FALSE(spawn_function_process("/no/such/binary", {}, &resp));
+}
+
+TEST(ProcFaasTest, ServesPingOverHttp) {
+  ProcFaasConfig cfg;
+  cfg.max_workers = 2;
+  ProcFaas pf(cfg);
+  ASSERT_TRUE(pf.register_function("ping", fn_path("ping")).is_ok());
+  ASSERT_TRUE(pf.start().is_ok());
+
+  int status = 0;
+  auto resp = loadgen::single_request("127.0.0.1", pf.bound_port(), "/ping",
+                                      {}, &status);
+  ASSERT_TRUE(resp.ok()) << resp.error_message();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(*resp, (std::vector<uint8_t>{'p'}));
+  pf.stop();
+  EXPECT_EQ(pf.totals().requests, 1u);
+}
+
+TEST(ProcFaasTest, UnknownFunctionIs404) {
+  ProcFaasConfig cfg;
+  cfg.max_workers = 1;
+  ProcFaas pf(cfg);
+  ASSERT_TRUE(pf.start().is_ok());
+  int status = 0;
+  auto resp = loadgen::single_request("127.0.0.1", pf.bound_port(), "/nope",
+                                      {}, &status);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(status, 404);
+  pf.stop();
+}
+
+TEST(ProcFaasTest, RejectsUnregisterableBinary) {
+  ProcFaasConfig cfg;
+  ProcFaas pf(cfg);
+  EXPECT_FALSE(pf.register_function("x", "/does/not/exist").is_ok());
+}
+
+TEST(ProcFaasTest, ConcurrentClientsEchoCorrectly) {
+  ProcFaasConfig cfg;
+  cfg.max_workers = 4;
+  ProcFaas pf(cfg);
+  ASSERT_TRUE(pf.register_function("echo", fn_path("echo")).is_ok());
+  ASSERT_TRUE(pf.start().is_ok());
+
+  loadgen::Options opt;
+  opt.port = pf.bound_port();
+  opt.path = "/echo";
+  opt.body = {9, 8, 7};
+  opt.expect_body = {9, 8, 7};
+  opt.concurrency = 4;
+  opt.total_requests = 40;
+  auto report = loadgen::run_load(opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ok, 40u);
+  EXPECT_EQ(report->errors, 0u);
+  pf.stop();
+}
+
+// Regression: sustained concurrency above max_workers used to livelock —
+// children inherited the pipe write-ends of overlapping invocations (no
+// O_CLOEXEC) and never saw stdin EOF.
+TEST(ProcFaasTest, SustainedOverSubscriptionDoesNotLivelock) {
+  ProcFaasConfig cfg;
+  cfg.max_workers = 4;
+  ProcFaas pf(cfg);
+  ASSERT_TRUE(pf.register_function("ping", fn_path("ping")).is_ok());
+  ASSERT_TRUE(pf.start().is_ok());
+
+  loadgen::Options opt;
+  opt.port = pf.bound_port();
+  opt.path = "/ping";
+  opt.expect_body = {'p'};
+  opt.concurrency = 12;  // 3x the worker cap, keep-alive connections
+  opt.total_requests = 120;
+  auto report = loadgen::run_load(opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ok, 120u);
+  EXPECT_EQ(report->errors, 0u);
+  pf.stop();
+}
+
+TEST(ProcFaasTest, ForkOnlyModeRunsHandlerInChild) {
+  ProcFaasConfig cfg;
+  cfg.max_workers = 1;
+  cfg.mode = Mode::kForkOnly;
+  ProcFaas pf(cfg);
+  ASSERT_TRUE(pf.register_function(
+                    "double",
+                    [](const std::vector<uint8_t>& in,
+                       std::vector<uint8_t>* out) {
+                      for (uint8_t b : in) {
+                        out->push_back(static_cast<uint8_t>(b * 2));
+                      }
+                    })
+                  .is_ok());
+  ASSERT_TRUE(pf.start().is_ok());
+  int status = 0;
+  auto resp = loadgen::single_request("127.0.0.1", pf.bound_port(), "/double",
+                                      {1, 2, 3}, &status);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(*resp, (std::vector<uint8_t>{2, 4, 6}));
+  pf.stop();
+}
+
+}  // namespace
+}  // namespace sledge::procfaas

@@ -1,0 +1,39 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace sledge::testutil {
+
+// Loads + instantiates + invokes in one step; fails the current test on
+// load/instantiation errors (invoke outcomes are returned for inspection).
+inline engine::InvokeOutcome run_module(
+    const std::vector<uint8_t>& wasm_bytes,
+    const engine::WasmModule::Config& config, const std::string& export_name,
+    const std::vector<engine::Value>& args,
+    engine::ServerlessEnv* env = nullptr) {
+  auto mod = engine::WasmModule::load(wasm_bytes, config);
+  if (!mod.ok()) {
+    return engine::InvokeOutcome::failed("load: " + mod.error_message());
+  }
+  auto sandbox = mod->instantiate();
+  if (!sandbox.ok()) {
+    return engine::InvokeOutcome::failed("instantiate: " +
+                                         sandbox.error_message());
+  }
+  return sandbox->call(export_name, args, env);
+}
+
+inline std::string param_name(
+    const ::testing::TestParamInfo<
+        std::tuple<engine::Tier, engine::BoundsStrategy>>& info) {
+  return std::string(engine::to_string(std::get<0>(info.param))) + "_" +
+         engine::to_string(std::get<1>(info.param));
+}
+
+}  // namespace sledge::testutil

@@ -1,0 +1,90 @@
+// Disassembler tests: structural rendering of modules and instruction
+// bodies (smoke-level — the output is for humans, tests pin the essentials).
+#include <gtest/gtest.h>
+
+#include "minicc/minicc.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/disasm.hpp"
+
+namespace sledge::wasm {
+namespace {
+
+TEST(DisasmTest, RendersMiniccModule) {
+  auto wasm = minicc::compile_to_wasm(R"(
+    double acc = 1.5;
+    int table_fn(int x) { return x + 1; }
+    int main() {
+      acc = acc * 2.0;
+      return table_fn((int)acc);
+    }
+  )");
+  ASSERT_TRUE(wasm.ok());
+  auto mod = decode(*wasm);
+  ASSERT_TRUE(mod.ok());
+  std::string wat = disassemble(*mod);
+
+  EXPECT_NE(wat.find("(module"), std::string::npos);
+  EXPECT_NE(wat.find("(memory"), std::string::npos);
+  EXPECT_NE(wat.find("(global $g0 (mut f64))"), std::string::npos);
+  EXPECT_NE(wat.find("(export \"main\""), std::string::npos);
+  EXPECT_NE(wat.find("(export \"run\""), std::string::npos);
+  EXPECT_NE(wat.find("f64.mul"), std::string::npos);
+  EXPECT_NE(wat.find("i32.trunc_f64_s"), std::string::npos);
+  EXPECT_NE(wat.find("call "), std::string::npos);
+}
+
+TEST(DisasmTest, RendersControlFlowNesting) {
+  auto wasm = minicc::compile_to_wasm(R"(
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 4; i++) {
+        if (i % 2 == 0) sum += i;
+      }
+      return sum;
+    }
+  )");
+  ASSERT_TRUE(wasm.ok());
+  auto mod = decode(*wasm);
+  ASSERT_TRUE(mod.ok());
+  std::string wat = disassemble(*mod);
+  EXPECT_NE(wat.find("block"), std::string::npos);
+  EXPECT_NE(wat.find("loop"), std::string::npos);
+  EXPECT_NE(wat.find("br_if"), std::string::npos);
+  EXPECT_NE(wat.find("if"), std::string::npos);
+  // Nesting increases indentation: the loop body is deeper than the block.
+  size_t block_pos = wat.find("    block");
+  size_t loop_pos = wat.find("      loop");
+  EXPECT_NE(block_pos, std::string::npos);
+  EXPECT_NE(loop_pos, std::string::npos);
+}
+
+TEST(DisasmTest, RendersImportsAndConstants) {
+  auto wasm = minicc::compile_to_wasm(R"(
+    char buf[8];
+    int main() {
+      resp_write(buf, req_len());
+      return (int)(3.25 * 2.0);
+    }
+  )");
+  ASSERT_TRUE(wasm.ok());
+  auto mod = decode(*wasm);
+  ASSERT_TRUE(mod.ok());
+  std::string wat = disassemble(*mod);
+  EXPECT_NE(wat.find("(import \"env\" \"req_len\""), std::string::npos);
+  EXPECT_NE(wat.find("(import \"env\" \"resp_write\""), std::string::npos);
+  EXPECT_NE(wat.find("f64.const 3.25"), std::string::npos);
+}
+
+TEST(DisasmTest, SingleFunctionView) {
+  auto wasm = minicc::compile_to_wasm("int f(int a) { return a * a; }");
+  ASSERT_TRUE(wasm.ok());
+  auto mod = decode(*wasm);
+  ASSERT_TRUE(mod.ok());
+  std::string wat = disassemble_function(*mod, 0);
+  EXPECT_NE(wat.find("(func $f0 (param i32) (result i32)"),
+            std::string::npos);
+  EXPECT_NE(wat.find("i32.mul"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sledge::wasm

@@ -1,0 +1,300 @@
+// Validator tests: positive cases for well-typed control flow and negative
+// cases for every class of type error the validator must reject.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/validator.hpp"
+
+namespace sledge::wasm {
+namespace {
+
+using V = ValType;
+
+// Builds a single-function module with the body provided by `emit` and runs
+// decode+validate on it.
+Status check_body(std::vector<V> params, std::vector<V> results,
+                  const std::function<void(FunctionBuilder&)>& emit,
+                  bool with_memory = true, bool with_table = false) {
+  ModuleBuilder b;
+  uint32_t t = b.add_type(std::move(params), std::move(results));
+  if (with_memory) b.set_memory(1, 1);
+  if (with_table) b.set_table(1, 1);
+  uint32_t f = b.declare_function(t);
+  emit(b.function(f));
+  auto mod = decode(b.build());
+  if (!mod.ok()) return Status::error("decode: " + mod.error_message());
+  return validate(*mod);
+}
+
+TEST(ValidatorTest, AcceptsSimpleArith) {
+  EXPECT_TRUE(check_body({V::kI32, V::kI32}, {V::kI32}, [](FunctionBuilder& f) {
+                f.local_get(0);
+                f.local_get(1);
+                f.emit(Op::kI32Add);
+                f.end();
+              }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsOperandTypeMismatch) {
+  EXPECT_FALSE(check_body({V::kI32, V::kF64}, {V::kI32},
+                          [](FunctionBuilder& f) {
+                            f.local_get(0);
+                            f.local_get(1);
+                            f.emit(Op::kI32Add);  // i32+f64
+                            f.end();
+                          })
+                   .is_ok());
+}
+
+TEST(ValidatorTest, RejectsStackUnderflow) {
+  EXPECT_FALSE(check_body({}, {V::kI32}, [](FunctionBuilder& f) {
+                 f.emit(Op::kI32Add);  // nothing on the stack
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsLeftoverValues) {
+  EXPECT_FALSE(check_body({}, {}, [](FunctionBuilder& f) {
+                 f.i32_const(1);  // dangling value at end
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsMissingResult) {
+  EXPECT_FALSE(check_body({}, {V::kI32}, [](FunctionBuilder& f) {
+                 f.end();  // no value produced
+               }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsWrongResultType) {
+  EXPECT_FALSE(check_body({}, {V::kI32}, [](FunctionBuilder& f) {
+                 f.f32_const(1.0f);
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, AcceptsBlockWithResult) {
+  EXPECT_TRUE(check_body({}, {V::kI32}, [](FunctionBuilder& f) {
+                f.block(V::kI32);
+                f.i32_const(5);
+                f.end();
+                f.end();
+              }).is_ok());
+}
+
+TEST(ValidatorTest, AcceptsBranchCarriesValue) {
+  EXPECT_TRUE(check_body({V::kI32}, {V::kI32}, [](FunctionBuilder& f) {
+                f.block(V::kI32);
+                f.i32_const(99);
+                f.local_get(0);
+                f.br_if(0);
+                f.end();
+                f.end();
+              }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsBranchDepthOutOfRange) {
+  EXPECT_FALSE(check_body({}, {}, [](FunctionBuilder& f) {
+                 f.block();
+                 f.br(5);
+                 f.end();
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsBranchValueTypeMismatch) {
+  EXPECT_FALSE(check_body({}, {V::kI32}, [](FunctionBuilder& f) {
+                 f.block(V::kI32);
+                 f.f64_const(1.0);
+                 f.br(0);  // carries f64 to an i32 label
+                 f.end();
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, AcceptsLoopBranchTakesNothing) {
+  EXPECT_TRUE(check_body({V::kI32}, {}, [](FunctionBuilder& f) {
+                f.block();
+                f.loop();
+                f.local_get(0);
+                f.emit(Op::kI32Eqz);
+                f.br_if(1);   // exit
+                f.br(0);      // continue (loop label: no values)
+                f.end();
+                f.end();
+                f.end();
+              }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsIfWithResultWithoutElse) {
+  EXPECT_FALSE(check_body({V::kI32}, {V::kI32}, [](FunctionBuilder& f) {
+                 f.local_get(0);
+                 f.if_(V::kI32);
+                 f.i32_const(1);
+                 f.end();  // no else: false path yields nothing
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, AcceptsIfElseWithResult) {
+  EXPECT_TRUE(check_body({V::kI32}, {V::kI32}, [](FunctionBuilder& f) {
+                f.local_get(0);
+                f.if_(V::kI32);
+                f.i32_const(1);
+                f.else_();
+                f.i32_const(2);
+                f.end();
+                f.end();
+              }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsIfArmsDisagree) {
+  EXPECT_FALSE(check_body({V::kI32}, {V::kI32}, [](FunctionBuilder& f) {
+                 f.local_get(0);
+                 f.if_(V::kI32);
+                 f.i32_const(1);
+                 f.else_();
+                 f.f32_const(2.0f);
+                 f.end();
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsSelectTypeMismatch) {
+  EXPECT_FALSE(check_body({}, {}, [](FunctionBuilder& f) {
+                 f.i32_const(1);
+                 f.f64_const(2.0);
+                 f.i32_const(0);
+                 f.emit(Op::kSelect);
+                 f.emit(Op::kDrop);
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsBadLocalIndex) {
+  EXPECT_FALSE(check_body({V::kI32}, {}, [](FunctionBuilder& f) {
+                 f.local_get(3);
+                 f.emit(Op::kDrop);
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsLocalSetTypeMismatch) {
+  EXPECT_FALSE(check_body({V::kI32}, {}, [](FunctionBuilder& f) {
+                 f.f64_const(1.0);
+                 f.local_set(0);
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsMemoryOpsWithoutMemory) {
+  EXPECT_FALSE(check_body({}, {V::kI32},
+                          [](FunctionBuilder& f) {
+                            f.i32_const(0);
+                            f.mem(Op::kI32Load);
+                            f.end();
+                          },
+                          /*with_memory=*/false)
+                   .is_ok());
+}
+
+TEST(ValidatorTest, RejectsCallIndirectWithoutTable) {
+  EXPECT_FALSE(check_body({}, {},
+                          [](FunctionBuilder& f) {
+                            f.i32_const(0);
+                            f.call_indirect(0);
+                            f.emit(Op::kDrop);
+                            f.end();
+                          },
+                          /*with_memory=*/true, /*with_table=*/false)
+                   .is_ok());
+}
+
+TEST(ValidatorTest, RejectsSetOfImmutableGlobal) {
+  ModuleBuilder b;
+  uint32_t t = b.add_type({}, {});
+  b.add_global(V::kI32, /*mutable=*/false, 1);
+  uint32_t f = b.declare_function(t);
+  auto& fb = b.function(f);
+  fb.i32_const(2);
+  fb.global_set(0);
+  fb.end();
+  auto mod = decode(b.build());
+  ASSERT_TRUE(mod.ok());
+  EXPECT_FALSE(validate(*mod).is_ok());
+}
+
+TEST(ValidatorTest, AcceptsCodeAfterUnconditionalBranch) {
+  // Unreachable code is validated polymorphically.
+  EXPECT_TRUE(check_body({}, {V::kI32}, [](FunctionBuilder& f) {
+                f.block(V::kI32);
+                f.i32_const(1);
+                f.br(0);
+                f.emit(Op::kI32Add);  // unreachable: stack-polymorphic
+                f.end();
+                f.end();
+              }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsBrTableInconsistentLabels) {
+  EXPECT_FALSE(check_body({V::kI32}, {V::kI32}, [](FunctionBuilder& f) {
+                 f.block(V::kI32);   // label 1 expects i32
+                 f.block();          // label 0 expects nothing
+                 f.local_get(0);
+                 f.br_table({0}, 1);  // mixed arities
+                 f.end();
+                 f.i32_const(0);
+                 f.end();
+                 f.end();
+               }).is_ok());
+}
+
+TEST(ValidatorTest, RejectsDataSegmentBeyondMemory) {
+  ModuleBuilder b;
+  b.set_memory(1, 1);
+  b.add_data(65530, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  auto mod = decode(b.build());
+  ASSERT_TRUE(mod.ok());
+  EXPECT_FALSE(validate(*mod).is_ok());
+}
+
+TEST(ValidatorTest, RejectsElementSegmentBeyondTable) {
+  ModuleBuilder b;
+  uint32_t t = b.add_type({}, {});
+  b.set_table(1, 1);
+  uint32_t f = b.declare_function(t);
+  b.function(f).end();
+  b.add_element(1, {f});  // offset 1 + 1 entry > table min 1
+  auto mod = decode(b.build());
+  ASSERT_TRUE(mod.ok());
+  EXPECT_FALSE(validate(*mod).is_ok());
+}
+
+TEST(ValidatorTest, RejectsBadExportIndex) {
+  ModuleBuilder b;
+  uint32_t t = b.add_type({}, {});
+  uint32_t f = b.declare_function(t);
+  b.function(f).end();
+  b.export_function("ghost", 42);
+  auto mod = decode(b.build());
+  ASSERT_TRUE(mod.ok());
+  EXPECT_FALSE(validate(*mod).is_ok());
+}
+
+TEST(ValidatorTest, RejectsStartWithParams) {
+  ModuleBuilder b;
+  uint32_t t = b.add_type({V::kI32}, {});
+  uint32_t f = b.declare_function(t);
+  auto& fb = b.function(f);
+  fb.end();
+  b.set_start(f);
+  auto mod = decode(b.build());
+  ASSERT_TRUE(mod.ok());
+  EXPECT_FALSE(validate(*mod).is_ok());
+}
+
+}  // namespace
+}  // namespace sledge::wasm
