@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_bounds.cpp" "bench/CMakeFiles/bench_ablation_bounds.dir/bench_ablation_bounds.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_bounds.dir/bench_ablation_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sledge_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/minicc/CMakeFiles/sledge_minicc.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sledge_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/sledge_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sledge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_sweep.dir/bench_cpu_sweep.cpp.o"
+  "CMakeFiles/bench_cpu_sweep.dir/bench_cpu_sweep.cpp.o.d"
+  "bench_cpu_sweep"
+  "bench_cpu_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

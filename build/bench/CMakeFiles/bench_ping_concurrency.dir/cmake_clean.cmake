@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ping_concurrency.dir/bench_ping_concurrency.cpp.o"
+  "CMakeFiles/bench_ping_concurrency.dir/bench_ping_concurrency.cpp.o.d"
+  "bench_ping_concurrency"
+  "bench_ping_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ping_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

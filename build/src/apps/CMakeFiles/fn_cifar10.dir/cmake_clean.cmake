@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn_cifar10.dir/cifar10_native.c.o"
+  "CMakeFiles/fn_cifar10.dir/cifar10_native.c.o.d"
+  "CMakeFiles/fn_cifar10.dir/fnrunner_main.cpp.o"
+  "CMakeFiles/fn_cifar10.dir/fnrunner_main.cpp.o.d"
+  "cifar10_native.c"
+  "fn_cifar10"
+  "fn_cifar10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/fn_cifar10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

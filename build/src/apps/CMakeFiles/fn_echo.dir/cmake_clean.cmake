@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn_echo.dir/echo_native.c.o"
+  "CMakeFiles/fn_echo.dir/echo_native.c.o.d"
+  "CMakeFiles/fn_echo.dir/fnrunner_main.cpp.o"
+  "CMakeFiles/fn_echo.dir/fnrunner_main.cpp.o.d"
+  "echo_native.c"
+  "fn_echo"
+  "fn_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/fn_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fn_echo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn_ekf.dir/ekf_native.c.o"
+  "CMakeFiles/fn_ekf.dir/ekf_native.c.o.d"
+  "CMakeFiles/fn_ekf.dir/fnrunner_main.cpp.o"
+  "CMakeFiles/fn_ekf.dir/fnrunner_main.cpp.o.d"
+  "ekf_native.c"
+  "fn_ekf"
+  "fn_ekf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/fn_ekf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn_fib.dir/fib_native.c.o"
+  "CMakeFiles/fn_fib.dir/fib_native.c.o.d"
+  "CMakeFiles/fn_fib.dir/fnrunner_main.cpp.o"
+  "CMakeFiles/fn_fib.dir/fnrunner_main.cpp.o.d"
+  "fib_native.c"
+  "fn_fib"
+  "fn_fib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/fn_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

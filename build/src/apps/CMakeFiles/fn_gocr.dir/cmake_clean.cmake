@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn_gocr.dir/fnrunner_main.cpp.o"
+  "CMakeFiles/fn_gocr.dir/fnrunner_main.cpp.o.d"
+  "CMakeFiles/fn_gocr.dir/gocr_native.c.o"
+  "CMakeFiles/fn_gocr.dir/gocr_native.c.o.d"
+  "fn_gocr"
+  "fn_gocr.pdb"
+  "gocr_native.c"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/fn_gocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn_lpd.dir/fnrunner_main.cpp.o"
+  "CMakeFiles/fn_lpd.dir/fnrunner_main.cpp.o.d"
+  "CMakeFiles/fn_lpd.dir/lpd_native.c.o"
+  "CMakeFiles/fn_lpd.dir/lpd_native.c.o.d"
+  "fn_lpd"
+  "fn_lpd.pdb"
+  "lpd_native.c"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/fn_lpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn_ping.dir/fnrunner_main.cpp.o"
+  "CMakeFiles/fn_ping.dir/fnrunner_main.cpp.o.d"
+  "CMakeFiles/fn_ping.dir/ping_native.c.o"
+  "CMakeFiles/fn_ping.dir/ping_native.c.o.d"
+  "fn_ping"
+  "fn_ping.pdb"
+  "ping_native.c"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/fn_ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn_resize.dir/fnrunner_main.cpp.o"
+  "CMakeFiles/fn_resize.dir/fnrunner_main.cpp.o.d"
+  "CMakeFiles/fn_resize.dir/resize_native.c.o"
+  "CMakeFiles/fn_resize.dir/resize_native.c.o.d"
+  "fn_resize"
+  "fn_resize.pdb"
+  "resize_native.c"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/fn_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

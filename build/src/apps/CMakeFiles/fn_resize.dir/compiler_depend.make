@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fn_resize.
+# This may be replaced when dependencies are built.

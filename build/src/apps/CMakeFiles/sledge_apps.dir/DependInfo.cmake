@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/native_host.cpp" "src/apps/CMakeFiles/sledge_apps.dir/native_host.cpp.o" "gcc" "src/apps/CMakeFiles/sledge_apps.dir/native_host.cpp.o.d"
+  "/root/repo/src/apps/workloads.cpp" "src/apps/CMakeFiles/sledge_apps.dir/workloads.cpp.o" "gcc" "src/apps/CMakeFiles/sledge_apps.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minicc/CMakeFiles/sledge_minicc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sledge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/sledge_wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledge_apps.dir/native_host.cpp.o"
+  "CMakeFiles/sledge_apps.dir/native_host.cpp.o.d"
+  "CMakeFiles/sledge_apps.dir/workloads.cpp.o"
+  "CMakeFiles/sledge_apps.dir/workloads.cpp.o.d"
+  "libsledge_apps.a"
+  "libsledge_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledge_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

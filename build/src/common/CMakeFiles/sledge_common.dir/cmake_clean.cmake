@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledge_common.dir/file_util.cpp.o"
+  "CMakeFiles/sledge_common.dir/file_util.cpp.o.d"
+  "CMakeFiles/sledge_common.dir/json.cpp.o"
+  "CMakeFiles/sledge_common.dir/json.cpp.o.d"
+  "CMakeFiles/sledge_common.dir/log.cpp.o"
+  "CMakeFiles/sledge_common.dir/log.cpp.o.d"
+  "libsledge_common.a"
+  "libsledge_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledge_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/aot.cpp" "src/engine/CMakeFiles/sledge_engine.dir/aot.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/aot.cpp.o.d"
+  "/root/repo/src/engine/cc_driver.cpp" "src/engine/CMakeFiles/sledge_engine.dir/cc_driver.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/cc_driver.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/sledge_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/host.cpp" "src/engine/CMakeFiles/sledge_engine.dir/host.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/host.cpp.o.d"
+  "/root/repo/src/engine/instance.cpp" "src/engine/CMakeFiles/sledge_engine.dir/instance.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/instance.cpp.o.d"
+  "/root/repo/src/engine/interp.cpp" "src/engine/CMakeFiles/sledge_engine.dir/interp.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/interp.cpp.o.d"
+  "/root/repo/src/engine/interp_fast.cpp" "src/engine/CMakeFiles/sledge_engine.dir/interp_fast.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/interp_fast.cpp.o.d"
+  "/root/repo/src/engine/memory.cpp" "src/engine/CMakeFiles/sledge_engine.dir/memory.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/memory.cpp.o.d"
+  "/root/repo/src/engine/predecode.cpp" "src/engine/CMakeFiles/sledge_engine.dir/predecode.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/predecode.cpp.o.d"
+  "/root/repo/src/engine/trap.cpp" "src/engine/CMakeFiles/sledge_engine.dir/trap.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/trap.cpp.o.d"
+  "/root/repo/src/engine/wasm2c.cpp" "src/engine/CMakeFiles/sledge_engine.dir/wasm2c.cpp.o" "gcc" "src/engine/CMakeFiles/sledge_engine.dir/wasm2c.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wasm/CMakeFiles/sledge_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sledge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

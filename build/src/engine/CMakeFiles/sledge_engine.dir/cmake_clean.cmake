@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledge_engine.dir/aot.cpp.o"
+  "CMakeFiles/sledge_engine.dir/aot.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/cc_driver.cpp.o"
+  "CMakeFiles/sledge_engine.dir/cc_driver.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/engine.cpp.o"
+  "CMakeFiles/sledge_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/host.cpp.o"
+  "CMakeFiles/sledge_engine.dir/host.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/instance.cpp.o"
+  "CMakeFiles/sledge_engine.dir/instance.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/interp.cpp.o"
+  "CMakeFiles/sledge_engine.dir/interp.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/interp_fast.cpp.o"
+  "CMakeFiles/sledge_engine.dir/interp_fast.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/memory.cpp.o"
+  "CMakeFiles/sledge_engine.dir/memory.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/predecode.cpp.o"
+  "CMakeFiles/sledge_engine.dir/predecode.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/trap.cpp.o"
+  "CMakeFiles/sledge_engine.dir/trap.cpp.o.d"
+  "CMakeFiles/sledge_engine.dir/wasm2c.cpp.o"
+  "CMakeFiles/sledge_engine.dir/wasm2c.cpp.o.d"
+  "libsledge_engine.a"
+  "libsledge_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledge_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

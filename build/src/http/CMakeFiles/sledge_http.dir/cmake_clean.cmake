@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledge_http.dir/http.cpp.o"
+  "CMakeFiles/sledge_http.dir/http.cpp.o.d"
+  "libsledge_http.a"
+  "libsledge_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledge_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

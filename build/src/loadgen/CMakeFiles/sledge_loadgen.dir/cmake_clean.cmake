@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledge_loadgen.dir/loadgen.cpp.o"
+  "CMakeFiles/sledge_loadgen.dir/loadgen.cpp.o.d"
+  "libsledge_loadgen.a"
+  "libsledge_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledge_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

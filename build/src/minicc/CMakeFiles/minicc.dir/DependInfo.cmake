@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minicc/minicc_tool.cpp" "src/minicc/CMakeFiles/minicc.dir/minicc_tool.cpp.o" "gcc" "src/minicc/CMakeFiles/minicc.dir/minicc_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minicc/CMakeFiles/sledge_minicc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/sledge_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sledge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

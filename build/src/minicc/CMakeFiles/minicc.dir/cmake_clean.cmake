@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicc.dir/minicc_tool.cpp.o"
+  "CMakeFiles/minicc.dir/minicc_tool.cpp.o.d"
+  "minicc"
+  "minicc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minicc/builtins.cpp" "src/minicc/CMakeFiles/sledge_minicc.dir/builtins.cpp.o" "gcc" "src/minicc/CMakeFiles/sledge_minicc.dir/builtins.cpp.o.d"
+  "/root/repo/src/minicc/codegen_c.cpp" "src/minicc/CMakeFiles/sledge_minicc.dir/codegen_c.cpp.o" "gcc" "src/minicc/CMakeFiles/sledge_minicc.dir/codegen_c.cpp.o.d"
+  "/root/repo/src/minicc/codegen_wasm.cpp" "src/minicc/CMakeFiles/sledge_minicc.dir/codegen_wasm.cpp.o" "gcc" "src/minicc/CMakeFiles/sledge_minicc.dir/codegen_wasm.cpp.o.d"
+  "/root/repo/src/minicc/lexer.cpp" "src/minicc/CMakeFiles/sledge_minicc.dir/lexer.cpp.o" "gcc" "src/minicc/CMakeFiles/sledge_minicc.dir/lexer.cpp.o.d"
+  "/root/repo/src/minicc/minicc.cpp" "src/minicc/CMakeFiles/sledge_minicc.dir/minicc.cpp.o" "gcc" "src/minicc/CMakeFiles/sledge_minicc.dir/minicc.cpp.o.d"
+  "/root/repo/src/minicc/parser.cpp" "src/minicc/CMakeFiles/sledge_minicc.dir/parser.cpp.o" "gcc" "src/minicc/CMakeFiles/sledge_minicc.dir/parser.cpp.o.d"
+  "/root/repo/src/minicc/sema.cpp" "src/minicc/CMakeFiles/sledge_minicc.dir/sema.cpp.o" "gcc" "src/minicc/CMakeFiles/sledge_minicc.dir/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wasm/CMakeFiles/sledge_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sledge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

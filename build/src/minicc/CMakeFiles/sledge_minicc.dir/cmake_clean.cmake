@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledge_minicc.dir/builtins.cpp.o"
+  "CMakeFiles/sledge_minicc.dir/builtins.cpp.o.d"
+  "CMakeFiles/sledge_minicc.dir/codegen_c.cpp.o"
+  "CMakeFiles/sledge_minicc.dir/codegen_c.cpp.o.d"
+  "CMakeFiles/sledge_minicc.dir/codegen_wasm.cpp.o"
+  "CMakeFiles/sledge_minicc.dir/codegen_wasm.cpp.o.d"
+  "CMakeFiles/sledge_minicc.dir/lexer.cpp.o"
+  "CMakeFiles/sledge_minicc.dir/lexer.cpp.o.d"
+  "CMakeFiles/sledge_minicc.dir/minicc.cpp.o"
+  "CMakeFiles/sledge_minicc.dir/minicc.cpp.o.d"
+  "CMakeFiles/sledge_minicc.dir/parser.cpp.o"
+  "CMakeFiles/sledge_minicc.dir/parser.cpp.o.d"
+  "CMakeFiles/sledge_minicc.dir/sema.cpp.o"
+  "CMakeFiles/sledge_minicc.dir/sema.cpp.o.d"
+  "libsledge_minicc.a"
+  "libsledge_minicc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledge_minicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledge_procfaas.dir/procfaas.cpp.o"
+  "CMakeFiles/sledge_procfaas.dir/procfaas.cpp.o.d"
+  "libsledge_procfaas.a"
+  "libsledge_procfaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledge_procfaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sledge/listener.cpp" "src/sledge/CMakeFiles/sledge_runtime.dir/listener.cpp.o" "gcc" "src/sledge/CMakeFiles/sledge_runtime.dir/listener.cpp.o.d"
+  "/root/repo/src/sledge/runtime.cpp" "src/sledge/CMakeFiles/sledge_runtime.dir/runtime.cpp.o" "gcc" "src/sledge/CMakeFiles/sledge_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/sledge/sandbox.cpp" "src/sledge/CMakeFiles/sledge_runtime.dir/sandbox.cpp.o" "gcc" "src/sledge/CMakeFiles/sledge_runtime.dir/sandbox.cpp.o.d"
+  "/root/repo/src/sledge/worker.cpp" "src/sledge/CMakeFiles/sledge_runtime.dir/worker.cpp.o" "gcc" "src/sledge/CMakeFiles/sledge_runtime.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/sledge_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sledge_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sledge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/sledge_wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledge_runtime.dir/listener.cpp.o"
+  "CMakeFiles/sledge_runtime.dir/listener.cpp.o.d"
+  "CMakeFiles/sledge_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/sledge_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/sledge_runtime.dir/sandbox.cpp.o"
+  "CMakeFiles/sledge_runtime.dir/sandbox.cpp.o.d"
+  "CMakeFiles/sledge_runtime.dir/worker.cpp.o"
+  "CMakeFiles/sledge_runtime.dir/worker.cpp.o.d"
+  "libsledge_runtime.a"
+  "libsledge_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledge_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledged.dir/sledged_main.cpp.o"
+  "CMakeFiles/sledged.dir/sledged_main.cpp.o.d"
+  "sledged"
+  "sledged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

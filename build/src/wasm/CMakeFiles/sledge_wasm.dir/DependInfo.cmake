@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wasm/builder.cpp" "src/wasm/CMakeFiles/sledge_wasm.dir/builder.cpp.o" "gcc" "src/wasm/CMakeFiles/sledge_wasm.dir/builder.cpp.o.d"
+  "/root/repo/src/wasm/decoder.cpp" "src/wasm/CMakeFiles/sledge_wasm.dir/decoder.cpp.o" "gcc" "src/wasm/CMakeFiles/sledge_wasm.dir/decoder.cpp.o.d"
+  "/root/repo/src/wasm/disasm.cpp" "src/wasm/CMakeFiles/sledge_wasm.dir/disasm.cpp.o" "gcc" "src/wasm/CMakeFiles/sledge_wasm.dir/disasm.cpp.o.d"
+  "/root/repo/src/wasm/types.cpp" "src/wasm/CMakeFiles/sledge_wasm.dir/types.cpp.o" "gcc" "src/wasm/CMakeFiles/sledge_wasm.dir/types.cpp.o.d"
+  "/root/repo/src/wasm/validator.cpp" "src/wasm/CMakeFiles/sledge_wasm.dir/validator.cpp.o" "gcc" "src/wasm/CMakeFiles/sledge_wasm.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sledge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

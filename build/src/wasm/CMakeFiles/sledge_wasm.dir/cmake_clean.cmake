@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledge_wasm.dir/builder.cpp.o"
+  "CMakeFiles/sledge_wasm.dir/builder.cpp.o.d"
+  "CMakeFiles/sledge_wasm.dir/decoder.cpp.o"
+  "CMakeFiles/sledge_wasm.dir/decoder.cpp.o.d"
+  "CMakeFiles/sledge_wasm.dir/disasm.cpp.o"
+  "CMakeFiles/sledge_wasm.dir/disasm.cpp.o.d"
+  "CMakeFiles/sledge_wasm.dir/types.cpp.o"
+  "CMakeFiles/sledge_wasm.dir/types.cpp.o.d"
+  "CMakeFiles/sledge_wasm.dir/validator.cpp.o"
+  "CMakeFiles/sledge_wasm.dir/validator.cpp.o.d"
+  "libsledge_wasm.a"
+  "libsledge_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledge_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_memory_test.dir/engine_memory_test.cpp.o"
+  "CMakeFiles/engine_memory_test.dir/engine_memory_test.cpp.o.d"
+  "engine_memory_test"
+  "engine_memory_test.pdb"
+  "engine_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procfaas_test.dir/procfaas_test.cpp.o"
+  "CMakeFiles/procfaas_test.dir/procfaas_test.cpp.o.d"
+  "procfaas_test"
+  "procfaas_test.pdb"
+  "procfaas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procfaas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

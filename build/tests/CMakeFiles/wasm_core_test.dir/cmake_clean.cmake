@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_core_test.dir/wasm_core_test.cpp.o"
+  "CMakeFiles/wasm_core_test.dir/wasm_core_test.cpp.o.d"
+  "wasm_core_test"
+  "wasm_core_test.pdb"
+  "wasm_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_disasm_test.dir/wasm_disasm_test.cpp.o"
+  "CMakeFiles/wasm_disasm_test.dir/wasm_disasm_test.cpp.o.d"
+  "wasm_disasm_test"
+  "wasm_disasm_test.pdb"
+  "wasm_disasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_disasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

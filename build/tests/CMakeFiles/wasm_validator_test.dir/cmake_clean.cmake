@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_validator_test.dir/wasm_validator_test.cpp.o"
+  "CMakeFiles/wasm_validator_test.dir/wasm_validator_test.cpp.o.d"
+  "wasm_validator_test"
+  "wasm_validator_test.pdb"
+  "wasm_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_core_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_validator_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/minicc_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/deque_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/procfaas_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/polybench_test[1]_include.cmake")
+include("/root/repo/build/tests/loadgen_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_disasm_test[1]_include.cmake")
