@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/deadline_test.cpp" "tests/CMakeFiles/deadline_test.dir/deadline_test.cpp.o" "gcc" "tests/CMakeFiles/deadline_test.dir/deadline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sledge_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sledge/CMakeFiles/sledge_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/procfaas/CMakeFiles/sledge_procfaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadgen/CMakeFiles/sledge_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/minicc/CMakeFiles/sledge_minicc.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sledge_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sledge_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/sledge_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sledge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

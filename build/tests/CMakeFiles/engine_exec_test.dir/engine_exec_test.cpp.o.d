@@ -324,5 +324,8 @@ tests/CMakeFiles/engine_exec_test.dir/engine_exec_test.cpp.o: \
  /root/repo/src/engine/interp.hpp /root/repo/src/engine/instance.hpp \
  /root/repo/src/engine/memory.hpp /root/repo/src/wasm/module.hpp \
  /root/repo/src/engine/interp_fast.hpp \
- /root/repo/src/engine/predecode.hpp /root/repo/src/wasm/builder.hpp \
+ /root/repo/src/engine/predecode.hpp /root/repo/src/sledge/sandbox.hpp \
+ /usr/include/ucontext.h \
+ /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
+ /root/repo/src/common/clock.hpp /root/repo/src/wasm/builder.hpp \
  /root/repo/src/wasm/leb128.hpp

@@ -306,4 +306,7 @@ tests/CMakeFiles/minicc_test.dir/minicc_test.cpp.o: \
  /root/repo/src/engine/interp.hpp /root/repo/src/engine/instance.hpp \
  /root/repo/src/engine/memory.hpp /root/repo/src/wasm/module.hpp \
  /root/repo/src/engine/interp_fast.hpp \
- /root/repo/src/engine/predecode.hpp
+ /root/repo/src/engine/predecode.hpp /root/repo/src/sledge/sandbox.hpp \
+ /usr/include/ucontext.h \
+ /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
+ /root/repo/src/common/clock.hpp

@@ -292,18 +292,29 @@ tests/CMakeFiles/runtime_test.dir/runtime_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/miniconda/include/gtest/gtest_pred_impl.h /usr/include/arpa/inet.h \
+ /usr/include/netinet/in.h /usr/include/x86_64-linux-gnu/sys/socket.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
+ /usr/include/x86_64-linux-gnu/bits/socket.h \
+ /usr/include/x86_64-linux-gnu/bits/socket_type.h \
+ /usr/include/x86_64-linux-gnu/bits/sockaddr.h \
+ /usr/include/x86_64-linux-gnu/asm/socket.h \
+ /usr/include/asm-generic/socket.h \
+ /usr/include/x86_64-linux-gnu/asm/sockios.h \
+ /usr/include/asm-generic/sockios.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
+ /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/apps/workloads.hpp /root/repo/src/common/status.hpp \
- /root/repo/src/loadgen/loadgen.hpp /root/repo/src/common/histogram.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/http/http.hpp /root/repo/src/loadgen/loadgen.hpp \
+ /root/repo/src/common/histogram.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/minicc/minicc.hpp /root/repo/src/minicc/ast.hpp \
@@ -321,4 +332,4 @@ tests/CMakeFiles/runtime_test.dir/runtime_test.cpp.o: \
  /root/repo/src/engine/predecode.hpp /root/repo/src/sledge/deque.hpp \
  /root/repo/src/sledge/sandbox.hpp /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
- /root/repo/src/common/clock.hpp
+ /root/repo/src/common/clock.hpp /root/repo/tests/test_util.hpp

@@ -14,6 +14,7 @@ include("/root/repo/build/tests/minicc_test[1]_include.cmake")
 include("/root/repo/build/tests/http_test[1]_include.cmake")
 include("/root/repo/build/tests/deque_test[1]_include.cmake")
 include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/deadline_test[1]_include.cmake")
 include("/root/repo/build/tests/procfaas_test[1]_include.cmake")
 include("/root/repo/build/tests/apps_test[1]_include.cmake")
 include("/root/repo/build/tests/polybench_test[1]_include.cmake")

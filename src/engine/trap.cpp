@@ -23,6 +23,7 @@ const char* trap_name(TrapCode code) {
     case TrapCode::kIndirectCallOob: return "indirect call index out of range";
     case TrapCode::kCallStackExhausted: return "call stack exhausted";
     case TrapCode::kHostError: return "host function error";
+    case TrapCode::kDeadlineExceeded: return "execution deadline exceeded";
   }
   return "?";
 }
@@ -34,6 +35,14 @@ TrapFrame*& current_frame() {
 }
 }  // namespace trap_internal
 
+bool in_trap_scope() { return trap_internal::current_frame() != nullptr; }
+
+TrapFrame* exchange_trap_chain(TrapFrame* frame) {
+  TrapFrame* old = trap_internal::current_frame();
+  trap_internal::current_frame() = frame;
+  return old;
+}
+
 [[noreturn]] void raise_trap(TrapCode code) {
   TrapFrame* frame = trap_internal::current_frame();
   if (!frame) {
@@ -42,6 +51,11 @@ TrapFrame*& current_frame() {
     std::abort();
   }
   frame->code = code;
+  // siglongjmp skips the TrapScope destructor: pop the frame here so the
+  // chain never points at the dead stack frame after the unwind. (The
+  // asynchronous deadline-kill path probes in_trap_scope() from a signal
+  // handler and must not see a stale frame.)
+  trap_internal::current_frame() = frame->prev;
   siglongjmp(frame->env, 1);
 }
 

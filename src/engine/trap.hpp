@@ -26,6 +26,7 @@ enum class TrapCode : int {
   kIndirectCallOob,       // table index out of range
   kCallStackExhausted,
   kHostError,
+  kDeadlineExceeded,      // runtime killed the sandbox (CPU budget / deadline)
 };
 
 const char* trap_name(TrapCode code);
@@ -68,6 +69,17 @@ class TrapScope {
 // Unwinds to the innermost TrapScope on this thread. Aborts the process if
 // no scope is active (a runtime bug, not a sandbox bug).
 [[noreturn]] void raise_trap(TrapCode code);
+
+// True when a TrapScope is active on this thread, i.e. raise_trap() would
+// unwind instead of aborting. Schedulers use this to decide whether an
+// asynchronous kill (deadline enforcement) can unwind the sandbox right now.
+bool in_trap_scope();
+
+// Swaps the thread's innermost trap frame chain for `frame`, returning the
+// old chain. User-level schedulers call this when switching sandbox
+// contexts: the trap chain lives on a sandbox's stack and must travel with
+// it, not with the OS thread, or interleaved preemption corrupts it.
+TrapFrame* exchange_trap_chain(TrapFrame* frame);
 
 // Registers [base, base+len) as a guard region: SIGSEGV faults inside it are
 // converted to kOutOfBoundsMemory traps. Returns a registration id.

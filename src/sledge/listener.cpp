@@ -189,6 +189,23 @@ void Listener::handle_readable(Conn* conn) {
         continue;
       }
 
+      // Overload shedding (configurable backlog threshold) and graceful
+      // drain both answer 503 without admitting a sandbox; a kept-alive
+      // connection stays parked here so the client can retry.
+      if (rt_->overloaded() || rt_->draining()) {
+        rt_->note_shed();
+        std::string resp = http::serialize_response(
+            503, "Overloaded", {}, req.keep_alive(), "text/plain");
+        [[maybe_unused]] ssize_t w =
+            ::send(conn->fd, resp.data(), resp.size(), MSG_NOSIGNAL);
+        if (!req.keep_alive()) {
+          drop_connection(conn->fd);
+          return;
+        }
+        conn->parser.reset();
+        continue;
+      }
+
       // Hand the connection to the sandbox; the worker writes the response.
       int fd = conn->fd;
       bool keep_alive = req.keep_alive();
@@ -199,6 +216,7 @@ void Listener::handle_readable(Conn* conn) {
       std::unique_ptr<Sandbox> sb =
           Sandbox::create(&mod->module, std::move(body), fd, keep_alive);
       if (!sb) {
+        rt_->note_shed();
         std::string resp = http::serialize_response(
             503, "Overloaded", {}, false, "text/plain");
         [[maybe_unused]] ssize_t w =
@@ -207,11 +225,24 @@ void Listener::handle_readable(Conn* conn) {
         return;
       }
       sb->user_tag = mod;
+
+      // Resolve limits: per-module override, else runtime default.
+      const RuntimeConfig& rc = rt_->config();
+      uint64_t budget = mod->limits.execution_budget_ns != 0
+                            ? mod->limits.execution_budget_ns
+                            : rc.execution_budget_ns;
+      uint64_t deadline =
+          mod->limits.deadline_ns != 0 ? mod->limits.deadline_ns
+                                       : rc.deadline_ns;
+      sb->set_limits(budget,
+                     deadline != 0 ? sb->created_ns() + deadline : 0);
+
       {
         std::lock_guard<std::mutex> lock(mod->stats.mu);
         mod->stats.requests++;
         mod->stats.startup.record(sb->startup_cost_ns());
       }
+      rt_->note_admitted();
       rt_->distributor().push(sb.release());
       return;  // fd no longer ours; remaining bytes (pipelining) unsupported
     }

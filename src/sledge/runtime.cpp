@@ -106,12 +106,25 @@ Runtime::~Runtime() { stop(); }
 
 Status Runtime::register_module(const std::string& name,
                                 const std::vector<uint8_t>& wasm_bytes) {
-  return register_module(name, wasm_bytes, config_.engine);
+  return register_module(name, wasm_bytes, config_.engine, ModuleLimits{});
 }
 
 Status Runtime::register_module(
     const std::string& name, const std::vector<uint8_t>& wasm_bytes,
     const engine::WasmModule::Config& engine_config) {
+  return register_module(name, wasm_bytes, engine_config, ModuleLimits{});
+}
+
+Status Runtime::register_module(const std::string& name,
+                                const std::vector<uint8_t>& wasm_bytes,
+                                const ModuleLimits& limits) {
+  return register_module(name, wasm_bytes, config_.engine, limits);
+}
+
+Status Runtime::register_module(
+    const std::string& name, const std::vector<uint8_t>& wasm_bytes,
+    const engine::WasmModule::Config& engine_config,
+    const ModuleLimits& limits) {
   if (modules_.count(name)) {
     return Status::error("module '" + name + "' already registered");
   }
@@ -123,6 +136,7 @@ Status Runtime::register_module(
   auto loaded = std::make_unique<LoadedModule>();
   loaded->name = name;
   loaded->module = mod.take();
+  loaded->limits = limits;
   modules_[name] = std::move(loaded);
   return Status::ok();
 }
@@ -152,6 +166,19 @@ Status Runtime::start() {
 }
 
 void Runtime::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  // Graceful drain: stop admitting (the listener sheds with 503 while
+  // draining) and give in-flight sandboxes and unflushed responses a bounded
+  // grace period to finish. Runaway sandboxes that outlive the grace period
+  // are abandoned and counted as drained by their workers.
+  if (!draining_.exchange(true)) {
+    uint64_t deadline = now_ns() + config_.drain_grace_ns;
+    while (now_ns() < deadline &&
+           (inflight_.load(std::memory_order_acquire) > 0 ||
+            pending_writes_.load(std::memory_order_acquire) > 0)) {
+      ::usleep(500);
+    }
+  }
   if (!running_.exchange(false)) return;
   if (listener_) listener_->wake();
   for (auto& w : workers_) w->join();
@@ -161,6 +188,9 @@ void Runtime::stop() {
     retired_totals_.completed +=
         w->stats().completed.load(std::memory_order_relaxed);
     retired_totals_.failed += w->stats().failed.load(std::memory_order_relaxed);
+    retired_totals_.killed += w->stats().killed.load(std::memory_order_relaxed);
+    retired_totals_.drained +=
+        w->stats().drained.load(std::memory_order_relaxed);
     retired_totals_.preemptions +=
         w->stats().preemptions.load(std::memory_order_relaxed);
     retired_totals_.steals += w->stats().steals.load(std::memory_order_relaxed);
@@ -177,19 +207,27 @@ void Runtime::return_connection(int fd) {
   }
 }
 
-void Runtime::record_completion(Sandbox* sb, bool ok) {
+void Runtime::record_completion(Sandbox* sb, SandboxState final_state) {
+  note_retired();
   auto* mod = static_cast<LoadedModule*>(sb->user_tag);
   if (!mod) return;
   std::lock_guard<std::mutex> lock(mod->stats.mu);
-  if (!ok) mod->stats.failures++;
+  if (final_state == SandboxState::kKilled) {
+    mod->stats.kills++;
+  } else if (final_state != SandboxState::kComplete) {
+    mod->stats.failures++;
+  }
   mod->stats.end_to_end.record(sb->done_ns() - sb->created_ns());
 }
 
 Runtime::Totals Runtime::totals() const {
   Totals t = retired_totals_;
+  t.shed += shed_.load(std::memory_order_relaxed);
   for (const auto& w : workers_) {
     t.completed += w->stats().completed.load(std::memory_order_relaxed);
     t.failed += w->stats().failed.load(std::memory_order_relaxed);
+    t.killed += w->stats().killed.load(std::memory_order_relaxed);
+    t.drained += w->stats().drained.load(std::memory_order_relaxed);
     t.preemptions += w->stats().preemptions.load(std::memory_order_relaxed);
     t.steals += w->stats().steals.load(std::memory_order_relaxed);
   }
@@ -201,21 +239,26 @@ std::string Runtime::stats_report() const {
   char buf[256];
   Totals t = totals();
   std::snprintf(buf, sizeof(buf),
-                "runtime: completed=%llu failed=%llu preemptions=%llu "
-                "steals=%llu\n",
+                "runtime: completed=%llu failed=%llu killed=%llu "
+                "drained=%llu shed=%llu preemptions=%llu steals=%llu\n",
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.failed),
+                static_cast<unsigned long long>(t.killed),
+                static_cast<unsigned long long>(t.drained),
+                static_cast<unsigned long long>(t.shed),
                 static_cast<unsigned long long>(t.preemptions),
                 static_cast<unsigned long long>(t.steals));
   out += buf;
   for (const auto& [name, mod] : modules_) {
     std::lock_guard<std::mutex> lock(mod->stats.mu);
     std::snprintf(buf, sizeof(buf),
-                  "  %-12s reqs=%llu fail=%llu e2e(avg=%.3fms p99=%.3fms) "
+                  "  %-12s reqs=%llu fail=%llu kills=%llu "
+                  "e2e(avg=%.3fms p99=%.3fms) "
                   "startup(avg=%.1fus p99=%.1fus)\n",
                   name.c_str(),
                   static_cast<unsigned long long>(mod->stats.requests),
                   static_cast<unsigned long long>(mod->stats.failures),
+                  static_cast<unsigned long long>(mod->stats.kills),
                   mod->stats.end_to_end.mean_ms(), mod->stats.end_to_end.p99_ms(),
                   mod->stats.startup.mean_us(), mod->stats.startup.p99_us());
     out += buf;
@@ -228,7 +271,7 @@ Status run_sandbox_inline(Sandbox* sandbox) {
   while (true) {
     SandboxState st = sandbox->state();
     if (st == SandboxState::kComplete) return Status::ok();
-    if (st == SandboxState::kFailed) {
+    if (st == SandboxState::kFailed || st == SandboxState::kKilled) {
       return Status::error(sandbox->outcome().describe());
     }
     if (st == SandboxState::kBlocked) {

@@ -44,12 +44,33 @@ struct RuntimeConfig {
   bool preemption = true;      // false = cooperative-only (ablation)
   DistPolicy policy = DistPolicy::kWorkStealing;
   engine::WasmModule::Config engine;  // default tier/bounds for modules
+
+  // ---- Deadline enforcement & overload defaults (0 = unlimited) ----
+  // Per-request CPU budget across preemptions; over-budget sandboxes are
+  // killed and answered with 504. Requires preemption to fire mid-run.
+  uint64_t execution_budget_ns = 0;
+  // Wall-clock deadline measured from admission (also covers time spent
+  // queued or cooperatively blocked).
+  uint64_t deadline_ns = 0;
+  // Admission control: when > 0, new requests are shed with 503 once this
+  // many sandboxes are in flight (queued + running + blocked).
+  int64_t max_pending = 0;
+  // stop() drains in-flight sandboxes for at most this long before
+  // abandoning them.
+  uint64_t drain_grace_ns = 2'000'000'000;
+};
+
+// Per-module overrides for the RuntimeConfig-wide limits (0 = inherit).
+struct ModuleLimits {
+  uint64_t execution_budget_ns = 0;
+  uint64_t deadline_ns = 0;
 };
 
 struct ModuleStats {
   std::mutex mu;
   uint64_t requests = 0;
   uint64_t failures = 0;
+  uint64_t kills = 0;  // deadline/budget terminations (504s)
   LatencyHistogram end_to_end;  // sandbox creation -> completion
   LatencyHistogram startup;     // sandbox allocation cost
 };
@@ -57,6 +78,7 @@ struct ModuleStats {
 struct LoadedModule {
   std::string name;
   engine::WasmModule module;
+  ModuleLimits limits;
   ModuleStats stats;
 };
 
@@ -93,12 +115,20 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   // Heavyweight module registration (decode/validate/AoT-compile/dlopen);
-  // never on the request path. Optional per-module engine override.
+  // never on the request path. Optional per-module engine and limit
+  // overrides (ModuleLimits fields left 0 inherit the RuntimeConfig).
   Status register_module(const std::string& name,
                          const std::vector<uint8_t>& wasm_bytes);
   Status register_module(const std::string& name,
                          const std::vector<uint8_t>& wasm_bytes,
                          const engine::WasmModule::Config& engine_config);
+  Status register_module(const std::string& name,
+                         const std::vector<uint8_t>& wasm_bytes,
+                         const ModuleLimits& limits);
+  Status register_module(const std::string& name,
+                         const std::vector<uint8_t>& wasm_bytes,
+                         const engine::WasmModule::Config& engine_config,
+                         const ModuleLimits& limits);
 
   // Starts the listener and worker threads. Modules can still be registered
   // afterwards, but typically are not (the paper loads modules at startup).
@@ -111,17 +141,41 @@ class Runtime {
   const RuntimeConfig& config() const { return config_; }
   Distributor& distributor() { return *distributor_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
+  // True while stop() is letting in-flight sandboxes finish; the listener
+  // sheds new requests with 503 and workers exit once dry.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   // Worker -> listener: hand a kept-alive connection back after a response.
   void return_connection(int fd);
 
-  // Worker -> runtime: per-module latency/failure accounting.
-  void record_completion(Sandbox* sb, bool ok);
+  // Worker -> runtime: per-module latency/failure/kill accounting. Also
+  // retires the sandbox from the in-flight count.
+  void record_completion(Sandbox* sb, SandboxState final_state);
+
+  // ---- In-flight accounting (admission control + graceful drain) ----
+  void note_admitted() { inflight_.fetch_add(1, std::memory_order_acq_rel); }
+  void note_retired() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
+  void note_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_write_queued() {
+    pending_writes_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void note_write_done() {
+    pending_writes_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  int64_t inflight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+  bool overloaded() const {
+    return config_.max_pending > 0 && inflight() >= config_.max_pending;
+  }
 
   // Aggregate counters (summed over workers on demand).
   struct Totals {
     uint64_t completed = 0;
     uint64_t failed = 0;
+    uint64_t killed = 0;   // deadline/budget terminations (504)
+    uint64_t drained = 0;  // abandoned at shutdown after the grace period
+    uint64_t shed = 0;     // rejected with 503 (overload or draining)
     uint64_t preemptions = 0;
     uint64_t steals = 0;
   };
@@ -139,6 +193,10 @@ class Runtime {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Listener> listener_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int64_t> inflight_{0};       // admitted, not yet retired
+  std::atomic<int64_t> pending_writes_{0}; // responses not yet flushed
+  std::atomic<uint64_t> shed_{0};          // 503s (overload / draining)
   uint16_t bound_port_ = 0;
   Totals retired_totals_;  // accumulated from workers at stop()
 };

@@ -13,11 +13,33 @@ namespace sledge::runtime {
 namespace {
 constexpr size_t kStackSize = 512 * 1024;
 constexpr size_t kGuardSize = 4096;
+std::atomic<Sandbox::CreateFaultHook> g_create_fault_hook{nullptr};
 }  // namespace
+
+const char* to_string(SandboxState s) {
+  switch (s) {
+    case SandboxState::kAllocated: return "allocated";
+    case SandboxState::kRunnable: return "runnable";
+    case SandboxState::kRunning: return "running";
+    case SandboxState::kBlocked: return "blocked";
+    case SandboxState::kComplete: return "complete";
+    case SandboxState::kFailed: return "failed";
+    case SandboxState::kKilled: return "killed";
+  }
+  return "?";
+}
+
+void Sandbox::set_create_fault_hook(CreateFaultHook hook) {
+  g_create_fault_hook.store(hook, std::memory_order_release);
+}
 
 std::unique_ptr<Sandbox> Sandbox::create(const engine::WasmModule* module,
                                          std::vector<uint8_t> request,
                                          int conn_fd, bool keep_alive) {
+  if (CreateFaultHook hook = g_create_fault_hook.load(std::memory_order_acquire);
+      hook && hook()) {
+    return nullptr;  // injected allocation failure (tests)
+  }
   Stopwatch sw;
   std::unique_ptr<Sandbox> sb(new Sandbox());
   sb->module_ = module;
@@ -80,10 +102,20 @@ void Sandbox::entry() {
   if (t_first_run_ == 0) t_first_run_ = now_ns();
   env_.sleep_hook = [this](uint64_t ns) { sleep_yield(ns); };
 
-  outcome_ = wasm_.call("run", {}, &env_);
+  if (kill_requested()) {
+    // Deadline blew before any engine state existed; nothing to unwind.
+    outcome_ =
+        engine::InvokeOutcome::trapped(engine::TrapCode::kDeadlineExceeded);
+  } else {
+    outcome_ = wasm_.call("run", {}, &env_);
+  }
 
   t_done_ = now_ns();
-  set_state(outcome_.ok() ? SandboxState::kComplete : SandboxState::kFailed);
+  if (outcome_.trap == engine::TrapCode::kDeadlineExceeded) {
+    set_state(SandboxState::kKilled);
+  } else {
+    set_state(outcome_.ok() ? SandboxState::kComplete : SandboxState::kFailed);
+  }
   // Never returns: hand the core back to the scheduler for good.
   ::setcontext(scheduler_ctx_);
   std::fprintf(stderr, "fatal: sandbox resumed after completion\n");
@@ -93,7 +125,16 @@ void Sandbox::entry() {
 void Sandbox::dispatch(ucontext_t* scheduler_ctx) {
   scheduler_ctx_ = scheduler_ctx;
   set_state(SandboxState::kRunning);
+  run_started_ns_ = now_ns();
+  // The trap-unwind chain is green-thread state, not OS-thread state: park
+  // the scheduler's chain and install this sandbox's for the slice. Without
+  // this, round-robin preemption interleaves TrapScopes of different
+  // sandboxes on one thread-local chain and unwinds into the wrong stack.
+  engine::TrapFrame* sched_chain = engine::exchange_trap_chain(trap_chain_);
   ::swapcontext(scheduler_ctx, &ctx_);
+  trap_chain_ = engine::exchange_trap_chain(sched_chain);
+  cpu_ns_ += now_ns() - run_started_ns_;
+  run_started_ns_ = 0;
   // Back in the scheduler; state tells it what happened.
 }
 
@@ -101,6 +142,18 @@ void Sandbox::sleep_yield(uint64_t ns) {
   wake_at_ns_ = now_ns() + ns;
   set_state(SandboxState::kBlocked);
   ::swapcontext(&ctx_, scheduler_ctx_);
+  // Resumed. A kill may have been requested while we were blocked (wall
+  // deadline passing); we are inside the host call's TrapScope, so unwind.
+  if (kill_requested() && engine::in_trap_scope()) {
+    engine::raise_trap(engine::TrapCode::kDeadlineExceeded);
+  }
+}
+
+void Sandbox::mark_killed_undispatched() {
+  outcome_ =
+      engine::InvokeOutcome::trapped(engine::TrapCode::kDeadlineExceeded);
+  t_done_ = now_ns();
+  set_state(SandboxState::kKilled);
 }
 
 }  // namespace sledge::runtime

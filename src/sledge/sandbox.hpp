@@ -30,7 +30,10 @@ enum class SandboxState : uint8_t {
   kBlocked,    // waiting on a timer (cooperative yield)
   kComplete,   // function returned
   kFailed,     // trapped or errored
+  kKilled,     // terminated by the runtime (CPU budget / deadline exceeded)
 };
+
+const char* to_string(SandboxState s);
 
 class Sandbox {
  public:
@@ -51,6 +54,51 @@ class Sandbox {
 
   // Sandbox-side (host hook): block for `ns`, yielding the worker core.
   void sleep_yield(uint64_t ns);
+
+  // ---- Deadline enforcement ----
+  //
+  // `budget_ns` caps consumed CPU time across preemptions (0 = unlimited);
+  // `deadline_abs_ns` is an absolute monotonic wall-clock deadline
+  // (0 = none). Set once at admission, before the first dispatch.
+  void set_limits(uint64_t budget_ns, uint64_t deadline_abs_ns) {
+    budget_ns_ = budget_ns;
+    deadline_at_ns_ = deadline_abs_ns;
+  }
+  uint64_t budget_ns() const { return budget_ns_; }
+  uint64_t deadline_at_ns() const { return deadline_at_ns_; }
+
+  // CPU time consumed so far; while running, includes the current slice.
+  uint64_t cpu_consumed_ns(uint64_t now) const {
+    uint64_t ns = cpu_ns_;
+    if (run_started_ns_ != 0 && now > run_started_ns_) {
+      ns += now - run_started_ns_;
+    }
+    return ns;
+  }
+
+  // True once the CPU budget or wall-clock deadline is blown. Called from
+  // the quantum signal handler (same thread as the owning worker).
+  bool deadline_exceeded(uint64_t now) const {
+    if (budget_ns_ != 0 && cpu_consumed_ns(now) >= budget_ns_) return true;
+    if (deadline_at_ns_ != 0 && now >= deadline_at_ns_) return true;
+    return false;
+  }
+
+  // Asks the sandbox to die at its next safe unwind point (entry, sleep
+  // resume, or quantum expiry). The worker that owns the sandbox acts on it.
+  void request_kill() { kill_requested_.store(true, std::memory_order_release); }
+  bool kill_requested() const {
+    return kill_requested_.load(std::memory_order_acquire);
+  }
+
+  // Marks a never-run sandbox as killed without dispatching it (there is no
+  // engine state to unwind yet). Only valid before the first dispatch.
+  void mark_killed_undispatched();
+
+  // Test-only fault injection: when set and returning true, create() fails
+  // as if sandbox allocation were exhausted (the listener's 503 path).
+  using CreateFaultHook = bool (*)();
+  static void set_create_fault_hook(CreateFaultHook hook);
 
   SandboxState state() const { return state_.load(std::memory_order_acquire); }
   void set_state(SandboxState s) {
@@ -95,6 +143,15 @@ class Sandbox {
   ucontext_t ctx_;
   ucontext_t* scheduler_ctx_ = nullptr;  // valid while running
   uint64_t wake_at_ns_ = 0;
+
+  uint64_t budget_ns_ = 0;       // CPU budget (0 = unlimited)
+  uint64_t deadline_at_ns_ = 0;  // absolute wall deadline (0 = none)
+  uint64_t cpu_ns_ = 0;          // CPU consumed over completed slices
+  uint64_t run_started_ns_ = 0;  // nonzero while on a core
+  std::atomic<bool> kill_requested_{false};
+  // The engine's trap-unwind chain lives on this stack; it parks here while
+  // the sandbox is descheduled (see exchange_trap_chain).
+  engine::TrapFrame* trap_chain_ = nullptr;
 
   uint64_t t_created_ = 0;
   uint64_t t_first_run_ = 0;

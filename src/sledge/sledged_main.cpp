@@ -11,9 +11,14 @@
 //   "policy": "work_stealing",   // | "global_lock" | "per_worker"
 //   "tier": "aot",               // | "aot_o1" | "interp_fast" | "interp"
 //   "bounds": "vm_guard",        // | "software" | "mpx_sim" | "none"
+//   "budget_us": 0,          // per-request CPU budget; over-budget -> 504
+//   "deadline_us": 0,        // wall-clock deadline from admission -> 504
+//   "max_pending": 0,        // shed with 503 beyond this many in flight
+//   "drain_grace_ms": 2000,  // graceful-stop bound for in-flight requests
 //   "modules": [
 //     {"name": "fib", "wasm": "path/to/fib.wasm"},
-//     {"name": "ekf", "minicc": "src/apps/wasm_src/ekf.mc"}
+//     {"name": "ekf", "minicc": "src/apps/wasm_src/ekf.mc",
+//      "budget_us": 50000, "deadline_us": 200000}   // per-module overrides
 //   ]
 // }
 //
@@ -43,6 +48,12 @@ Result<runtime::RuntimeConfig> parse_config(const json::Value& doc) {
   cfg.workers = static_cast<int>(doc["workers"].as_int(3));
   cfg.quantum_us = static_cast<uint64_t>(doc["quantum_us"].as_int(5000));
   if (doc["preemption"].is_bool()) cfg.preemption = doc["preemption"].as_bool();
+  cfg.execution_budget_ns =
+      static_cast<uint64_t>(doc["budget_us"].as_int(0)) * 1000;
+  cfg.deadline_ns = static_cast<uint64_t>(doc["deadline_us"].as_int(0)) * 1000;
+  cfg.max_pending = doc["max_pending"].as_int(0);
+  cfg.drain_grace_ns =
+      static_cast<uint64_t>(doc["drain_grace_ms"].as_int(2000)) * 1'000'000;
 
   const std::string& policy = doc["policy"].as_string();
   if (policy == "global_lock") {
@@ -143,7 +154,12 @@ int main(int argc, char** argv) {
                    name.c_str());
       return 1;
     }
-    Status s = rt.register_module(name, wasm_bytes);
+    runtime::ModuleLimits limits;
+    limits.execution_budget_ns =
+        static_cast<uint64_t>(module["budget_us"].as_int(0)) * 1000;
+    limits.deadline_ns =
+        static_cast<uint64_t>(module["deadline_us"].as_int(0)) * 1000;
+    Status s = rt.register_module(name, wasm_bytes, limits);
     if (!s.is_ok()) {
       std::fprintf(stderr, "%s\n", s.message().c_str());
       return 1;
@@ -162,7 +178,7 @@ int main(int argc, char** argv) {
   ::signal(SIGTERM, on_signal);
   while (!g_shutdown.load()) ::usleep(100000);
 
+  rt.stop();  // drains in-flight requests (bounded by drain_grace_ms)
   std::printf("\n%s", rt.stats_report().c_str());
-  rt.stop();
   return 0;
 }

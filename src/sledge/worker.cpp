@@ -27,15 +27,29 @@ thread_local Worker* tls_worker = nullptr;
 // Quantum expiry: save the running sandbox's context (the paper's
 // mcontext_t save) and switch to the scheduler context. Runs on the
 // sandbox's stack; the sandbox resumes by returning from this handler.
+//
+// Deadline enforcement lives here too: an over-budget sandbox is not
+// rotated but unwound via the engine's trap machinery (raise_trap longjmps
+// to the TrapScope inside the sandbox's invoke), so Sandbox::entry observes
+// a kDeadlineExceeded outcome and parks the sandbox in kKilled.
 void worker_quantum_handler(int) {
   Worker* w = tls_worker;
   if (!w) return;
   Sandbox* sb = w->current_;
   if (!sb || sb->state() != SandboxState::kRunning) return;
+  if ((sb->kill_requested() || sb->deadline_exceeded(now_ns())) &&
+      engine::in_trap_scope()) {
+    sb->request_kill();
+    engine::raise_trap(engine::TrapCode::kDeadlineExceeded);  // no return
+  }
   sb->set_state(SandboxState::kRunnable);
   w->stats_.preemptions.fetch_add(1, std::memory_order_relaxed);
   ::swapcontext(sb->context(), &w->sched_ctx_);
-  // Resumed: returning re-enters the interrupted sandbox code.
+  // Resumed: returning re-enters the interrupted sandbox code — unless a
+  // kill arrived while we were descheduled (wall deadline passing).
+  if (sb->kill_requested() && engine::in_trap_scope()) {
+    engine::raise_trap(engine::TrapCode::kDeadlineExceeded);
+  }
 }
 
 namespace {
@@ -79,12 +93,26 @@ void Worker::setup_timer() {
   }
 }
 
-void Worker::arm_timer() {
+void Worker::arm_timer(const Sandbox* sb) {
   if (!timer_valid_) return;
-  uint64_t us = rt_->config().quantum_us;
+  uint64_t ns = rt_->config().quantum_us * 1000;
+  // Clip the slice to the remaining budget/deadline (floor keeps the value
+  // nonzero: a zero it_value would disarm the timer instead).
+  constexpr uint64_t kMinSliceNs = 100'000;
+  uint64_t now = now_ns();
+  if (sb->budget_ns() != 0) {
+    uint64_t used = sb->cpu_consumed_ns(now);
+    uint64_t left = sb->budget_ns() > used ? sb->budget_ns() - used : 0;
+    ns = std::min(ns, std::max(left, kMinSliceNs));
+  }
+  if (sb->deadline_at_ns() != 0) {
+    uint64_t left =
+        sb->deadline_at_ns() > now ? sb->deadline_at_ns() - now : 0;
+    ns = std::min(ns, std::max(left, kMinSliceNs));
+  }
   itimerspec its{};
-  its.it_value.tv_sec = us / 1'000'000;
-  its.it_value.tv_nsec = (us % 1'000'000) * 1000;
+  its.it_value.tv_sec = ns / 1'000'000'000;
+  its.it_value.tv_nsec = ns % 1'000'000'000;
   ::timer_settime(timer_, 0, &its, nullptr);
 }
 
@@ -121,9 +149,16 @@ void Worker::thread_main() {
         idle_spins = 0;
         continue;  // I/O in flight: stay hot
       }
+      ++idle_spins;
+      // Draining and dry (a few re-checks absorb racy failed steals):
+      // this worker's part of the graceful stop is done.
+      if (rt_->draining() && idle_spins > 16 &&
+          rt_->distributor().backlog_estimate() == 0) {
+        break;
+      }
       // Idle loop: back off briefly, then re-check the deque (this is where
       // new-request dequeueing integrates with scheduling, paper §3.4).
-      if (++idle_spins > 64) {
+      if (idle_spins > 64) {
         ::usleep(200);
       }
       continue;
@@ -132,12 +167,16 @@ void Worker::thread_main() {
     dispatch(sb);
   }
 
-  // Drain without running: connections die with the process lifetime.
+  // Anything left after the drain grace period is abandoned: connections
+  // die with the process lifetime.
   Sandbox* sb = nullptr;
-  while (rt_->distributor().fetch(index_, &sb)) delete sb;
-  for (Sandbox* s : runqueue_) delete s;
-  for (Sandbox* s : sleeping_) delete s;
-  for (WriteJob& w : writes_) ::close(w.fd);
+  while (rt_->distributor().fetch(index_, &sb)) abandon(sb);
+  for (Sandbox* s : runqueue_) abandon(s);
+  for (Sandbox* s : sleeping_) abandon(s);
+  for (WriteJob& w : writes_) {
+    ::close(w.fd);
+    rt_->note_write_done();
+  }
   runqueue_.clear();
   sleeping_.clear();
   writes_.clear();
@@ -163,9 +202,22 @@ Sandbox* Worker::next_sandbox() {
 }
 
 void Worker::dispatch(Sandbox* sb) {
+  // Wall-clock deadlines also cover queueing delay: check before burning a
+  // slice. A sandbox that never entered the engine has nothing to unwind
+  // and is killed in place; one that already ran must unwind on-stack, so
+  // flag it and dispatch — the resume paths raise the trap.
+  if (!sb->kill_requested() && sb->deadline_exceeded(now_ns())) {
+    sb->request_kill();
+  }
+  if (sb->kill_requested() && sb->first_run_ns() == 0) {
+    sb->mark_killed_undispatched();
+    finalize(sb);
+    return;
+  }
+
   stats_.dispatches.fetch_add(1, std::memory_order_relaxed);
   current_ = sb;
-  if (rt_->config().preemption) arm_timer();
+  if (rt_->config().preemption) arm_timer(sb);
   sb->dispatch(&sched_ctx_);
   if (rt_->config().preemption) disarm_timer();
   current_ = nullptr;
@@ -179,30 +231,40 @@ void Worker::dispatch(Sandbox* sb) {
       break;
     case SandboxState::kComplete:
     case SandboxState::kFailed:
+    case SandboxState::kKilled:
       finalize(sb);
       break;
     default:
       SLEDGE_LOG_ERROR("worker %d: sandbox in unexpected state", index_);
+      rt_->note_retired();
       delete sb;
       break;
   }
 }
 
 void Worker::finalize(Sandbox* sb) {
-  bool ok = sb->state() == SandboxState::kComplete;
-  if (ok) {
+  SandboxState st = sb->state();
+  if (st == SandboxState::kComplete) {
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  } else if (st == SandboxState::kKilled) {
+    stats_.killed.fetch_add(1, std::memory_order_relaxed);
   } else {
     stats_.failed.fetch_add(1, std::memory_order_relaxed);
   }
 
-  rt_->record_completion(sb, ok);
+  rt_->record_completion(sb, st);
 
   if (sb->conn_fd() >= 0) {
     std::string payload;
-    if (ok) {
+    if (st == SandboxState::kComplete) {
       payload = http::serialize_response(200, "OK", sb->response(),
                                          sb->keep_alive());
+    } else if (st == SandboxState::kKilled) {
+      std::string reason = sb->outcome().describe();
+      payload = http::serialize_response(
+          504, "Gateway Timeout",
+          std::vector<uint8_t>(reason.begin(), reason.end()),
+          sb->keep_alive());
     } else {
       std::string reason = sb->outcome().describe();
       payload = http::serialize_response(
@@ -210,6 +272,7 @@ void Worker::finalize(Sandbox* sb) {
           std::vector<uint8_t>(reason.begin(), reason.end()),
           sb->keep_alive());
     }
+    rt_->note_write_queued();
     writes_.push_back(WriteJob{sb->conn_fd(), std::move(payload), 0,
                                sb->keep_alive()});
   }
@@ -217,12 +280,21 @@ void Worker::finalize(Sandbox* sb) {
   pump_writes();
 }
 
+void Worker::abandon(Sandbox* sb) {
+  stats_.drained.fetch_add(1, std::memory_order_relaxed);
+  rt_->note_retired();
+  if (sb->conn_fd() >= 0) ::close(sb->conn_fd());  // no response is coming
+  delete sb;
+}
+
 void Worker::pump_timers() {
   if (sleeping_.empty()) return;
   uint64_t now = now_ns();
   for (size_t i = 0; i < sleeping_.size();) {
-    if (sleeping_[i]->wake_at_ns() <= now) {
-      Sandbox* sb = sleeping_[i];
+    Sandbox* sb = sleeping_[i];
+    bool expired = sb->deadline_exceeded(now);
+    if (expired) sb->request_kill();  // wake early; dies at sleep resume
+    if (expired || sb->wake_at_ns() <= now) {
       sb->set_state(SandboxState::kRunnable);
       runqueue_.push_back(sb);
       sleeping_[i] = sleeping_.back();
@@ -259,6 +331,7 @@ bool Worker::pump_writes() {
       } else {
         ::close(w.fd);
       }
+      rt_->note_write_done();
       writes_[i] = std::move(writes_.back());
       writes_.pop_back();
       progressed = true;

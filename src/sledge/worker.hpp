@@ -32,6 +32,8 @@ class Worker {
     std::atomic<uint64_t> steals{0};
     std::atomic<uint64_t> completed{0};
     std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> killed{0};   // deadline/budget terminations (504)
+    std::atomic<uint64_t> drained{0};  // abandoned at shutdown
   };
   const Stats& stats() const { return stats_; }
 
@@ -49,11 +51,14 @@ class Worker {
   Sandbox* next_sandbox();
   void dispatch(Sandbox* sb);
   void finalize(Sandbox* sb);
+  void abandon(Sandbox* sb);  // shutdown: retire without a response
   void pump_timers();
   // Returns true if any write made progress or completed.
   bool pump_writes();
   void setup_timer();
-  void arm_timer();
+  // Arms the quantum timer, clipped to the sandbox's remaining CPU budget /
+  // wall deadline so kills land promptly, not at the next full quantum.
+  void arm_timer(const Sandbox* sb);
   void disarm_timer();
 
   Runtime* rt_;

@@ -104,6 +104,57 @@ TEST(HistogramTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
 }
 
+TEST(HistogramTest, EmptyEveryAccessorIsZero) {
+  LatencyHistogram h;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile_ns(q), 0u) << "q=" << q;
+  }
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99_ms(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryStatistic) {
+  LatencyHistogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile_ns(q), 12345u) << "q=" << q;
+  }
+  EXPECT_EQ(h.min_ns(), 12345u);
+  EXPECT_EQ(h.max_ns(), 12345u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 12345.0);
+}
+
+TEST(HistogramTest, MergeDisjointSetsPreservesOrderStatistics) {
+  LatencyHistogram lo, hi;
+  for (uint64_t i = 1; i <= 50; ++i) lo.record(i);           // 1..50
+  for (uint64_t i = 1001; i <= 1050; ++i) hi.record(i);      // 1001..1050
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), 100u);
+  EXPECT_EQ(lo.percentile_ns(0.0), 1u);
+  EXPECT_EQ(lo.percentile_ns(1.0), 1050u);
+  // The median straddles the gap between the two disjoint ranges.
+  uint64_t med = lo.percentile_ns(0.5);
+  EXPECT_TRUE(med == 50u || med == 1001u) << med;
+  EXPECT_DOUBLE_EQ(lo.mean_ns(), (25.5 * 50 + 1025.5 * 50) / 100.0);
+  // Merging an empty histogram is a no-op.
+  LatencyHistogram empty;
+  lo.merge(empty);
+  EXPECT_EQ(lo.count(), 100u);
+}
+
+TEST(HistogramTest, ExtremeQuantilesAreExactOrderStatistics) {
+  // Unsorted insertion order: q=0 / q=1 must still be exact min / max.
+  LatencyHistogram h;
+  for (uint64_t v : {700u, 30u, 999u, 4u, 512u}) h.record(v);
+  EXPECT_EQ(h.percentile_ns(0.0), 4u);
+  EXPECT_EQ(h.percentile_ns(1.0), 999u);
+  EXPECT_EQ(h.percentile_ns(0.0), h.min_ns());
+  EXPECT_EQ(h.percentile_ns(1.0), h.max_ns());
+}
+
 TEST(RngTest, DeterministicForSeed) {
   Rng a(7), b(7);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());

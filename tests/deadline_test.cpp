@@ -1,0 +1,235 @@
+// Deadline enforcement and graceful degradation (paper §3.4 multi-tenancy):
+// a runaway request must be killed with 504 close to its budget while
+// concurrent well-behaved tenants keep completing; blocked sandboxes honor
+// wall-clock deadlines; stop() drains in-flight requests instead of
+// abandoning them.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "loadgen/loadgen.hpp"
+#include "minicc/minicc.hpp"
+#include "sledge/runtime.hpp"
+#include "test_util.hpp"
+
+namespace sledge::runtime {
+namespace {
+
+std::vector<uint8_t> compile(const std::string& src) {
+  auto wasm = minicc::compile_to_wasm(src);
+  EXPECT_TRUE(wasm.ok()) << wasm.error_message();
+  return wasm.ok() ? wasm.value() : std::vector<uint8_t>{};
+}
+
+const char* kPingSrc = R"(
+char out[1];
+int main() { out[0] = 112; resp_write(out, 1); return 0; }
+)";
+
+const char* kSleepSrc = R"(
+char out[1];
+int main() { sleep_ms(200); out[0] = 122; resp_write(out, 1); return 0; }
+)";
+
+// The acceptance scenario: an infinite loop against a module with a 50 ms
+// CPU budget comes back 504 in under 2x the budget, while a concurrent
+// well-behaved module keeps serving, and the runtime stays healthy after.
+TEST(DeadlineTest, RunawayGets504WithinTwiceBudgetWithoutCollateral) {
+  constexpr uint64_t kBudgetNs = 50'000'000;  // 50 ms
+  RuntimeConfig cfg;
+  cfg.workers = 2;
+  cfg.quantum_us = 5000;
+  Runtime rt(cfg);
+  ModuleLimits limits;
+  limits.execution_budget_ns = kBudgetNs;
+  ASSERT_TRUE(
+      rt.register_module("loop", compile(testutil::kInfiniteLoopSrc), limits)
+          .is_ok());
+  ASSERT_TRUE(rt.register_module("ping", compile(kPingSrc)).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  int loop_status = 0;
+  double loop_ms = 0;
+  std::thread runaway([&] {
+    uint64_t t0 = now_ns();
+    auto r = loadgen::single_request("127.0.0.1", rt.bound_port(), "/loop",
+                                     {}, &loop_status);
+    loop_ms = ns_to_ms(now_ns() - t0);
+    EXPECT_TRUE(r.ok()) << r.error_message();
+  });
+
+  // While the runaway burns its budget, the other tenant must be served.
+  for (int i = 0; i < 5; ++i) {
+    int status = 0;
+    auto resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/ping",
+                                        {}, &status);
+    ASSERT_TRUE(resp.ok()) << resp.error_message();
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(*resp, (std::vector<uint8_t>{'p'}));
+  }
+
+  runaway.join();
+  EXPECT_EQ(loop_status, 504);
+  EXPECT_LT(loop_ms, 2.0 * ns_to_ms(kBudgetNs));
+
+  // Runtime stays healthy afterwards.
+  int status = 0;
+  auto resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/ping",
+                                      {}, &status);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(status, 200);
+
+  EXPECT_EQ(rt.totals().killed, 1u);
+  std::string report = rt.stats_report();
+  EXPECT_NE(report.find("killed=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("kills=1"), std::string::npos) << report;
+  rt.stop();
+}
+
+// Same enforcement through the runtime-wide default budget (no per-module
+// override), sharing one worker with a well-behaved tenant.
+TEST(DeadlineTest, RuntimeDefaultBudgetAppliesToAllModules) {
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.quantum_us = 2000;
+  cfg.execution_budget_ns = 30'000'000;  // 30 ms for everyone
+  Runtime rt(cfg);
+  ASSERT_TRUE(
+      rt.register_module("loop", compile(testutil::kInfiniteLoopSrc)).is_ok());
+  ASSERT_TRUE(rt.register_module("ping", compile(kPingSrc)).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  std::thread runaway([&] {
+    int status = 0;
+    auto r = loadgen::single_request("127.0.0.1", rt.bound_port(), "/loop",
+                                     {}, &status);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(status, 504);
+  });
+  // Well-behaved pings (well under budget) share the single worker.
+  int status = 0;
+  auto resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/ping",
+                                      {}, &status);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(status, 200);
+  runaway.join();
+  rt.stop();
+  EXPECT_EQ(rt.totals().killed, 1u);
+}
+
+// Wall-clock deadlines cover time spent cooperatively blocked: a sandbox
+// sleeping 200 ms under a 40 ms deadline is killed early, from the blocked
+// state, with a 504.
+TEST(DeadlineTest, WallClockDeadlineKillsBlockedSandbox) {
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  Runtime rt(cfg);
+  ModuleLimits limits;
+  limits.deadline_ns = 40'000'000;  // 40 ms, sleep is 200 ms
+  ASSERT_TRUE(rt.register_module("sleep", compile(kSleepSrc), limits).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  uint64_t t0 = now_ns();
+  int status = 0;
+  auto resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/sleep",
+                                      {}, &status);
+  double ms = ns_to_ms(now_ns() - t0);
+  ASSERT_TRUE(resp.ok()) << resp.error_message();
+  EXPECT_EQ(status, 504);
+  EXPECT_LT(ms, 150.0);  // killed well before the 200 ms sleep finishes
+  rt.stop();
+  EXPECT_EQ(rt.totals().killed, 1u);
+}
+
+// Kills must not poison the engine's trap plumbing: after a kill on the
+// same worker, a genuinely trapping request still reports 500 (not 504,
+// not a crash) and a healthy request still completes.
+TEST(DeadlineTest, TrapHandlingSurvivesAKill) {
+  const char* trap_src = "int main() { int z = 0; return 1 / z; }";
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.execution_budget_ns = 20'000'000;
+  Runtime rt(cfg);
+  ASSERT_TRUE(
+      rt.register_module("loop", compile(testutil::kInfiniteLoopSrc)).is_ok());
+  ASSERT_TRUE(rt.register_module("boom", compile(trap_src)).is_ok());
+  ASSERT_TRUE(rt.register_module("ping", compile(kPingSrc)).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  int status = 0;
+  (void)loadgen::single_request("127.0.0.1", rt.bound_port(), "/loop", {},
+                                &status);
+  EXPECT_EQ(status, 504);
+  (void)loadgen::single_request("127.0.0.1", rt.bound_port(), "/boom", {},
+                                &status);
+  EXPECT_EQ(status, 500);
+  (void)loadgen::single_request("127.0.0.1", rt.bound_port(), "/ping", {},
+                                &status);
+  EXPECT_EQ(status, 200);
+  rt.stop();
+  auto t = rt.totals();
+  EXPECT_EQ(t.killed, 1u);
+  EXPECT_EQ(t.failed, 1u);
+  EXPECT_EQ(t.completed, 1u);
+}
+
+// stop() must drain in-flight work within the grace period: a request that
+// is mid-flight when stop() begins still gets its 200.
+TEST(DeadlineTest, StopDrainsInFlightRequests) {
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.drain_grace_ns = 5'000'000'000;  // generous bound
+  Runtime rt(cfg);
+  ASSERT_TRUE(rt.register_module("spin", compile(testutil::spin_src(20000000)))
+                  .is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  int status = 0;
+  std::vector<uint8_t> body;
+  std::thread client([&] {
+    auto r = loadgen::single_request("127.0.0.1", rt.bound_port(), "/spin",
+                                     {}, &status);
+    ASSERT_TRUE(r.ok()) << r.error_message();
+    body = *r;
+  });
+  // Let the request get admitted, then stop while it is executing.
+  while (rt.inflight() == 0 && rt.totals().completed == 0) ::usleep(500);
+  rt.stop();
+  client.join();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, (std::vector<uint8_t>{'s'}));
+  EXPECT_EQ(rt.totals().completed, 1u);
+  EXPECT_EQ(rt.totals().drained, 0u);
+}
+
+// A runaway with no budget cannot stall shutdown forever: the drain grace
+// period bounds stop(), and the abandoned sandbox is counted.
+TEST(DeadlineTest, DrainGracePeriodBoundsShutdown) {
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.quantum_us = 2000;
+  cfg.drain_grace_ns = 100'000'000;  // 100 ms grace
+  Runtime rt(cfg);
+  ASSERT_TRUE(
+      rt.register_module("loop", compile(testutil::kInfiniteLoopSrc)).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  std::thread client([&] {
+    int status = 0;
+    // Connection dies at shutdown; either outcome is fine, it must not hang.
+    (void)loadgen::single_request("127.0.0.1", rt.bound_port(), "/loop", {},
+                                  &status);
+  });
+  while (rt.inflight() == 0) ::usleep(500);
+  uint64_t t0 = now_ns();
+  rt.stop();
+  double stop_ms = ns_to_ms(now_ns() - t0);
+  EXPECT_LT(stop_ms, 2000.0);  // grace (100ms) + teardown, not forever
+  EXPECT_EQ(rt.totals().drained, 1u);
+  client.join();
+}
+
+}  // namespace
+}  // namespace sledge::runtime

@@ -124,5 +124,51 @@ TEST(DequeTest, StressEveryItemConsumedExactlyOnce) {
   }
 }
 
+// Steal-heavy stress: the owner pushes >= 1M items (taking only rarely, so
+// nearly everything funnels through steal) against N concurrent thieves.
+// Exactly-once consumption must hold across buffer growth and CAS races —
+// the property request dispatch depends on under heavy multi-worker load.
+TEST(DequeTest, StealHeavyMillionOpsNoLossNoDuplication) {
+  constexpr intptr_t kItems = 1'000'000;
+  constexpr int kThieves = 4;
+  WorkStealingDeque<intptr_t> dq(32);  // small initial ring: force growth
+  std::vector<std::atomic<uint8_t>> seen(kItems);
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> consumed{0};
+
+  auto consume = [&](intptr_t v) {
+    seen[v].fetch_add(1, std::memory_order_relaxed);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  for (int i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      intptr_t v;
+      while (!done.load(std::memory_order_acquire) ||
+             dq.size_estimate() > 0) {
+        if (dq.steal(&v)) consume(v);
+      }
+    });
+  }
+
+  intptr_t v;
+  for (intptr_t i = 0; i < kItems; ++i) {
+    dq.push(i);
+    // Rare owner pops keep the take/steal race on the last element hot
+    // without draining the deque away from the thieves.
+    if ((i & 1023) == 0 && dq.take(&v)) consume(v);
+  }
+  while (dq.take(&v)) consume(v);
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  while (dq.steal(&v)) consume(v);
+
+  ASSERT_EQ(consumed.load(), kItems);
+  for (intptr_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
 }  // namespace
 }  // namespace sledge::runtime

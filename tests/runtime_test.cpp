@@ -4,12 +4,19 @@
 // cooperative sleeping, and high-churn behavior.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <thread>
 
 #include "apps/workloads.hpp"
+#include "http/http.hpp"
 #include "loadgen/loadgen.hpp"
 #include "minicc/minicc.hpp"
 #include "sledge/runtime.hpp"
+#include "test_util.hpp"
 
 namespace sledge::runtime {
 namespace {
@@ -307,6 +314,151 @@ TEST(RuntimeTest, SleepingFunctionDoesNotHoldWorker) {
   EXPECT_LT(ping_ms, 25.0);  // well under the 30ms sleep
   sleeper.join();
   rt.stop();
+}
+
+// ---- Overload shedding (503) and keep-alive connection hand-back ----
+
+// With max_pending=1 and a single worker occupied by a sleeping request, a
+// second request must be shed with 503 instead of queuing; once the first
+// completes, the runtime admits again.
+TEST(RuntimeTest, OverloadShedsWith503AndRecovers) {
+  const char* long_sleep_src = R"(
+char out[1];
+int main() { sleep_ms(150); out[0] = 122; resp_write(out, 1); return 0; }
+)";
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.max_pending = 1;
+  Runtime rt(cfg);
+  ASSERT_TRUE(rt.register_module("sleep", compile(long_sleep_src)).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  std::thread holder([&] {
+    int status = 0;
+    auto r = loadgen::single_request("127.0.0.1", rt.bound_port(), "/sleep",
+                                     {}, &status);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(status, 200);
+  });
+  while (rt.inflight() == 0) ::usleep(200);  // holder admitted
+
+  int status = 0;
+  auto resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/sleep",
+                                      {}, &status);
+  ASSERT_TRUE(resp.ok()) << resp.error_message();
+  EXPECT_EQ(status, 503);
+  holder.join();
+
+  // Capacity is back: the next request is admitted and served.
+  resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/sleep", {},
+                                 &status);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(status, 200);
+
+  rt.stop();
+  EXPECT_EQ(rt.totals().shed, 1u);
+  EXPECT_EQ(rt.totals().completed, 2u);
+  EXPECT_NE(rt.stats_report().find("shed=1"), std::string::npos);
+}
+
+// Resource exhaustion at sandbox creation (fault-injected) also sheds with
+// 503, and service resumes once the pressure clears.
+TEST(RuntimeTest, SandboxCreateFailureSheds503) {
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  Runtime rt(cfg);
+  ASSERT_TRUE(rt.register_module("ping", compile(kPingSrc)).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  {
+    testutil::ScopedSandboxAllocFault fault;
+    int status = 0;
+    auto resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/ping",
+                                        {}, &status);
+    ASSERT_TRUE(resp.ok()) << resp.error_message();
+    EXPECT_EQ(status, 503);
+  }
+  int status = 0;
+  auto resp = loadgen::single_request("127.0.0.1", rt.bound_port(), "/ping",
+                                      {}, &status);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(status, 200);
+  rt.stop();
+  EXPECT_EQ(rt.totals().shed, 1u);
+}
+
+namespace rawhttp {
+
+// Blocking one-response read off a raw socket: enough parsing (status line +
+// Content-Length) to verify pipelined keep-alive behavior byte-for-byte.
+bool recv_response(int fd, int* status, std::string* body) {
+  std::string buf;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  size_t content_len = 0;
+  for (;;) {
+    if (header_end == std::string::npos) {
+      header_end = buf.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        if (::sscanf(buf.c_str(), "HTTP/1.1 %d", status) != 1) return false;
+        size_t cl = buf.find("Content-Length:");
+        if (cl == std::string::npos || cl > header_end) return false;
+        content_len = std::strtoul(buf.c_str() + cl + 15, nullptr, 10);
+      }
+    }
+    if (header_end != std::string::npos) {
+      size_t body_start = header_end + 4;
+      if (buf.size() >= body_start + content_len) {
+        *body = buf.substr(body_start, content_len);
+        return true;
+      }
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace rawhttp
+
+// One raw connection, many requests: responses written by workers (200 via
+// the sandbox path, then return_connection back to the listener) interleave
+// with responses written by the listener itself (404), and every request on
+// the shared socket gets exactly one in-order answer.
+TEST(RuntimeTest, KeepAliveRoundTripMixesWorkerAndListenerResponses) {
+  RuntimeConfig cfg;
+  cfg.workers = 2;
+  Runtime rt(cfg);
+  ASSERT_TRUE(rt.register_module("ping", compile(kPingSrc)).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(rt.bound_port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  const char* targets[] = {"/ping", "/ghost", "/ping", "/ghost", "/ping",
+                           "/ping"};
+  int expect[] = {200, 404, 200, 404, 200, 200};
+  for (size_t i = 0; i < std::size(targets); ++i) {
+    std::string req = http::serialize_request("POST", targets[i], {},
+                                              /*keep_alive=*/true);
+    ASSERT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(req.size()))
+        << "request " << i;
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(rawhttp::recv_response(fd, &status, &body)) << "request " << i;
+    EXPECT_EQ(status, expect[i]) << "request " << i;
+    if (expect[i] == 200) EXPECT_EQ(body, "p") << "request " << i;
+  }
+  ::close(fd);
+  rt.stop();
+  EXPECT_EQ(rt.totals().completed, 4u);
 }
 
 TEST(RuntimeTest, StatsReportMentionsModules) {

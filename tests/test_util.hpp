@@ -3,12 +3,66 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "sledge/sandbox.hpp"
 
 namespace sledge::testutil {
+
+// ---- Deterministic concurrency/fault fixtures (deadline & overload tests) --
+
+// A runaway request: loops forever, with a linear-memory store each
+// iteration so no tier can optimize the loop away. state[1] is never
+// written, so the condition never becomes false. Only deadline enforcement
+// (or process death) ends it.
+inline const char* kInfiniteLoopSrc = R"(
+int state[2];
+int main() {
+  while (state[1] == 0) { state[0] = state[0] + 1; }
+  return state[0];
+}
+)";
+
+// A configurable CPU burner: ~`iters` loop iterations of linear-memory
+// arithmetic, then a 1-byte response ('s'). Calibrate per test; 1e7 iters
+// is tens of milliseconds on any recent CPU under the AoT tier.
+inline std::string spin_src(long long iters) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), R"(
+int acc[2];
+char out[1];
+int main() {
+  int i = 0;
+  while (i < %lld) { acc[0] = acc[0] + i; i = i + 1; }
+  out[0] = 115;
+  resp_write(out, 1);
+  return acc[0];
+}
+)",
+                iters);
+  return std::string(buf);
+}
+
+// Scoped fault injection into the sandbox allocation path: while alive,
+// every Nth (default: every) Sandbox::create fails as if resources were
+// exhausted, driving the listener's 503 path deterministically.
+class ScopedSandboxAllocFault {
+ public:
+  ScopedSandboxAllocFault() {
+    runtime::Sandbox::set_create_fault_hook(&always_fail);
+  }
+  ~ScopedSandboxAllocFault() {
+    runtime::Sandbox::set_create_fault_hook(nullptr);
+  }
+  ScopedSandboxAllocFault(const ScopedSandboxAllocFault&) = delete;
+  ScopedSandboxAllocFault& operator=(const ScopedSandboxAllocFault&) = delete;
+
+ private:
+  static bool always_fail() { return true; }
+};
 
 // Loads + instantiates + invokes in one step; fails the current test on
 // load/instantiation errors (invoke outcomes are returned for inspection).
