@@ -6,6 +6,13 @@
 //     Nuclio-model per-invocation cost).
 // Reports avg and p99 over SLEDGE_BENCH_ITERS iterations (default 300;
 // paper used 10k), plus the creation-only component.
+//
+// --smoke: instead of the fork+exec comparison, measure sandbox creation
+// with the resource pool disabled (cold) and enabled (warm) in this one
+// binary and fail (exit 1) unless warm p50 < cold p50. CI-sized pool
+// acceptance check.
+#include <cstring>
+
 #include "bench_util.hpp"
 #include "procfaas/procfaas.hpp"
 #include "sledge/runtime.hpp"
@@ -13,8 +20,84 @@
 using namespace sledge;
 using namespace sledge::bench;
 
-int main() {
-  print_header("Churn: Sledge sandbox vs fork+exec+wait (GPS-EKF)", "Table 3");
+namespace {
+
+// One cold-or-warm measurement pass: reconfigure + drain the process-wide
+// pool, warm unrelated caches with a throwaway request, then time
+// Sandbox::create over `iters` full create/run/teardown cycles (teardown is
+// what refills the free lists between pooled iterations).
+bool measure_create(const engine::WasmModule* mod,
+                    const std::vector<uint8_t>& request, int iters,
+                    bool pool_enabled, LatencyHistogram* create_only) {
+  auto& pool = runtime::SandboxResourcePool::instance();
+  runtime::SandboxResourcePool::Config pc;
+  pc.enabled = pool_enabled;
+  pool.configure(pc);
+  pool.purge();
+  pool.reset_counters();
+  {
+    auto sb = runtime::Sandbox::create(mod, request);
+    if (!sb) return false;
+    runtime::run_sandbox_inline(sb.get());
+  }
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch sw;
+    auto sb = runtime::Sandbox::create(mod, request);
+    uint64_t create_ns = sw.elapsed_ns();
+    if (!sb) return false;
+    create_only->record(create_ns);
+    runtime::run_sandbox_inline(sb.get());
+  }
+  return true;
+}
+
+int run_smoke(const engine::WasmModule* mod,
+              const std::vector<uint8_t>& request, int iters) {
+  LatencyHistogram cold, warm;
+  if (!measure_create(mod, request, iters, /*pool_enabled=*/false, &cold) ||
+      !measure_create(mod, request, iters, /*pool_enabled=*/true, &warm)) {
+    std::fprintf(stderr, "sandbox creation failed\n");
+    return 1;
+  }
+  auto& pool = runtime::SandboxResourcePool::instance();
+  runtime::SandboxResourcePool::Counters c = pool.counters();
+  pool.purge();
+
+  auto p50_us = [](const LatencyHistogram& h) {
+    return static_cast<double>(h.percentile_ns(0.5)) / 1000.0;
+  };
+  std::printf("%-36s %12s %12s\n", "", "50%", "99%");
+  std::printf("%-36s %10.1fus %10.1fus\n", "create, pool disabled (cold)",
+              p50_us(cold), cold.p99_us());
+  std::printf("%-36s %10.1fus %10.1fus\n", "create, pool enabled (warm)",
+              p50_us(warm), warm.p99_us());
+  std::printf("%-36s %11.2fx\n", "cold / warm p50 ratio",
+              p50_us(cold) / p50_us(warm));
+  std::printf("warm pass pool counters: mem hit/miss=%llu/%llu "
+              "stack hit/miss=%llu/%llu\n",
+              static_cast<unsigned long long>(c.memory_hits),
+              static_cast<unsigned long long>(c.memory_misses),
+              static_cast<unsigned long long>(c.stack_hits),
+              static_cast<unsigned long long>(c.stack_misses));
+
+  if (p50_us(warm) >= p50_us(cold)) {
+    std::fprintf(stderr,
+                 "FAIL: pooled create p50 (%.1fus) not below cold p50 "
+                 "(%.1fus)\n",
+                 p50_us(warm), p50_us(cold));
+    return 1;
+  }
+  std::printf("PASS: pooled create p50 below cold p50\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  print_header(smoke ? "Churn smoke: pooled vs cold sandbox startup (GPS-EKF)"
+                     : "Churn: Sledge sandbox vs fork+exec+wait (GPS-EKF)",
+               "Table 3");
 
   const int iters = static_cast<int>(env_long("SLEDGE_BENCH_ITERS", 300));
   std::vector<uint8_t> request = apps::app_request("ekf");
@@ -30,6 +113,8 @@ int main() {
     std::fprintf(stderr, "%s\n", mod.error_message().c_str());
     return 1;
   }
+
+  if (smoke) return run_smoke(&mod.value(), request, iters);
 
   // Warm both paths.
   {

@@ -129,18 +129,25 @@ Result<AotModule> AotModule::compile(const wasm::Module& module,
   return Result<AotModule>(std::move(out));
 }
 
-Result<AotInstanceHandle> AotModule::instantiate() const {
+Result<AotInstanceHandle> AotModule::instantiate(LinearMemory recycled) const {
   AotInstanceHandle h;
   h.module_ = this;
 
   if (module_->memory) {
-    uint32_t max = module_->memory->has_max ? module_->memory->max
-                                            : options_.default_max_pages;
-    if (max < module_->memory->min) max = module_->memory->min;
-    auto mem =
-        LinearMemory::create(options_.strategy, module_->memory->min, max);
-    if (!mem.ok()) return Result<AotInstanceHandle>::error(mem.error_message());
-    h.memory_ = mem.take();
+    if (recycled.valid() && recycled.strategy() == options_.strategy &&
+        recycled.pages() >= module_->memory->min) {
+      h.memory_ = std::move(recycled);
+    } else {
+      uint32_t max = module_->memory->has_max ? module_->memory->max
+                                              : options_.default_max_pages;
+      if (max < module_->memory->min) max = module_->memory->min;
+      auto mem =
+          LinearMemory::create(options_.strategy, module_->memory->min, max);
+      if (!mem.ok()) {
+        return Result<AotInstanceHandle>::error(mem.error_message());
+      }
+      h.memory_ = mem.take();
+    }
   }
 
   h.inst_storage_ = std::make_unique<uint8_t[]>(desc_->inst_size);

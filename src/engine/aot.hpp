@@ -79,7 +79,10 @@ class AotModule {
                                    const HostRegistry& hosts,
                                    const Options& options);
 
-  Result<AotInstanceHandle> instantiate() const;
+  // `recycled`, when valid, is an already-reset() pooled linear memory used
+  // instead of a fresh mapping (the warm-start path).
+  Result<AotInstanceHandle> instantiate(
+      LinearMemory recycled = LinearMemory()) const;
 
   // Resolved host binding for import `idx` (joint function index space).
   const HostBinding* import_binding(uint32_t idx) const {

@@ -1,5 +1,7 @@
 #include "engine/engine.hpp"
 
+#include <utility>
+
 #include "common/clock.hpp"
 #include "wasm/decoder.hpp"
 #include "wasm/validator.hpp"
@@ -61,17 +63,30 @@ Result<WasmModule> WasmModule::load(const std::vector<uint8_t>& wasm_bytes,
   return Result<WasmModule>(std::move(out));
 }
 
-Result<WasmSandbox> WasmModule::instantiate() const {
+WasmModule::MemorySpec WasmModule::memory_spec() const {
+  MemorySpec spec;
+  spec.strategy = config_.strategy;
+  if (!module_ || !module_->memory) return spec;
+  spec.has_memory = true;
+  spec.min_pages = module_->memory->min;
+  spec.max_pages = module_->memory->has_max ? module_->memory->max
+                                            : config_.default_max_pages;
+  if (spec.max_pages < spec.min_pages) spec.max_pages = spec.min_pages;
+  return spec;
+}
+
+Result<WasmSandbox> WasmModule::instantiate(LinearMemory recycled) const {
   WasmSandbox sandbox;
   sandbox.owner_ = this;
 
   if (aot_) {
-    Result<AotInstanceHandle> inst = aot_->instantiate();
+    Result<AotInstanceHandle> inst = aot_->instantiate(std::move(recycled));
     if (!inst.ok()) return Result<WasmSandbox>::error(inst.error_message());
     sandbox.aot_ = inst.take();
   } else {
     Result<Instance> inst = Instance::instantiate(
-        *module_, config_.strategy, *hosts_, config_.default_max_pages);
+        *module_, config_.strategy, *hosts_, config_.default_max_pages,
+        std::move(recycled));
     if (!inst.ok()) return Result<WasmSandbox>::error(inst.error_message());
     sandbox.instance_ = std::make_unique<Instance>(inst.take());
   }
@@ -117,6 +132,12 @@ InvokeOutcome WasmSandbox::call(const std::string& export_name,
   }
   instance_->host_user = nullptr;
   return out;
+}
+
+LinearMemory WasmSandbox::reclaim_memory() {
+  if (aot_.valid()) return std::move(aot_.memory());
+  if (instance_) return std::move(instance_->memory());
+  return LinearMemory();
 }
 
 InvokeOutcome WasmSandbox::run_serverless(const std::vector<uint8_t>& request,

@@ -53,6 +53,11 @@ class WasmSandbox {
   InvokeOutcome run_serverless(const std::vector<uint8_t>& request,
                                std::vector<uint8_t>* response);
 
+  // End-of-life: extracts the linear memory so the caller can recycle it
+  // into a resource pool instead of unmapping. The sandbox must not be
+  // invoked afterwards. Returns an invalid memory for memory-less modules.
+  LinearMemory reclaim_memory();
+
  private:
   friend class WasmModule;
 
@@ -78,7 +83,19 @@ class WasmModule {
                                  const HostRegistry& hosts =
                                      default_host_registry());
 
-  Result<WasmSandbox> instantiate() const;
+  // `recycled`, when valid, is a pooled linear memory (already reset() to
+  // this module's spec) adopted instead of a fresh per-request mapping.
+  Result<WasmSandbox> instantiate(LinearMemory recycled = LinearMemory()) const;
+
+  // What a sandbox of this module needs from a resource pool. min/max are 0
+  // (and has_memory false) for modules that declare no linear memory.
+  struct MemorySpec {
+    bool has_memory = false;
+    uint32_t min_pages = 0;
+    uint32_t max_pages = 0;
+    BoundsStrategy strategy = BoundsStrategy::kVmGuard;
+  };
+  MemorySpec memory_spec() const;
 
   const wasm::Module& module() const { return *module_; }
   const Config& config() const { return config_; }

@@ -1,13 +1,15 @@
 #include "engine/instance.hpp"
 
 #include <cstring>
+#include <utility>
 
 namespace sledge::engine {
 
 Result<Instance> Instance::instantiate(const wasm::Module& module,
                                        BoundsStrategy strategy,
                                        const HostRegistry& hosts,
-                                       uint32_t default_max_pages) {
+                                       uint32_t default_max_pages,
+                                       LinearMemory recycled) {
   Instance inst;
   inst.module_ = &module;
 
@@ -27,14 +29,19 @@ Result<Instance> Instance::instantiate(const wasm::Module& module,
     inst.imports_.push_back(binding);
   }
 
-  // Memory.
+  // Memory: adopt the pooled region when one was handed in, else map fresh.
   if (module.memory) {
-    uint32_t max = module.memory->has_max ? module.memory->max
-                                          : default_max_pages;
-    if (max < module.memory->min) max = module.memory->min;
-    auto mem = LinearMemory::create(strategy, module.memory->min, max);
-    if (!mem.ok()) return Result<Instance>::error(mem.error_message());
-    inst.memory_ = mem.take();
+    if (recycled.valid() && recycled.strategy() == strategy &&
+        recycled.pages() >= module.memory->min) {
+      inst.memory_ = std::move(recycled);
+    } else {
+      uint32_t max = module.memory->has_max ? module.memory->max
+                                            : default_max_pages;
+      if (max < module.memory->min) max = module.memory->min;
+      auto mem = LinearMemory::create(strategy, module.memory->min, max);
+      if (!mem.ok()) return Result<Instance>::error(mem.error_message());
+      inst.memory_ = mem.take();
+    }
   }
 
   // Globals.

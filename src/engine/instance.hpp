@@ -26,11 +26,15 @@ class Instance {
   };
 
   // `module` and `hosts` must outlive the instance. default_max_pages caps
-  // memory growth for modules that declare no maximum.
+  // memory growth for modules that declare no maximum. `recycled`, when
+  // valid, is an already-reset() pooled linear memory used instead of a
+  // fresh mapping (the warm-start path); it must match the module's
+  // strategy and committed min size.
   static Result<Instance> instantiate(const wasm::Module& module,
                                       BoundsStrategy strategy,
                                       const HostRegistry& hosts,
-                                      uint32_t default_max_pages = 4096);
+                                      uint32_t default_max_pages = 4096,
+                                      LinearMemory recycled = LinearMemory());
 
   const wasm::Module& module() const { return *module_; }
   LinearMemory& memory() { return memory_; }

@@ -26,6 +26,14 @@ const char* to_string(BoundsStrategy s) {
   return "?";
 }
 
+uint64_t LinearMemory::reservation_bytes(BoundsStrategy strategy,
+                                         uint32_t max_pages) {
+  uint64_t bytes = strategy == BoundsStrategy::kVmGuard
+                       ? kGuardReservation
+                       : static_cast<uint64_t>(max_pages) * wasm::kPageSize;
+  return bytes == 0 ? wasm::kPageSize : bytes;
+}
+
 LinearMemory::~LinearMemory() { release(); }
 
 LinearMemory& LinearMemory::operator=(LinearMemory&& o) noexcept {
@@ -66,11 +74,7 @@ Result<LinearMemory> LinearMemory::create(BoundsStrategy strategy,
   LinearMemory mem;
   mem.strategy_ = strategy;
   mem.max_pages_ = max_pages;
-  mem.reserved_bytes_ =
-      strategy == BoundsStrategy::kVmGuard
-          ? kGuardReservation
-          : static_cast<uint64_t>(max_pages) * wasm::kPageSize;
-  if (mem.reserved_bytes_ == 0) mem.reserved_bytes_ = wasm::kPageSize;
+  mem.reserved_bytes_ = reservation_bytes(strategy, max_pages);
 
   void* p = ::mmap(nullptr, mem.reserved_bytes_, PROT_NONE,
                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
@@ -100,6 +104,40 @@ Result<LinearMemory> LinearMemory::create(BoundsStrategy strategy,
   }
 
   return Result<LinearMemory>(std::move(mem));
+}
+
+bool LinearMemory::recycle() {
+  if (!base_) return false;
+  if (size_bytes_ > 0) {
+    // MADV_DONTNEED on private anonymous pages discards them; the next
+    // touch is a fresh zero page. This is the zero-on-reuse guarantee.
+    if (::madvise(base_, size_bytes_, MADV_DONTNEED) != 0) return false;
+    if (::mprotect(base_, size_bytes_, PROT_NONE) != 0) return false;
+  }
+  size_bytes_ = 0;
+  return true;
+}
+
+bool LinearMemory::reset(uint32_t min_pages, uint32_t max_pages) {
+  if (!base_ || size_bytes_ != 0) return false;  // must be recycled first
+  if (max_pages < min_pages) max_pages = min_pages;
+  if (static_cast<uint64_t>(max_pages) * wasm::kPageSize > reserved_bytes_ ||
+      max_pages > wasm::kMaxPages) {
+    return false;
+  }
+  uint64_t bytes = static_cast<uint64_t>(min_pages) * wasm::kPageSize;
+  if (bytes > 0 &&
+      ::mprotect(base_, bytes, PROT_READ | PROT_WRITE) != 0) {
+    return false;
+  }
+  size_bytes_ = bytes;
+  max_pages_ = max_pages;
+  if (bounds_dir_) {
+    for (int i = 0; i < kBoundsDirEntries; ++i) {
+      bounds_dir_[i] = {0, size_bytes_};
+    }
+  }
+  return true;
 }
 
 int32_t LinearMemory::grow(uint32_t delta_pages) {

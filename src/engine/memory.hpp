@@ -54,6 +54,11 @@ class LinearMemory {
   static Result<LinearMemory> create(BoundsStrategy strategy,
                                      uint32_t min_pages, uint32_t max_pages);
 
+  // Address-space reservation a create() with these parameters would make.
+  // Resource pools bucket reusable regions by (strategy, reservation).
+  static uint64_t reservation_bytes(BoundsStrategy strategy,
+                                    uint32_t max_pages);
+
   uint8_t* base() const { return base_; }
   uint64_t size_bytes() const { return size_bytes_; }
   uint32_t pages() const {
@@ -65,6 +70,24 @@ class LinearMemory {
 
   // Returns previous size in pages, or -1 on failure (per wasm semantics).
   int32_t grow(uint32_t delta_pages);
+
+  // ---- Pooled reuse (warm-start path) ----
+  //
+  // recycle() quiesces the region for pooling: the committed prefix is
+  // decommitted (PROT_NONE) and its pages discarded (madvise MADV_DONTNEED),
+  // so the kernel guarantees zero-filled pages on the next commit — the
+  // cross-tenant isolation property pooling depends on. The reservation,
+  // guard registration and bounds directory allocation are all kept, which
+  // is exactly what makes reuse cheaper than a fresh create().
+  bool recycle();
+
+  // reset() re-arms a recycled region for its next request: commits
+  // min_pages and installs the new growth ceiling. Fails (false) if the
+  // ceiling would not fit the existing reservation — the caller must then
+  // fall back to create(). Memory contents after reset() are all-zero.
+  bool reset(uint32_t min_pages, uint32_t max_pages);
+
+  uint64_t reserved_bytes() const { return reserved_bytes_; }
 
   // Software check used by the interpreter tiers (AoT code inlines its own
   // per-strategy checks).

@@ -241,6 +241,8 @@ void Listener::handle_readable(Conn* conn) {
         std::lock_guard<std::mutex> lock(mod->stats.mu);
         mod->stats.requests++;
         mod->stats.startup.record(sb->startup_cost_ns());
+        (sb->pooled() ? mod->stats.startup_pooled : mod->stats.startup_cold)
+            .record(sb->startup_cost_ns());
       }
       rt_->note_admitted();
       rt_->distributor().push(sb.release());

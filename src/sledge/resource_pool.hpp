@@ -1,0 +1,136 @@
+// SandboxResourcePool: warm reuse of the three per-request resources the
+// paper's "optimized function startup" allocates — linear memory, a guarded
+// execution stack, and a ucontext (§4).
+//
+// The cold path pays, per request: one mmap (a multi-GiB PROT_NONE
+// reservation under vm_guard), an mprotect commit, a guard-region
+// registration, a second mmap+mprotect for the stack, and another guard
+// registration. The pool converts all of that into a free-list pop:
+//
+//   * Linear memories are bucketed by (bounds strategy, reservation size),
+//     since a recycled region can serve any module whose growth ceiling
+//     fits the existing reservation. Under vm_guard every module shares one
+//     bucket (the reservation is always 4 GiB + slack). On release the
+//     region is decommitted and madvise(MADV_DONTNEED)'d, so the kernel
+//     guarantees zero-filled pages on reuse — cross-tenant isolation does
+//     not depend on trusting the previous occupant.
+//   * Execution stacks keep their mapping, guard page, and guard-region
+//     registration alive between requests; the ucontext storage rides along
+//     (it is re-initialized by getcontext/makecontext per request). Stacks
+//     are NOT zeroed: the split-stack design means sandboxed loads/stores
+//     cannot address the C stack, so stale contents are unreachable.
+//
+// Structure: each acquiring thread keeps a small free list (fast, no
+// locks; sized by per_thread_cap) and overflows into a bounded global pool
+// (mutex; sized by global_cap, the reclaim watermark — resources beyond it
+// are released to the OS). Release-only threads skip the local list so
+// resources flow back to the acquirers: in the server, workers release into
+// the global pool and the listener acquires from it; in the inline/bench
+// path one thread hits its own lock-free list.
+#pragma once
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "engine/memory.hpp"
+
+namespace sledge::runtime {
+
+// A pooled execution stack: mmap'd region whose first guard_size bytes are
+// PROT_NONE, registered with the engine's guard-region table so overflow
+// faults become traps, plus reusable ucontext storage.
+struct ExecStack {
+  uint8_t* base = nullptr;  // whole mapping, guard page first
+  size_t size = 0;          // total mapping size, guard included
+  size_t guard_size = 0;
+  int guard_id = -1;
+  ucontext_t ctx;
+};
+
+class SandboxResourcePool {
+ public:
+  struct Config {
+    bool enabled = true;
+    // Free-list entries kept per thread before overflowing to the global
+    // pool (applies independently to memories and stacks).
+    int per_thread_cap = 8;
+    // Reclaim watermark: global entries beyond this are released to the OS.
+    int global_cap = 64;
+  };
+
+  struct Counters {
+    uint64_t memory_hits = 0;    // acquires served from a free list
+    uint64_t memory_misses = 0;  // acquires that fell back to create()
+    uint64_t stack_hits = 0;
+    uint64_t stack_misses = 0;
+    uint64_t released = 0;  // resources dropped at the reclaim watermark
+  };
+
+  // Process-wide pool (sandbox creation is a static path; tests and benches
+  // reconfigure it). Never destructed, so thread-local cache flushes at
+  // thread exit are always safe.
+  static SandboxResourcePool& instance();
+
+  void configure(const Config& config);
+  Config config() const;
+
+  // Pops a region matching (strategy, reservation-for-max_pages) and
+  // reset()s it to the requested spec; falls back to LinearMemory::create
+  // on a miss. `from_pool`, when non-null, reports which path was taken.
+  engine::LinearMemory acquire_memory(engine::BoundsStrategy strategy,
+                                      uint32_t min_pages, uint32_t max_pages,
+                                      bool* from_pool = nullptr);
+  // Recycles (zero + decommit) and pools `mem`; releases it to the OS when
+  // the pool is disabled, recycling fails, or caps are hit.
+  void release_memory(engine::LinearMemory mem);
+
+  // Pops a pooled stack of exactly (stack_size, guard_size), or maps and
+  // registers a fresh one. Returns nullptr only on mmap failure.
+  ExecStack* acquire_stack(size_t stack_size, size_t guard_size,
+                           bool* from_pool = nullptr);
+  void release_stack(ExecStack* stack);
+
+  Counters counters() const;
+  void reset_counters();
+
+  // Drops the global free lists and (for the calling thread) the local
+  // ones. Other threads' caches drain when those threads exit. Used by
+  // tests and the pooled-vs-cold ablation.
+  void purge();
+
+  // Internal (thread-exit flush path): push straight to the global pool,
+  // bypassing the thread-local list. False when the watermark is hit.
+  bool pool_memory_global(engine::LinearMemory* mem);
+  bool pool_stack_global(ExecStack* stack);
+
+ private:
+  SandboxResourcePool() = default;
+
+  struct MemBucket {
+    engine::BoundsStrategy strategy;
+    uint64_t reserved_bytes;
+    std::vector<engine::LinearMemory> free;
+  };
+
+  // Knobs are atomics so the hot acquire/release paths can check them
+  // without taking the global mutex (thread-local hits never lock).
+  std::atomic<bool> enabled_{true};
+  std::atomic<int> per_thread_cap_{8};
+  std::atomic<int> global_cap_{64};
+
+  std::atomic<uint64_t> memory_hits_{0};
+  std::atomic<uint64_t> memory_misses_{0};
+  std::atomic<uint64_t> stack_hits_{0};
+  std::atomic<uint64_t> stack_misses_{0};
+  std::atomic<uint64_t> released_{0};
+
+  mutable std::mutex mu_;
+  std::vector<MemBucket> mem_buckets_;
+  std::vector<ExecStack*> stacks_;
+};
+
+}  // namespace sledge::runtime

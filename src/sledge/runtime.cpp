@@ -100,6 +100,7 @@ Runtime::Runtime(RuntimeConfig config) : config_(config) {
   if (config_.workers < 1) config_.workers = 1;
   distributor_ =
       std::make_unique<Distributor>(config_.policy, config_.workers);
+  SandboxResourcePool::instance().configure(config_.pool);
 }
 
 Runtime::~Runtime() { stop(); }
@@ -158,10 +159,13 @@ Status Runtime::start() {
     workers_.back()->start();
   }
   listener_->start();
-  SLEDGE_LOG_INFO("sledge runtime on port %u (%d workers, quantum %lu us, %s)",
-                  bound_port_, config_.workers,
-                  static_cast<unsigned long>(config_.quantum_us),
-                  to_string(config_.policy));
+  SLEDGE_LOG_INFO(
+      "sledge runtime on port %u (%d workers, quantum %lu us, %s, sched=%s, "
+      "pool=%s)",
+      bound_port_, config_.workers,
+      static_cast<unsigned long>(config_.quantum_us),
+      to_string(config_.policy), to_string(config_.sched),
+      config_.pool.enabled ? "on" : "off");
   return Status::ok();
 }
 
@@ -194,6 +198,10 @@ void Runtime::stop() {
     retired_totals_.preemptions +=
         w->stats().preemptions.load(std::memory_order_relaxed);
     retired_totals_.steals += w->stats().steals.load(std::memory_order_relaxed);
+    retired_totals_.pool_hits +=
+        w->stats().pool_hits.load(std::memory_order_relaxed);
+    retired_totals_.pool_misses +=
+        w->stats().pool_misses.load(std::memory_order_relaxed);
   }
   workers_.clear();
   listener_.reset();
@@ -230,25 +238,52 @@ Runtime::Totals Runtime::totals() const {
     t.drained += w->stats().drained.load(std::memory_order_relaxed);
     t.preemptions += w->stats().preemptions.load(std::memory_order_relaxed);
     t.steals += w->stats().steals.load(std::memory_order_relaxed);
+    t.pool_hits += w->stats().pool_hits.load(std::memory_order_relaxed);
+    t.pool_misses += w->stats().pool_misses.load(std::memory_order_relaxed);
   }
   return t;
 }
 
 std::string Runtime::stats_report() const {
   std::string out;
-  char buf[256];
+  char buf[384];
   Totals t = totals();
   std::snprintf(buf, sizeof(buf),
                 "runtime: completed=%llu failed=%llu killed=%llu "
-                "drained=%llu shed=%llu preemptions=%llu steals=%llu\n",
+                "drained=%llu shed=%llu preemptions=%llu steals=%llu "
+                "(sched=%s)\n",
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.failed),
                 static_cast<unsigned long long>(t.killed),
                 static_cast<unsigned long long>(t.drained),
                 static_cast<unsigned long long>(t.shed),
                 static_cast<unsigned long long>(t.preemptions),
-                static_cast<unsigned long long>(t.steals));
+                static_cast<unsigned long long>(t.steals),
+                to_string(config_.sched));
   out += buf;
+
+  const SandboxResourcePool::Counters pc =
+      SandboxResourcePool::instance().counters();
+  const uint64_t warm_total = t.pool_hits + t.pool_misses;
+  std::snprintf(buf, sizeof(buf),
+                "pool: warm=%llu cold=%llu (%.1f%% warm) "
+                "mem hit/miss=%llu/%llu stack hit/miss=%llu/%llu "
+                "reclaimed=%llu\n",
+                static_cast<unsigned long long>(t.pool_hits),
+                static_cast<unsigned long long>(t.pool_misses),
+                warm_total ? 100.0 * static_cast<double>(t.pool_hits) /
+                                 static_cast<double>(warm_total)
+                           : 0.0,
+                static_cast<unsigned long long>(pc.memory_hits),
+                static_cast<unsigned long long>(pc.memory_misses),
+                static_cast<unsigned long long>(pc.stack_hits),
+                static_cast<unsigned long long>(pc.stack_misses),
+                static_cast<unsigned long long>(pc.released));
+  out += buf;
+
+  auto p50_us = [](const LatencyHistogram& h) {
+    return static_cast<double>(h.percentile_ns(0.5)) / 1e3;
+  };
   for (const auto& [name, mod] : modules_) {
     std::lock_guard<std::mutex> lock(mod->stats.mu);
     std::snprintf(buf, sizeof(buf),
@@ -261,6 +296,15 @@ std::string Runtime::stats_report() const {
                   static_cast<unsigned long long>(mod->stats.kills),
                   mod->stats.end_to_end.mean_ms(), mod->stats.end_to_end.p99_ms(),
                   mod->stats.startup.mean_us(), mod->stats.startup.p99_us());
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  %-12s startup pooled n=%zu (p50=%.1fus p99=%.1fus) "
+        "cold n=%zu (p50=%.1fus p99=%.1fus)\n",
+        "", mod->stats.startup_pooled.count(),
+        p50_us(mod->stats.startup_pooled), mod->stats.startup_pooled.p99_us(),
+        mod->stats.startup_cold.count(), p50_us(mod->stats.startup_cold),
+        mod->stats.startup_cold.p99_us());
     out += buf;
   }
   return out;

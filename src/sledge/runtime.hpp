@@ -21,7 +21,9 @@
 #include "common/status.hpp"
 #include "engine/engine.hpp"
 #include "sledge/deque.hpp"
+#include "sledge/resource_pool.hpp"
 #include "sledge/sandbox.hpp"
+#include "sledge/scheduler_policy.hpp"
 
 namespace sledge::runtime {
 
@@ -43,6 +45,12 @@ struct RuntimeConfig {
   uint64_t quantum_us = 5000;  // paper's 5 ms time slice
   bool preemption = true;      // false = cooperative-only (ablation)
   DistPolicy policy = DistPolicy::kWorkStealing;
+  // Per-worker scheduling policy over the local runnable set (the
+  // cross-worker handoff above stays as configured by `policy`).
+  SchedPolicy sched = SchedPolicy::kRoundRobin;
+  // Sandbox resource pool (warm startup path). Applied process-wide at
+  // Runtime construction; pool.enabled=false is the cold-start ablation.
+  SandboxResourcePool::Config pool;
   engine::WasmModule::Config engine;  // default tier/bounds for modules
 
   // ---- Deadline enforcement & overload defaults (0 = unlimited) ----
@@ -72,7 +80,11 @@ struct ModuleStats {
   uint64_t failures = 0;
   uint64_t kills = 0;  // deadline/budget terminations (504s)
   LatencyHistogram end_to_end;  // sandbox creation -> completion
-  LatencyHistogram startup;     // sandbox allocation cost
+  LatencyHistogram startup;     // sandbox allocation cost (all requests)
+  // Pooled-vs-cold split of `startup`: warm starts (every resource off a
+  // pool free list) against starts that paid at least one fresh allocation.
+  LatencyHistogram startup_pooled;
+  LatencyHistogram startup_cold;
 };
 
 struct LoadedModule {
@@ -178,6 +190,8 @@ class Runtime {
     uint64_t shed = 0;     // rejected with 503 (overload or draining)
     uint64_t preemptions = 0;
     uint64_t steals = 0;
+    uint64_t pool_hits = 0;    // warm starts (all resources pooled)
+    uint64_t pool_misses = 0;  // cold starts
   };
   Totals totals() const;
 

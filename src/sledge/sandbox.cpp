@@ -1,7 +1,6 @@
 #include "sledge/sandbox.hpp"
 
 #include <signal.h>
-#include <sys/mman.h>
 
 #include <cstdio>
 
@@ -41,6 +40,7 @@ std::unique_ptr<Sandbox> Sandbox::create(const engine::WasmModule* module,
     return nullptr;  // injected allocation failure (tests)
   }
   Stopwatch sw;
+  SandboxResourcePool& pool = SandboxResourcePool::instance();
   std::unique_ptr<Sandbox> sb(new Sandbox());
   sb->module_ = module;
   sb->env_.request = std::move(request);
@@ -48,8 +48,18 @@ std::unique_ptr<Sandbox> Sandbox::create(const engine::WasmModule* module,
   sb->keep_alive_ = keep_alive;
   sb->t_created_ = now_ns();
 
-  // Linear memory + instance (cheap: the module is already linked/loaded).
-  Result<engine::WasmSandbox> wasm = module->instantiate();
+  // Linear memory from the pool (warm regions are pre-zeroed and keep
+  // their reservation + guard registration), then the instance on top of
+  // it (cheap: the module is already linked/loaded).
+  engine::WasmModule::MemorySpec spec = module->memory_spec();
+  bool memory_pooled = !spec.has_memory;
+  engine::LinearMemory memory;
+  if (spec.has_memory) {
+    memory = pool.acquire_memory(spec.strategy, spec.min_pages,
+                                 spec.max_pages, &memory_pooled);
+    if (!memory.valid()) return nullptr;
+  }
+  Result<engine::WasmSandbox> wasm = module->instantiate(std::move(memory));
   if (!wasm.ok()) {
     SLEDGE_LOG_ERROR("sandbox instantiate failed: %s",
                      wasm.error_message().c_str());
@@ -59,27 +69,24 @@ std::unique_ptr<Sandbox> Sandbox::create(const engine::WasmModule* module,
 
   // Guarded execution stack, outside linear memory (Wasm's split-stack
   // design: the C stack is unreachable from sandboxed loads/stores).
-  void* mem = ::mmap(nullptr, kStackSize + kGuardSize,
-                     PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
-  if (mem == MAP_FAILED) return nullptr;
-  sb->stack_base_ = static_cast<uint8_t*>(mem);
-  sb->stack_size_ = kStackSize + kGuardSize;
-  ::mprotect(sb->stack_base_, kGuardSize, PROT_NONE);
-  engine::install_trap_signal_handler();
-  sb->stack_guard_id_ =
-      engine::register_guard_region(sb->stack_base_, kGuardSize);
+  // Pooled stacks keep their mapping, guard page, and guard registration.
+  bool stack_pooled = false;
+  sb->stack_ = pool.acquire_stack(kStackSize, kGuardSize, &stack_pooled);
+  if (!sb->stack_) return nullptr;
+  sb->pooled_ = memory_pooled && stack_pooled;
 
-  // User-level context (the paper's ip/sp/mcontext_t triple).
-  ::getcontext(&sb->ctx_);
-  sb->ctx_.uc_stack.ss_sp = sb->stack_base_ + kGuardSize;
-  sb->ctx_.uc_stack.ss_size = kStackSize;
-  sb->ctx_.uc_link = nullptr;
+  // User-level context (the paper's ip/sp/mcontext_t triple); the storage
+  // is pooled with the stack, the triple is rebuilt per request.
+  ucontext_t* ctx = &sb->stack_->ctx;
+  ::getcontext(ctx);
+  ctx->uc_stack.ss_sp = sb->stack_->base + kGuardSize;
+  ctx->uc_stack.ss_size = kStackSize;
+  ctx->uc_link = nullptr;
   // Sandbox code runs with the preemption signal unblocked; the scheduler
   // keeps it blocked, so quanta only expire inside sandbox execution.
-  sigdelset(&sb->ctx_.uc_sigmask, SIGALRM);
+  sigdelset(&ctx->uc_sigmask, SIGALRM);
   uintptr_t p = reinterpret_cast<uintptr_t>(sb.get());
-  ::makecontext(&sb->ctx_, reinterpret_cast<void (*)()>(&entry_trampoline), 2,
+  ::makecontext(ctx, reinterpret_cast<void (*)()>(&entry_trampoline), 2,
                 static_cast<unsigned>(p >> 32),
                 static_cast<unsigned>(p & 0xFFFFFFFFu));
 
@@ -89,8 +96,12 @@ std::unique_ptr<Sandbox> Sandbox::create(const engine::WasmModule* module,
 }
 
 Sandbox::~Sandbox() {
-  if (stack_guard_id_ >= 0) engine::unregister_guard_region(stack_guard_id_);
-  if (stack_base_) ::munmap(stack_base_, stack_size_);
+  // Return resources to the pool instead of unmapping: the linear memory is
+  // zeroed + decommitted on the way in (cross-tenant isolation), the stack
+  // keeps its mapping and guard registration.
+  SandboxResourcePool& pool = SandboxResourcePool::instance();
+  pool.release_memory(wasm_.reclaim_memory());
+  if (stack_) pool.release_stack(stack_);
 }
 
 void Sandbox::entry_trampoline(unsigned hi, unsigned lo) {
@@ -131,7 +142,7 @@ void Sandbox::dispatch(ucontext_t* scheduler_ctx) {
   // this, round-robin preemption interleaves TrapScopes of different
   // sandboxes on one thread-local chain and unwinds into the wrong stack.
   engine::TrapFrame* sched_chain = engine::exchange_trap_chain(trap_chain_);
-  ::swapcontext(scheduler_ctx, &ctx_);
+  ::swapcontext(scheduler_ctx, &stack_->ctx);
   trap_chain_ = engine::exchange_trap_chain(sched_chain);
   cpu_ns_ += now_ns() - run_started_ns_;
   run_started_ns_ = 0;
@@ -141,7 +152,7 @@ void Sandbox::dispatch(ucontext_t* scheduler_ctx) {
 void Sandbox::sleep_yield(uint64_t ns) {
   wake_at_ns_ = now_ns() + ns;
   set_state(SandboxState::kBlocked);
-  ::swapcontext(&ctx_, scheduler_ctx_);
+  ::swapcontext(&stack_->ctx, scheduler_ctx_);
   // Resumed. A kill may have been requested while we were blocked (wall
   // deadline passing); we are inside the host call's TrapScope, so unwind.
   if (kill_requested() && engine::in_trap_scope()) {

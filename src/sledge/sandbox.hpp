@@ -4,7 +4,10 @@
 // allocates linear memory (via the already-loaded module), a guarded
 // execution stack, and a user-level context (§4: "allocation of required
 // linear memory, a dedicated stack, and a user-level context"). The
-// expensive link/load happened once in WasmModule::load.
+// expensive link/load happened once in WasmModule::load. All three
+// per-request resources are acquired from the SandboxResourcePool and
+// returned to it on destruction, so a warm start skips every mmap,
+// mprotect, and guard-registration syscall of the cold path.
 //
 // Sandboxes are green threads: the worker swapcontext()s into them, and
 // they come back by completing, blocking (cooperative I/O / sleep), or
@@ -20,6 +23,7 @@
 
 #include "common/clock.hpp"
 #include "engine/engine.hpp"
+#include "sledge/resource_pool.hpp"
 
 namespace sledge::runtime {
 
@@ -115,8 +119,11 @@ class Sandbox {
   uint64_t first_run_ns() const { return t_first_run_; }
   uint64_t done_ns() const { return t_done_; }
   uint64_t startup_cost_ns() const { return startup_cost_ns_; }
+  // True when every pooled resource (memory if the module has one, stack)
+  // came off a free list — the warm-start path, no allocation syscalls.
+  bool pooled() const { return pooled_; }
 
-  ucontext_t* context() { return &ctx_; }
+  ucontext_t* context() { return &stack_->ctx; }
   ucontext_t* scheduler_context() { return scheduler_ctx_; }
 
   // Opaque owner tag (the runtime stores its LoadedModule* here so workers
@@ -137,10 +144,8 @@ class Sandbox {
   int conn_fd_ = -1;
   bool keep_alive_ = false;
 
-  uint8_t* stack_base_ = nullptr;  // mmap'd; page 0 is the guard
-  size_t stack_size_ = 0;
-  int stack_guard_id_ = -1;
-  ucontext_t ctx_;
+  ExecStack* stack_ = nullptr;  // pooled: guarded stack + ucontext storage
+  bool pooled_ = false;
   ucontext_t* scheduler_ctx_ = nullptr;  // valid while running
   uint64_t wake_at_ns_ = 0;
 

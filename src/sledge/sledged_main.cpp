@@ -9,6 +9,10 @@
 //   "quantum_us": 5000,
 //   "preemption": true,
 //   "policy": "work_stealing",   // | "global_lock" | "per_worker"
+//   "scheduler": "round_robin",  // | "fifo" (run-to-completion) | "edf"
+//   "pool": true,                // sandbox resource pool (warm startup)
+//   "pool_per_thread": 8,        // free-list entries kept per thread
+//   "pool_global": 64,           // global overflow cap / reclaim watermark
 //   "tier": "aot",               // | "aot_o1" | "interp_fast" | "interp"
 //   "bounds": "vm_guard",        // | "software" | "mpx_sim" | "none"
 //   "budget_us": 0,          // per-request CPU budget; over-budget -> 504
@@ -65,6 +69,24 @@ Result<runtime::RuntimeConfig> parse_config(const json::Value& doc) {
   } else {
     return Result<runtime::RuntimeConfig>::error("unknown policy: " + policy);
   }
+
+  const std::string& sched = doc["scheduler"].as_string();
+  if (sched == "fifo") {
+    cfg.sched = runtime::SchedPolicy::kFifoRunToCompletion;
+  } else if (sched == "edf") {
+    cfg.sched = runtime::SchedPolicy::kEdf;
+  } else if (sched.empty() || sched == "round_robin" || sched == "rr") {
+    cfg.sched = runtime::SchedPolicy::kRoundRobin;
+  } else {
+    return Result<runtime::RuntimeConfig>::error("unknown scheduler: " +
+                                                 sched);
+  }
+
+  if (doc["pool"].is_bool()) cfg.pool.enabled = doc["pool"].as_bool();
+  cfg.pool.per_thread_cap = static_cast<int>(
+      doc["pool_per_thread"].as_int(cfg.pool.per_thread_cap));
+  cfg.pool.global_cap =
+      static_cast<int>(doc["pool_global"].as_int(cfg.pool.global_cap));
 
   const std::string& tier = doc["tier"].as_string();
   if (tier == "interp") {

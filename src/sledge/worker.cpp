@@ -67,7 +67,10 @@ void install_quantum_handler_once() {
 
 }  // namespace
 
-Worker::Worker(Runtime* rt, int index) : rt_(rt), index_(index) {}
+Worker::Worker(Runtime* rt, int index)
+    : rt_(rt),
+      index_(index),
+      policy_(SchedulerPolicy::make(rt->config().sched)) {}
 
 Worker::~Worker() { join(); }
 
@@ -133,7 +136,11 @@ void Worker::thread_main() {
   sigaddset(&mask, SIGALRM);
   pthread_sigmask(SIG_BLOCK, &mask, nullptr);
 
-  if (rt_->config().preemption) {
+  // FIFO run-to-completion never arms the quantum timer: a dispatched
+  // sandbox keeps the core until it completes, blocks, or traps.
+  const bool preempt =
+      rt_->config().preemption && policy_->allows_preemption();
+  if (preempt) {
     install_quantum_handler_once();
     setup_timer();
   }
@@ -171,13 +178,12 @@ void Worker::thread_main() {
   // die with the process lifetime.
   Sandbox* sb = nullptr;
   while (rt_->distributor().fetch(index_, &sb)) abandon(sb);
-  for (Sandbox* s : runqueue_) abandon(s);
+  while (Sandbox* s = policy_->pick_next()) abandon(s);
   for (Sandbox* s : sleeping_) abandon(s);
   for (WriteJob& w : writes_) {
     ::close(w.fd);
     rt_->note_write_done();
   }
-  runqueue_.clear();
   sleeping_.clear();
   writes_.clear();
 
@@ -187,18 +193,17 @@ void Worker::thread_main() {
 
 Sandbox* Worker::next_sandbox() {
   // Dequeueing of new requests is integrated into the scheduling loop
-  // (paper §3.4): admit at most one stolen request per iteration so freshly
-  // arrived short functions round-robin fairly with long-running preempted
-  // ones, while idle workers (empty runqueue) still drain the deque fast.
+  // (paper §3.4). Round-robin admits at most one stolen request per
+  // iteration so freshly arrived short functions rotate fairly with
+  // long-running preempted ones; EDF drains everything available so the
+  // deadline comparison sees the full candidate set.
   Sandbox* stolen = nullptr;
-  if (rt_->distributor().fetch(index_, &stolen)) {
+  while (rt_->distributor().fetch(index_, &stolen)) {
     stats_.steals.fetch_add(1, std::memory_order_relaxed);
-    runqueue_.push_back(stolen);
+    policy_->enqueue(stolen);
+    if (!policy_->admit_eagerly()) break;
   }
-  if (runqueue_.empty()) return nullptr;
-  Sandbox* sb = runqueue_.front();
-  runqueue_.pop_front();
-  return sb;
+  return policy_->pick_next();
 }
 
 void Worker::dispatch(Sandbox* sb) {
@@ -216,15 +221,17 @@ void Worker::dispatch(Sandbox* sb) {
   }
 
   stats_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  const bool preempt =
+      rt_->config().preemption && policy_->allows_preemption();
   current_ = sb;
-  if (rt_->config().preemption) arm_timer(sb);
+  if (preempt) arm_timer(sb);
   sb->dispatch(&sched_ctx_);
-  if (rt_->config().preemption) disarm_timer();
+  if (preempt) disarm_timer();
   current_ = nullptr;
 
   switch (sb->state()) {
-    case SandboxState::kRunnable:  // preempted: round-robin to the tail
-      runqueue_.push_back(sb);
+    case SandboxState::kRunnable:  // preempted: back to the policy queue
+      policy_->enqueue(sb);
       break;
     case SandboxState::kBlocked:
       sleeping_.push_back(sb);
@@ -243,6 +250,11 @@ void Worker::dispatch(Sandbox* sb) {
 }
 
 void Worker::finalize(Sandbox* sb) {
+  if (sb->pooled()) {
+    stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.pool_misses.fetch_add(1, std::memory_order_relaxed);
+  }
   SandboxState st = sb->state();
   if (st == SandboxState::kComplete) {
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
@@ -296,7 +308,7 @@ void Worker::pump_timers() {
     if (expired) sb->request_kill();  // wake early; dies at sleep resume
     if (expired || sb->wake_at_ns() <= now) {
       sb->set_state(SandboxState::kRunnable);
-      runqueue_.push_back(sb);
+      policy_->enqueue(sb);
       sleeping_[i] = sleeping_.back();
       sleeping_.pop_back();
     } else {

@@ -1,18 +1,21 @@
-// A Sledge worker core: local run queue, preemptive round-robin scheduling
-// over sandbox contexts, cooperative timers, and non-blocking response
-// writes (the libuv-style per-worker event loop of paper §4).
+// A Sledge worker core: a pluggable per-worker scheduling policy (round
+// robin / FIFO run-to-completion / EDF) over sandbox contexts, cooperative
+// timers, and non-blocking response writes (the libuv-style per-worker
+// event loop of paper §4). The quantum timer is only armed when both the
+// runtime config and the policy allow preemption.
 #pragma once
 
 #include <ucontext.h>
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "sledge/sandbox.hpp"
+#include "sledge/scheduler_policy.hpp"
 
 namespace sledge::runtime {
 
@@ -34,6 +37,10 @@ class Worker {
     std::atomic<uint64_t> failed{0};
     std::atomic<uint64_t> killed{0};   // deadline/budget terminations (504)
     std::atomic<uint64_t> drained{0};  // abandoned at shutdown
+    // Resource-pool split of retired sandboxes: warm (every resource off a
+    // free list) vs cold (at least one fresh allocation).
+    std::atomic<uint64_t> pool_hits{0};
+    std::atomic<uint64_t> pool_misses{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -68,7 +75,7 @@ class Worker {
   ucontext_t sched_ctx_;
   Sandbox* current_ = nullptr;
 
-  std::deque<Sandbox*> runqueue_;
+  std::unique_ptr<SchedulerPolicy> policy_;
   std::vector<Sandbox*> sleeping_;
   std::vector<WriteJob> writes_;
 
