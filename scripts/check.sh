@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-command CI gate: tier-1 configure + build + full ctest, the quick
+# preset, and the sanitizer-safe suites under ASan. Exits nonzero on the
+# first failure. Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build (preset: default) =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+
+echo "== tier-1: full test suite =="
+ctest --preset default -j "$(nproc)"
+
+echo "== quick preset =="
+ctest --preset quick -j "$(nproc)"
+
+echo "== asan: configure + build + sanitizer-safe tests =="
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan -j "$(nproc)"
+
+echo "== all checks passed =="

@@ -131,6 +131,28 @@ Result<std::vector<uint8_t>> single_request(const std::string& host,
   return Result<std::vector<uint8_t>>(std::move(resp));
 }
 
+Result<std::string> http_get(const std::string& host, uint16_t port,
+                             const std::string& path, int* status_out) {
+  int fd = connect_to(host, port);
+  if (fd < 0) return Result<std::string>::error("connect failed");
+  std::string req = http::serialize_request("GET", path, {}, false);
+  if (!send_all(fd, req.data(), req.size())) {
+    ::close(fd);
+    return Result<std::string>::error("send failed");
+  }
+  int status = 0;
+  std::vector<uint8_t> resp;
+  bool keep_alive = false;
+  bool ok = read_response(fd, &status, &resp, &keep_alive);
+  ::close(fd);
+  if (!ok) return Result<std::string>::error("bad response");
+  if (status_out) *status_out = status;
+  if (status < 200 || status >= 300) {
+    return Result<std::string>::error("status " + std::to_string(status));
+  }
+  return Result<std::string>(std::string(resp.begin(), resp.end()));
+}
+
 Result<Report> run_load(const Options& options) {
   if (options.concurrency < 1 || options.total_requests == 0) {
     return Result<Report>::error("bad loadgen options");
@@ -205,6 +227,10 @@ Result<Report> run_load(const Options& options) {
   report.throughput_rps =
       report.duration_s > 0 ? static_cast<double>(report.ok) / report.duration_s
                             : 0;
+  if (!options.scrape_path.empty()) {
+    auto stats = http_get(options.host, options.port, options.scrape_path);
+    if (stats.ok()) report.server_stats = stats.take();
+  }
   return Result<Report>(std::move(report));
 }
 

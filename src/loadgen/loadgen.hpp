@@ -23,6 +23,10 @@ struct Options {
   bool keep_alive = true;
   // Treat a 200 with this exact body as success when non-empty.
   std::vector<uint8_t> expect_body;
+  // When non-empty (e.g. "/admin/stats"), GET this path once the load
+  // phase finishes and store the body in Report::server_stats, so benches
+  // can print server-side phase breakdowns next to client-side latency.
+  std::string scrape_path;
 };
 
 struct Report {
@@ -31,12 +35,20 @@ struct Report {
   double duration_s = 0;
   double throughput_rps = 0;
   LatencyHistogram latency;
+  // Body of Options::scrape_path (server-side stats JSON), if requested.
+  std::string server_stats;
 
   double mean_ms() const { return latency.mean_ms(); }
   double p99_ms() const { return latency.p99_ms(); }
 };
 
 Result<Report> run_load(const Options& options);
+
+// One blocking GET over a fresh connection (admin/stats scraping); returns
+// the response body on any 2xx status.
+Result<std::string> http_get(const std::string& host, uint16_t port,
+                             const std::string& path,
+                             int* status_out = nullptr);
 
 // One blocking request/response over a fresh connection; for tests.
 Result<std::vector<uint8_t>> single_request(const std::string& host,

@@ -5,6 +5,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -12,6 +13,7 @@
 
 #include <cstring>
 
+#include "common/clock.hpp"
 #include "common/log.hpp"
 #include "sledge/runtime.hpp"
 
@@ -19,13 +21,14 @@ namespace sledge::runtime {
 
 namespace {
 
-Status set_nonblocking(int fd) {
-  int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    return Status::error("fcntl O_NONBLOCK failed");
-  }
-  return Status::ok();
-}
+// Malformed request: terse 400 and hang up.
+const char k400[] =
+    "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\nConnection: "
+    "close\r\n\r\n";
+
+// Bound on the blocking pre-admission flush (parked response bytes must hit
+// the socket before a worker takes over the fd, or response order breaks).
+constexpr uint64_t kFlushTimeoutNs = 2'000'000'000;
 
 }  // namespace
 
@@ -37,6 +40,8 @@ Listener::~Listener() {
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (event_fd_ >= 0) ::close(event_fd_);
   for (auto& [fd, conn] : conns_) ::close(fd);
+  // loaned_ fds belong to workers (already closed worker-side by now);
+  // closing them here could hit a recycled descriptor.
 }
 
 Status Listener::init(uint16_t port, uint16_t* bound_port) {
@@ -96,16 +101,28 @@ void Listener::return_connection(int fd) {
   wake();
 }
 
+void Listener::discard_connection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(ret_mu_);
+    discarded_.push_back(fd);
+  }
+  wake();
+}
+
 void Listener::drain_returned() {
   uint64_t junk;
   while (::read(event_fd_, &junk, sizeof(junk)) > 0) {
   }
   std::vector<int> fds;
+  std::vector<int> gone;
   {
     std::lock_guard<std::mutex> lock(ret_mu_);
     fds.swap(returned_);
+    gone.swap(discarded_);
   }
-  for (int fd : fds) add_connection(fd);
+  // Discards first: a stale loaned entry must never shadow a reattach.
+  for (int fd : gone) loaned_.erase(fd);
+  for (int fd : fds) reattach_connection(fd);
 }
 
 void Listener::add_connection(int fd) {
@@ -121,10 +138,54 @@ void Listener::add_connection(int fd) {
   conns_[fd] = std::move(conn);
 }
 
+void Listener::reattach_connection(int fd) {
+  std::unique_ptr<Conn> conn;
+  auto it = loaned_.find(fd);
+  if (it != loaned_.end()) {
+    conn = std::move(it->second);
+    loaned_.erase(it);
+  } else {
+    conn = std::make_unique<Conn>();
+    conn->fd = fd;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    return;
+  }
+  Conn* c = conn.get();
+  conns_[fd] = std::move(conn);
+  // Replay bytes that arrived pipelined behind the request the worker just
+  // answered; any bytes still in the kernel buffer will level-trigger
+  // EPOLLIN on their own.
+  if (!c->stash.empty()) {
+    std::string bytes;
+    bytes.swap(c->stash);
+    (void)process_bytes(c, bytes.data(), bytes.size());
+  }
+}
+
+void Listener::detach_to_loaned(Conn* conn) {
+  int fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  auto it = conns_.find(fd);
+  loaned_[fd] = std::move(it->second);
+  conns_.erase(it);
+}
+
 void Listener::drop_connection(int fd) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   conns_.erase(fd);
   ::close(fd);
+}
+
+void Listener::set_events(Conn* conn, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 
 void Listener::accept_new() {
@@ -141,6 +202,204 @@ void Listener::accept_new() {
   }
 }
 
+bool Listener::conn_send(Conn* conn, const std::string& data,
+                         bool close_after) {
+  if (!conn->outbuf.empty()) {
+    // Earlier response still draining: append to keep socket order.
+    conn->outbuf += data;
+    conn->close_after_write = conn->close_after_write || close_after;
+    return true;
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(conn->fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Short write: park the remainder and let EPOLLOUT finish the job
+      // (the old path dropped these bytes — a truncated 404/503).
+      conn->outbuf.assign(data, off, std::string::npos);
+      conn->outoff = 0;
+      conn->close_after_write = close_after;
+      set_events(conn, EPOLLOUT | (close_after ? 0u : EPOLLIN));
+      return true;
+    }
+    drop_connection(conn->fd);  // peer went away
+    return false;
+  }
+  if (close_after) {
+    drop_connection(conn->fd);
+    return false;
+  }
+  return true;
+}
+
+bool Listener::handle_writable(Conn* conn) {
+  while (conn->outoff < conn->outbuf.size()) {
+    ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->outoff,
+                       conn->outbuf.size() - conn->outoff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outoff += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    drop_connection(conn->fd);
+    return false;
+  }
+  conn->outbuf.clear();
+  conn->outoff = 0;
+  if (conn->close_after_write) {
+    drop_connection(conn->fd);
+    return false;
+  }
+  set_events(conn, EPOLLIN);
+  return true;
+}
+
+bool Listener::flush_outbuf_blocking(Conn* conn) {
+  uint64_t deadline = now_ns() + kFlushTimeoutNs;
+  while (conn->outoff < conn->outbuf.size()) {
+    ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->outoff,
+                       conn->outbuf.size() - conn->outoff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outoff += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (now_ns() >= deadline) return false;
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 50);
+      continue;
+    }
+    return false;
+  }
+  conn->outbuf.clear();
+  conn->outoff = 0;
+  return true;
+}
+
+Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
+                                          size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    int used = conn->parser.feed(data + off, n - off);
+    if (used < 0) {
+      (void)conn_send(conn, std::string(k400, sizeof(k400) - 1), true);
+      return Consume::kStop;
+    }
+    off += static_cast<size_t>(used);
+    if (!conn->parser.done()) continue;
+
+    http::Request& req = conn->parser.request();
+    bool keep_alive = req.keep_alive();
+
+    // Live observability endpoints, answered on the listener thread from
+    // brief lock-free/per-module-lock snapshots (no global pause).
+    if (rt_->config().admin_endpoint &&
+        req.target.compare(0, 7, "/admin/") == 0) {
+      std::string body;
+      std::string content_type;
+      if (req.target == "/admin/stats") {
+        body = rt_->stats_json();
+        content_type = "application/json";
+      } else if (req.target == "/admin/metrics") {
+        body = rt_->stats_prometheus();
+        content_type = "text/plain; version=0.0.4";
+      }
+      std::string resp =
+          body.empty()
+              ? http::serialize_response(404, "Not Found", {}, keep_alive,
+                                         "text/plain")
+              : http::serialize_response(
+                    200, "OK",
+                    std::vector<uint8_t>(body.begin(), body.end()),
+                    keep_alive, content_type);
+      if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+      conn->parser.reset();
+      continue;
+    }
+
+    std::string name =
+        req.target.empty() || req.target[0] != '/' ? req.target
+                                                   : req.target.substr(1);
+    LoadedModule* mod = rt_->find_module(name);
+    if (!mod) {
+      std::string resp = http::serialize_response(404, "Not Found", {},
+                                                  keep_alive, "text/plain");
+      if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+      conn->parser.reset();
+      continue;
+    }
+
+    // Overload shedding (configurable backlog threshold) and graceful
+    // drain both answer 503 without admitting a sandbox; a kept-alive
+    // connection stays parked here so the client can retry.
+    if (rt_->overloaded() || rt_->draining()) {
+      rt_->note_shed();
+      std::string resp = http::serialize_response(503, "Overloaded", {},
+                                                  keep_alive, "text/plain");
+      if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+      conn->parser.reset();
+      continue;
+    }
+
+    // Admission: the worker writes this request's response itself, so any
+    // parked listener-side bytes must flush first to keep socket order.
+    if (!conn->outbuf.empty() && !flush_outbuf_blocking(conn)) {
+      drop_connection(conn->fd);
+      return Consume::kStop;
+    }
+
+    std::vector<uint8_t> body = std::move(req.body);
+    std::unique_ptr<Sandbox> sb =
+        Sandbox::create(&mod->module, std::move(body), conn->fd, keep_alive);
+    if (!sb) {
+      rt_->note_shed();
+      std::string resp = http::serialize_response(503, "Overloaded", {},
+                                                  keep_alive, "text/plain");
+      if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+      conn->parser.reset();
+      continue;
+    }
+    sb->user_tag = mod;
+
+    // Resolve limits: per-module override, else runtime default.
+    const RuntimeConfig& rc = rt_->config();
+    uint64_t budget = mod->limits.execution_budget_ns != 0
+                          ? mod->limits.execution_budget_ns
+                          : rc.execution_budget_ns;
+    uint64_t deadline = mod->limits.deadline_ns != 0 ? mod->limits.deadline_ns
+                                                     : rc.deadline_ns;
+    sb->set_limits(budget, deadline != 0 ? sb->created_ns() + deadline : 0);
+
+    {
+      std::lock_guard<std::mutex> lock(mod->stats.mu);
+      mod->stats.requests++;
+      mod->stats.startup.record(sb->startup_cost_ns());
+      (sb->pooled() ? mod->stats.startup_pooled : mod->stats.startup_cold)
+          .record(sb->startup_cost_ns());
+    }
+
+    // Stash already-received bytes of the next pipelined request; they are
+    // replayed when the worker returns the connection (the old path
+    // silently dropped them, hanging pipelining keep-alive clients).
+    conn->parser.reset();
+    conn->stash.assign(data + off, n - off);
+    detach_to_loaned(conn);
+
+    rt_->note_admitted();
+    rt_->distributor().push(sb.release());
+    return Consume::kStop;  // fd now belongs to the worker side
+  }
+  return Consume::kContinue;
+}
+
 void Listener::handle_readable(Conn* conn) {
   char buf[65536];
   while (true) {
@@ -155,98 +414,8 @@ void Listener::handle_readable(Conn* conn) {
       drop_connection(conn->fd);
       return;
     }
-    size_t off = 0;
-    while (off < static_cast<size_t>(n)) {
-      int used = conn->parser.feed(buf + off, static_cast<size_t>(n) - off);
-      if (used < 0) {
-        // Malformed request: terse 400 and hang up.
-        static const char k400[] =
-            "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\nConnection: "
-            "close\r\n\r\n";
-        [[maybe_unused]] ssize_t w =
-            ::send(conn->fd, k400, sizeof(k400) - 1, MSG_NOSIGNAL);
-        drop_connection(conn->fd);
-        return;
-      }
-      off += static_cast<size_t>(used);
-      if (!conn->parser.done()) continue;
-
-      http::Request& req = conn->parser.request();
-      std::string name =
-          req.target.empty() || req.target[0] != '/' ? req.target
-                                                     : req.target.substr(1);
-      LoadedModule* mod = rt_->find_module(name);
-      if (!mod) {
-        std::string resp = http::serialize_response(
-            404, "Not Found", {}, req.keep_alive(), "text/plain");
-        [[maybe_unused]] ssize_t w =
-            ::send(conn->fd, resp.data(), resp.size(), MSG_NOSIGNAL);
-        if (!req.keep_alive()) {
-          drop_connection(conn->fd);
-          return;
-        }
-        conn->parser.reset();
-        continue;
-      }
-
-      // Overload shedding (configurable backlog threshold) and graceful
-      // drain both answer 503 without admitting a sandbox; a kept-alive
-      // connection stays parked here so the client can retry.
-      if (rt_->overloaded() || rt_->draining()) {
-        rt_->note_shed();
-        std::string resp = http::serialize_response(
-            503, "Overloaded", {}, req.keep_alive(), "text/plain");
-        [[maybe_unused]] ssize_t w =
-            ::send(conn->fd, resp.data(), resp.size(), MSG_NOSIGNAL);
-        if (!req.keep_alive()) {
-          drop_connection(conn->fd);
-          return;
-        }
-        conn->parser.reset();
-        continue;
-      }
-
-      // Hand the connection to the sandbox; the worker writes the response.
-      int fd = conn->fd;
-      bool keep_alive = req.keep_alive();
-      std::vector<uint8_t> body = std::move(req.body);
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-      conns_.erase(fd);
-
-      std::unique_ptr<Sandbox> sb =
-          Sandbox::create(&mod->module, std::move(body), fd, keep_alive);
-      if (!sb) {
-        rt_->note_shed();
-        std::string resp = http::serialize_response(
-            503, "Overloaded", {}, false, "text/plain");
-        [[maybe_unused]] ssize_t w =
-            ::send(fd, resp.data(), resp.size(), MSG_NOSIGNAL);
-        ::close(fd);
-        return;
-      }
-      sb->user_tag = mod;
-
-      // Resolve limits: per-module override, else runtime default.
-      const RuntimeConfig& rc = rt_->config();
-      uint64_t budget = mod->limits.execution_budget_ns != 0
-                            ? mod->limits.execution_budget_ns
-                            : rc.execution_budget_ns;
-      uint64_t deadline =
-          mod->limits.deadline_ns != 0 ? mod->limits.deadline_ns
-                                       : rc.deadline_ns;
-      sb->set_limits(budget,
-                     deadline != 0 ? sb->created_ns() + deadline : 0);
-
-      {
-        std::lock_guard<std::mutex> lock(mod->stats.mu);
-        mod->stats.requests++;
-        mod->stats.startup.record(sb->startup_cost_ns());
-        (sb->pooled() ? mod->stats.startup_pooled : mod->stats.startup_cold)
-            .record(sb->startup_cost_ns());
-      }
-      rt_->note_admitted();
-      rt_->distributor().push(sb.release());
-      return;  // fd no longer ours; remaining bytes (pipelining) unsupported
+    if (process_bytes(conn, buf, static_cast<size_t>(n)) == Consume::kStop) {
+      return;  // conn dropped, loaned out, or draining a close response
     }
   }
 }
@@ -264,11 +433,20 @@ void Listener::thread_main() {
       int fd = events[i].data.fd;
       if (fd == listen_fd_) {
         accept_new();
-      } else if (fd == event_fd_) {
+        continue;
+      }
+      if (fd == event_fd_) {
         drain_returned();
-      } else {
-        auto it = conns_.find(fd);
-        if (it != conns_.end()) handle_readable(it->second.get());
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn* conn = it->second.get();
+      if (events[i].events & EPOLLOUT) {
+        if (!handle_writable(conn)) continue;  // conn dropped
+      }
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        handle_readable(conn);
       }
     }
   }

@@ -3,11 +3,19 @@
 // module, creates the sandbox and pushes it onto the work-distribution
 // structure. Workers hand kept-alive connections back through
 // return_connection (eventfd-signalled queue).
+//
+// Control-path responses (400/404/503 and the /admin observability
+// endpoints) are written with short-write safety: a partial ::send parks
+// the remainder on the Conn and re-arms EPOLLOUT instead of silently
+// truncating. While a connection is loaned to a worker its Conn (parser
+// state plus any already-received bytes of the next pipelined request) is
+// parked in `loaned_` and replayed when the worker returns the fd.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +39,9 @@ class Listener {
 
   // Thread-safe: workers return kept-alive connections here.
   void return_connection(int fd);
+  // Thread-safe: workers report a loaned fd they closed, so the listener
+  // can drop the parked Conn state (stashed pipelined bytes) for it.
+  void discard_connection(int fd);
   // Wakes the epoll loop (used by stop()).
   void wake();
 
@@ -38,12 +49,41 @@ class Listener {
   struct Conn {
     int fd;
     http::RequestParser parser;
+    // Unsent control-path response bytes, parked when ::send would block;
+    // flushed by EPOLLOUT events (outoff = consumed prefix).
+    std::string outbuf;
+    size_t outoff = 0;
+    bool close_after_write = false;
+    // Bytes of the next pipelined request received before the previous one
+    // was admitted; replayed when the worker returns the connection.
+    std::string stash;
   };
+
+  // Whether the caller may keep touching the Conn / parsing its input.
+  enum class Consume : uint8_t { kContinue, kStop };
 
   void thread_main();
   void accept_new();
   void handle_readable(Conn* conn);
+  // Flushes parked outbuf bytes; returns false if the conn was dropped.
+  bool handle_writable(Conn* conn);
+  // Runs `n` received bytes through the parser/dispatch state machine.
+  Consume process_bytes(Conn* conn, const char* data, size_t n);
+  // Short-write-safe response send: parks the remainder on EAGAIN and
+  // re-arms EPOLLOUT. Returns false if the conn was dropped (peer dead, or
+  // close_after and everything flushed).
+  bool conn_send(Conn* conn, const std::string& data, bool close_after);
+  // Bounded blocking flush of parked bytes, used only before loaning a
+  // connection to a worker (response order on the socket must be kept).
+  bool flush_outbuf_blocking(Conn* conn);
+  void set_events(Conn* conn, uint32_t events);
   void add_connection(int fd);
+  // Re-registers a worker-returned fd, restoring parked state and
+  // replaying any stashed pipelined bytes.
+  void reattach_connection(int fd);
+  // Moves the Conn out of the epoll set into `loaned_` (sandbox admitted;
+  // the worker owns the fd until return/close).
+  void detach_to_loaned(Conn* conn);
   void drop_connection(int fd);
   void drain_returned();
 
@@ -53,8 +93,12 @@ class Listener {
   int epoll_fd_ = -1;
   int event_fd_ = -1;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  // Connections currently owned by workers; fds here are NOT in the epoll
+  // set and are closed (if at all) by the worker side, never by us.
+  std::unordered_map<int, std::unique_ptr<Conn>> loaned_;
   std::mutex ret_mu_;
   std::vector<int> returned_;
+  std::vector<int> discarded_;
 };
 
 }  // namespace sledge::runtime

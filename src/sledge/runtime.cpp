@@ -1,9 +1,11 @@
 #include "sledge/runtime.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstdio>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "sledge/listener.hpp"
 #include "sledge/worker.hpp"
@@ -153,6 +155,16 @@ Status Runtime::start() {
   Status s = listener_->init(config_.port, &bound_port_);
   if (!s.is_ok()) return s;
 
+  if (!config_.access_log_path.empty()) {
+    access_log_fd_ = ::open(config_.access_log_path.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (access_log_fd_ < 0) {
+      return Status::error("access log open failed: " +
+                           config_.access_log_path);
+    }
+  }
+
+  start_ns_ = now_ns();
   running_.store(true, std::memory_order_release);
   for (int i = 0; i < config_.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(this, i));
@@ -205,6 +217,10 @@ void Runtime::stop() {
   }
   workers_.clear();
   listener_.reset();
+  if (access_log_fd_ >= 0) {
+    ::close(access_log_fd_);  // workers flushed their buffers before join
+    access_log_fd_ = -1;
+  }
 }
 
 void Runtime::return_connection(int fd) {
@@ -213,6 +229,10 @@ void Runtime::return_connection(int fd) {
   } else {
     ::close(fd);
   }
+}
+
+void Runtime::forget_connection(int fd) {
+  if (listener_ && running()) listener_->discard_connection(fd);
 }
 
 void Runtime::record_completion(Sandbox* sb, SandboxState final_state) {
@@ -226,6 +246,24 @@ void Runtime::record_completion(Sandbox* sb, SandboxState final_state) {
     mod->stats.failures++;
   }
   mod->stats.end_to_end.record(sb->done_ns() - sb->created_ns());
+  mod->stats.queue_wait.record(sb->queue_wait_ns());
+  mod->stats.exec_cpu.record(sb->cpu_ns());
+  mod->stats.preemptions += sb->preempt_count();
+}
+
+void Runtime::record_response_write(LoadedModule* mod, uint64_t write_ns,
+                                    size_t bytes) {
+  if (!mod) return;
+  std::lock_guard<std::mutex> lock(mod->stats.mu);
+  mod->stats.response_write.record(write_ns);
+  mod->stats.response_bytes += bytes;
+}
+
+void Runtime::access_log_write(const std::string& block) {
+  if (access_log_fd_ < 0 || block.empty()) return;
+  // O_APPEND: one write per flushed block keeps lines whole without a lock.
+  [[maybe_unused]] ssize_t n =
+      ::write(access_log_fd_, block.data(), block.size());
 }
 
 Runtime::Totals Runtime::totals() const {
@@ -242,6 +280,203 @@ Runtime::Totals Runtime::totals() const {
     t.pool_misses += w->stats().pool_misses.load(std::memory_order_relaxed);
   }
   return t;
+}
+
+Runtime::StatsSnapshot Runtime::snapshot() const {
+  StatsSnapshot s;
+  s.uptime_ns = start_ns_ != 0 ? now_ns() - start_ns_ : 0;
+  s.inflight = inflight();
+  s.totals = totals();
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const Worker::Stats& w = workers_[i]->stats();
+    WorkerSnapshot ws;
+    ws.id = static_cast<int>(i);
+    ws.dispatches = w.dispatches.load(std::memory_order_relaxed);
+    ws.preemptions = w.preemptions.load(std::memory_order_relaxed);
+    ws.steals = w.steals.load(std::memory_order_relaxed);
+    ws.completed = w.completed.load(std::memory_order_relaxed);
+    ws.failed = w.failed.load(std::memory_order_relaxed);
+    ws.killed = w.killed.load(std::memory_order_relaxed);
+    s.workers.push_back(ws);
+  }
+  for (const auto& [name, mod] : modules_) {
+    ModuleSnapshot ms;
+    ms.name = name;
+    std::lock_guard<std::mutex> lock(mod->stats.mu);
+    ms.requests = mod->stats.requests;
+    ms.failures = mod->stats.failures;
+    ms.kills = mod->stats.kills;
+    ms.preemptions = mod->stats.preemptions;
+    ms.response_bytes = mod->stats.response_bytes;
+    ms.end_to_end = mod->stats.end_to_end.summary();
+    ms.startup = mod->stats.startup.summary();
+    ms.startup_pooled = mod->stats.startup_pooled.summary();
+    ms.startup_cold = mod->stats.startup_cold.summary();
+    ms.queue_wait = mod->stats.queue_wait.summary();
+    ms.exec_cpu = mod->stats.exec_cpu.summary();
+    ms.response_write = mod->stats.response_write.summary();
+    s.modules.push_back(std::move(ms));
+  }
+  return s;
+}
+
+namespace {
+
+json::Value hist_to_json(const LatencyHistogram::Summary& h) {
+  json::Object o;
+  o["count"] = json::Value(static_cast<double>(h.count));
+  o["sum_ns"] = json::Value(h.sum_ns);
+  o["mean_ns"] = json::Value(
+      h.count != 0 ? h.sum_ns / static_cast<double>(h.count) : 0.0);
+  o["min_ns"] = json::Value(static_cast<double>(h.min_ns));
+  o["p50_ns"] = json::Value(static_cast<double>(h.p50_ns));
+  o["p90_ns"] = json::Value(static_cast<double>(h.p90_ns));
+  o["p99_ns"] = json::Value(static_cast<double>(h.p99_ns));
+  o["max_ns"] = json::Value(static_cast<double>(h.max_ns));
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+std::string Runtime::stats_json() const {
+  StatsSnapshot s = snapshot();
+  json::Object root;
+  root["uptime_s"] = json::Value(static_cast<double>(s.uptime_ns) / 1e9);
+  root["inflight"] = json::Value(static_cast<double>(s.inflight));
+
+  json::Object totals;
+  totals["completed"] = json::Value(static_cast<double>(s.totals.completed));
+  totals["failed"] = json::Value(static_cast<double>(s.totals.failed));
+  totals["killed"] = json::Value(static_cast<double>(s.totals.killed));
+  totals["drained"] = json::Value(static_cast<double>(s.totals.drained));
+  totals["shed"] = json::Value(static_cast<double>(s.totals.shed));
+  totals["preemptions"] =
+      json::Value(static_cast<double>(s.totals.preemptions));
+  totals["steals"] = json::Value(static_cast<double>(s.totals.steals));
+  totals["pool_hits"] = json::Value(static_cast<double>(s.totals.pool_hits));
+  totals["pool_misses"] =
+      json::Value(static_cast<double>(s.totals.pool_misses));
+  root["totals"] = json::Value(std::move(totals));
+
+  json::Array workers;
+  for (const WorkerSnapshot& w : s.workers) {
+    json::Object o;
+    o["id"] = json::Value(w.id);
+    o["dispatches"] = json::Value(static_cast<double>(w.dispatches));
+    o["preemptions"] = json::Value(static_cast<double>(w.preemptions));
+    o["steals"] = json::Value(static_cast<double>(w.steals));
+    o["completed"] = json::Value(static_cast<double>(w.completed));
+    o["failed"] = json::Value(static_cast<double>(w.failed));
+    o["killed"] = json::Value(static_cast<double>(w.killed));
+    workers.push_back(json::Value(std::move(o)));
+  }
+  root["workers"] = json::Value(std::move(workers));
+
+  json::Object modules;
+  for (const ModuleSnapshot& m : s.modules) {
+    json::Object o;
+    o["requests"] = json::Value(static_cast<double>(m.requests));
+    o["failures"] = json::Value(static_cast<double>(m.failures));
+    o["kills"] = json::Value(static_cast<double>(m.kills));
+    o["preemptions"] = json::Value(static_cast<double>(m.preemptions));
+    o["response_bytes"] =
+        json::Value(static_cast<double>(m.response_bytes));
+    o["end_to_end"] = hist_to_json(m.end_to_end);
+    o["startup"] = hist_to_json(m.startup);
+    o["startup_pooled"] = hist_to_json(m.startup_pooled);
+    o["startup_cold"] = hist_to_json(m.startup_cold);
+    o["queue_wait"] = hist_to_json(m.queue_wait);
+    o["exec_cpu"] = hist_to_json(m.exec_cpu);
+    o["response_write"] = hist_to_json(m.response_write);
+    modules[m.name] = json::Value(std::move(o));
+  }
+  root["modules"] = json::Value(std::move(modules));
+  return json::Value(std::move(root)).dump();
+}
+
+std::string Runtime::stats_prometheus() const {
+  StatsSnapshot s = snapshot();
+  std::string out;
+  out.reserve(4096);
+  char buf[256];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+
+  emit("# TYPE sledge_uptime_seconds gauge\nsledge_uptime_seconds %.3f\n",
+       static_cast<double>(s.uptime_ns) / 1e9);
+  emit("# TYPE sledge_inflight gauge\nsledge_inflight %lld\n",
+       static_cast<long long>(s.inflight));
+  struct Counter {
+    const char* name;
+    uint64_t value;
+  };
+  const Counter counters[] = {
+      {"sledge_completed_total", s.totals.completed},
+      {"sledge_failed_total", s.totals.failed},
+      {"sledge_killed_total", s.totals.killed},
+      {"sledge_drained_total", s.totals.drained},
+      {"sledge_shed_total", s.totals.shed},
+      {"sledge_preemptions_total", s.totals.preemptions},
+      {"sledge_steals_total", s.totals.steals},
+      {"sledge_pool_hits_total", s.totals.pool_hits},
+      {"sledge_pool_misses_total", s.totals.pool_misses},
+  };
+  for (const Counter& c : counters) {
+    emit("# TYPE %s counter\n%s %llu\n", c.name, c.name,
+         static_cast<unsigned long long>(c.value));
+  }
+
+  struct ModCounter {
+    const char* name;
+    uint64_t ModuleSnapshot::* field;
+  };
+  const ModCounter mod_counters[] = {
+      {"sledge_requests_total", &ModuleSnapshot::requests},
+      {"sledge_failures_total", &ModuleSnapshot::failures},
+      {"sledge_kills_total", &ModuleSnapshot::kills},
+      {"sledge_module_preemptions_total", &ModuleSnapshot::preemptions},
+      {"sledge_response_bytes_total", &ModuleSnapshot::response_bytes},
+  };
+  for (const ModCounter& c : mod_counters) {
+    emit("# TYPE %s counter\n", c.name);
+    for (const ModuleSnapshot& m : s.modules) {
+      emit("%s{module=\"%s\"} %llu\n", c.name, m.name.c_str(),
+           static_cast<unsigned long long>(m.*(c.field)));
+    }
+  }
+
+  struct Phase {
+    const char* name;
+    LatencyHistogram::Summary ModuleSnapshot::* field;
+  };
+  const Phase phases[] = {
+      {"sledge_queue_wait_seconds", &ModuleSnapshot::queue_wait},
+      {"sledge_startup_seconds", &ModuleSnapshot::startup},
+      {"sledge_exec_cpu_seconds", &ModuleSnapshot::exec_cpu},
+      {"sledge_response_write_seconds", &ModuleSnapshot::response_write},
+      {"sledge_end_to_end_seconds", &ModuleSnapshot::end_to_end},
+  };
+  for (const Phase& p : phases) {
+    emit("# TYPE %s summary\n", p.name);
+    for (const ModuleSnapshot& m : s.modules) {
+      const LatencyHistogram::Summary& h = m.*(p.field);
+      const struct {
+        const char* q;
+        uint64_t ns;
+      } qs[] = {{"0.5", h.p50_ns}, {"0.9", h.p90_ns}, {"0.99", h.p99_ns}};
+      for (const auto& q : qs) {
+        emit("%s{module=\"%s\",quantile=\"%s\"} %.9f\n", p.name,
+             m.name.c_str(), q.q, static_cast<double>(q.ns) / 1e9);
+      }
+      emit("%s_sum{module=\"%s\"} %.9f\n", p.name, m.name.c_str(),
+           h.sum_ns / 1e9);
+      emit("%s_count{module=\"%s\"} %llu\n", p.name, m.name.c_str(),
+           static_cast<unsigned long long>(h.count));
+    }
+  }
+  return out;
 }
 
 std::string Runtime::stats_report() const {

@@ -66,6 +66,16 @@ struct RuntimeConfig {
   // stop() drains in-flight sandboxes for at most this long before
   // abandoning them.
   uint64_t drain_grace_ns = 2'000'000'000;
+
+  // ---- Observability plane ----
+  // Serve GET /admin/stats (JSON) and GET /admin/metrics (Prometheus text)
+  // from the listener thread, off lock-free/briefly-locked snapshots.
+  bool admin_endpoint = true;
+  // Structured access log: one JSON line per completed function request
+  // (module, status, bytes, phase breakdown, worker id, dispatch/preempt
+  // counts). Empty = disabled. Workers buffer lines and flush off the hot
+  // path, so the log is rate-safe under load.
+  std::string access_log_path;
 };
 
 // Per-module overrides for the RuntimeConfig-wide limits (0 = inherit).
@@ -79,12 +89,20 @@ struct ModuleStats {
   uint64_t requests = 0;
   uint64_t failures = 0;
   uint64_t kills = 0;  // deadline/budget terminations (504s)
+  uint64_t preemptions = 0;       // quantum expiries across all requests
+  uint64_t response_bytes = 0;    // HTTP bytes written (incl. headers)
   LatencyHistogram end_to_end;  // sandbox creation -> completion
   LatencyHistogram startup;     // sandbox allocation cost (all requests)
   // Pooled-vs-cold split of `startup`: warm starts (every resource off a
   // pool free list) against starts that paid at least one fresh allocation.
   LatencyHistogram startup_pooled;
   LatencyHistogram startup_cold;
+  // Phase breakdown (paper §5's latency splits, live instead of post-hoc):
+  // admission->first-dispatch wait, CPU consumed across slices, and
+  // response flush (completion -> last byte handed to the kernel).
+  LatencyHistogram queue_wait;
+  LatencyHistogram exec_cpu;
+  LatencyHistogram response_write;
 };
 
 struct LoadedModule {
@@ -159,10 +177,24 @@ class Runtime {
 
   // Worker -> listener: hand a kept-alive connection back after a response.
   void return_connection(int fd);
+  // Worker -> listener: a loaned connection fd was closed worker-side; the
+  // listener must discard any parked state (e.g. stashed pipelined bytes)
+  // it still holds for that fd.
+  void forget_connection(int fd);
 
   // Worker -> runtime: per-module latency/failure/kill accounting. Also
   // retires the sandbox from the in-flight count.
   void record_completion(Sandbox* sb, SandboxState final_state);
+  // Worker -> runtime: response flush finished for a request of `mod`
+  // (`write_ns` = completion -> last byte accepted by the kernel).
+  void record_response_write(LoadedModule* mod, uint64_t write_ns,
+                             size_t bytes);
+
+  // ---- Structured access log (one JSON line per function request) ----
+  bool access_log_enabled() const { return access_log_fd_ >= 0; }
+  // Appends a pre-formatted block of lines (workers buffer and flush off
+  // the hot path; a single O_APPEND write keeps lines whole).
+  void access_log_write(const std::string& block);
 
   // ---- In-flight accounting (admission control + graceful drain) ----
   void note_admitted() { inflight_.fetch_add(1, std::memory_order_acq_rel); }
@@ -195,6 +227,50 @@ class Runtime {
   };
   Totals totals() const;
 
+  // ---- Live stats snapshots (the /admin observability plane) ----
+  //
+  // Consistency model: worker counters are lock-free atomic reads; module
+  // histograms are digested under that module's mutex one module at a time
+  // (no global pause, so counters from different modules may be skewed by
+  // in-flight requests — each counter is individually monotone).
+  struct ModuleSnapshot {
+    std::string name;
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+    uint64_t kills = 0;
+    uint64_t preemptions = 0;
+    uint64_t response_bytes = 0;
+    LatencyHistogram::Summary end_to_end;
+    LatencyHistogram::Summary startup;
+    LatencyHistogram::Summary startup_pooled;
+    LatencyHistogram::Summary startup_cold;
+    LatencyHistogram::Summary queue_wait;
+    LatencyHistogram::Summary exec_cpu;
+    LatencyHistogram::Summary response_write;
+  };
+  struct WorkerSnapshot {
+    int id = 0;
+    uint64_t dispatches = 0;
+    uint64_t preemptions = 0;
+    uint64_t steals = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t killed = 0;
+  };
+  struct StatsSnapshot {
+    uint64_t uptime_ns = 0;
+    int64_t inflight = 0;
+    Totals totals;
+    std::vector<WorkerSnapshot> workers;
+    std::vector<ModuleSnapshot> modules;
+  };
+  StatsSnapshot snapshot() const;
+
+  // JSON (`GET /admin/stats`) and Prometheus text exposition
+  // (`GET /admin/metrics`) renderings of snapshot().
+  std::string stats_json() const;
+  std::string stats_prometheus() const;
+
   std::string stats_report() const;
 
  private:
@@ -212,6 +288,8 @@ class Runtime {
   std::atomic<int64_t> pending_writes_{0}; // responses not yet flushed
   std::atomic<uint64_t> shed_{0};          // 503s (overload / draining)
   uint16_t bound_port_ = 0;
+  uint64_t start_ns_ = 0;  // stamped by start(); uptime anchor
+  int access_log_fd_ = -1;
   Totals retired_totals_;  // accumulated from workers at stop()
 };
 

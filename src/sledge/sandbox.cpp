@@ -136,6 +136,7 @@ void Sandbox::entry() {
 void Sandbox::dispatch(ucontext_t* scheduler_ctx) {
   scheduler_ctx_ = scheduler_ctx;
   set_state(SandboxState::kRunning);
+  ++dispatch_count_;
   run_started_ns_ = now_ns();
   // The trap-unwind chain is green-thread state, not OS-thread state: park
   // the scheduler's chain and install this sandbox's for the slice. Without

@@ -119,6 +119,26 @@ class Sandbox {
   uint64_t first_run_ns() const { return t_first_run_; }
   uint64_t done_ns() const { return t_done_; }
   uint64_t startup_cost_ns() const { return startup_cost_ns_; }
+
+  // ---- Phase tracing (observability plane) ----
+  //
+  // Every sandbox is stamped at admission (created_ns), first dispatch
+  // (first_run_ns), each preemption/resume (dispatch/preempt counters plus
+  // the cpu_ns accumulator), and completion (done_ns); the worker stamps
+  // response-write-complete on the WriteJob that outlives the sandbox.
+  // CPU time consumed over completed slices (== total once done).
+  uint64_t cpu_ns() const { return cpu_ns_; }
+  uint32_t dispatch_count() const { return dispatch_count_; }
+  uint32_t preempt_count() const { return preempt_count_; }
+  // Quantum-handler side: runs on the owning worker's thread only.
+  void note_preempted() { ++preempt_count_; }
+  // Admission -> first dispatch, excluding the allocation work create()
+  // itself performed (so queue_wait + startup + exec_cpu <= end_to_end).
+  uint64_t queue_wait_ns() const {
+    uint64_t start = t_first_run_ != 0 ? t_first_run_ : t_done_;
+    uint64_t ready = t_created_ + startup_cost_ns_;
+    return start > ready ? start - ready : 0;
+  }
   // True when every pooled resource (memory if the module has one, stack)
   // came off a free list — the warm-start path, no allocation syscalls.
   bool pooled() const { return pooled_; }
@@ -153,6 +173,8 @@ class Sandbox {
   uint64_t deadline_at_ns_ = 0;  // absolute wall deadline (0 = none)
   uint64_t cpu_ns_ = 0;          // CPU consumed over completed slices
   uint64_t run_started_ns_ = 0;  // nonzero while on a core
+  uint32_t dispatch_count_ = 0;  // run slices (first run + resumes)
+  uint32_t preempt_count_ = 0;   // quantum expiries taken
   std::atomic<bool> kill_requested_{false};
   // The engine's trap-unwind chain lives on this stack; it parks here while
   // the sandbox is descheduled (see exchange_trap_chain).

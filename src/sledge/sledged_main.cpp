@@ -19,6 +19,8 @@
 //   "deadline_us": 0,        // wall-clock deadline from admission -> 504
 //   "max_pending": 0,        // shed with 503 beyond this many in flight
 //   "drain_grace_ms": 2000,  // graceful-stop bound for in-flight requests
+//   "admin_endpoint": true,  // GET /admin/stats (JSON) + /admin/metrics
+//   "access_log": "",        // per-request JSON lines file ("" = off)
 //   "modules": [
 //     {"name": "fib", "wasm": "path/to/fib.wasm"},
 //     {"name": "ekf", "minicc": "src/apps/wasm_src/ekf.mc",
@@ -58,6 +60,10 @@ Result<runtime::RuntimeConfig> parse_config(const json::Value& doc) {
   cfg.max_pending = doc["max_pending"].as_int(0);
   cfg.drain_grace_ns =
       static_cast<uint64_t>(doc["drain_grace_ms"].as_int(2000)) * 1'000'000;
+  if (doc["admin_endpoint"].is_bool()) {
+    cfg.admin_endpoint = doc["admin_endpoint"].as_bool();
+  }
+  cfg.access_log_path = doc["access_log"].as_string();
 
   const std::string& policy = doc["policy"].as_string();
   if (policy == "global_lock") {
@@ -195,6 +201,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("sledged on 127.0.0.1:%u — Ctrl-C to stop\n", rt.bound_port());
+  if (cfg->admin_endpoint) {
+    std::printf("live stats: GET /admin/stats (JSON), /admin/metrics "
+                "(Prometheus)\n");
+  }
 
   ::signal(SIGINT, on_signal);
   ::signal(SIGTERM, on_signal);

@@ -43,6 +43,7 @@ void worker_quantum_handler(int) {
     engine::raise_trap(engine::TrapCode::kDeadlineExceeded);  // no return
   }
   sb->set_state(SandboxState::kRunnable);
+  sb->note_preempted();
   w->stats_.preemptions.fetch_add(1, std::memory_order_relaxed);
   ::swapcontext(sb->context(), &w->sched_ctx_);
   // Resumed: returning re-enters the interrupted sandbox code — unless a
@@ -166,6 +167,7 @@ void Worker::thread_main() {
       // Idle loop: back off briefly, then re-check the deque (this is where
       // new-request dequeueing integrates with scheduling, paper §3.4).
       if (idle_spins > 64) {
+        flush_access_log();  // off the hot path: only when the core is idle
         ::usleep(200);
       }
       continue;
@@ -181,11 +183,13 @@ void Worker::thread_main() {
   while (Sandbox* s = policy_->pick_next()) abandon(s);
   for (Sandbox* s : sleeping_) abandon(s);
   for (WriteJob& w : writes_) {
+    rt_->forget_connection(w.fd);
     ::close(w.fd);
     rt_->note_write_done();
   }
   sleeping_.clear();
   writes_.clear();
+  flush_access_log();
 
   if (timer_valid_) ::timer_delete(timer_);
   tls_worker = nullptr;
@@ -267,26 +271,42 @@ void Worker::finalize(Sandbox* sb) {
   rt_->record_completion(sb, st);
 
   if (sb->conn_fd() >= 0) {
+    int status;
     std::string payload;
     if (st == SandboxState::kComplete) {
+      status = 200;
       payload = http::serialize_response(200, "OK", sb->response(),
                                          sb->keep_alive());
     } else if (st == SandboxState::kKilled) {
+      status = 504;
       std::string reason = sb->outcome().describe();
       payload = http::serialize_response(
           504, "Gateway Timeout",
           std::vector<uint8_t>(reason.begin(), reason.end()),
           sb->keep_alive());
     } else {
+      status = 500;
       std::string reason = sb->outcome().describe();
       payload = http::serialize_response(
           500, "Function Error",
           std::vector<uint8_t>(reason.begin(), reason.end()),
           sb->keep_alive());
     }
+    // The response-write phase outlives the sandbox: the breakdown rides on
+    // the WriteJob and is recorded when the last byte reaches the kernel.
+    RequestTrace trace;
+    trace.mod = static_cast<LoadedModule*>(sb->user_tag);
+    trace.status = status;
+    trace.created_ns = sb->created_ns();
+    trace.done_ns = sb->done_ns();
+    trace.queue_wait_ns = sb->queue_wait_ns();
+    trace.startup_ns = sb->startup_cost_ns();
+    trace.exec_cpu_ns = sb->cpu_ns();
+    trace.dispatches = sb->dispatch_count();
+    trace.preempts = sb->preempt_count();
     rt_->note_write_queued();
     writes_.push_back(WriteJob{sb->conn_fd(), std::move(payload), 0,
-                               sb->keep_alive()});
+                               sb->keep_alive(), trace});
   }
   delete sb;
   pump_writes();
@@ -295,7 +315,10 @@ void Worker::finalize(Sandbox* sb) {
 void Worker::abandon(Sandbox* sb) {
   stats_.drained.fetch_add(1, std::memory_order_relaxed);
   rt_->note_retired();
-  if (sb->conn_fd() >= 0) ::close(sb->conn_fd());  // no response is coming
+  if (sb->conn_fd() >= 0) {
+    rt_->forget_connection(sb->conn_fd());
+    ::close(sb->conn_fd());  // no response is coming
+  }
   delete sb;
 }
 
@@ -338,9 +361,11 @@ bool Worker::pump_writes() {
     if (w.offset == w.data.size()) done = true;
 
     if (done || dead) {
+      complete_write(w, now_ns(), done && !dead);
       if (done && w.keep_alive && !dead) {
         rt_->return_connection(w.fd);
       } else {
+        rt_->forget_connection(w.fd);
         ::close(w.fd);
       }
       rt_->note_write_done();
@@ -352,6 +377,37 @@ bool Worker::pump_writes() {
     }
   }
   return progressed;
+}
+
+void Worker::complete_write(const WriteJob& w, uint64_t now, bool write_ok) {
+  const RequestTrace& t = w.trace;
+  uint64_t write_ns = now > t.done_ns ? now - t.done_ns : 0;
+  if (write_ok) rt_->record_response_write(t.mod, write_ns, w.data.size());
+  if (!rt_->access_log_enabled() || t.mod == nullptr) return;
+
+  uint64_t e2e_ns = now > t.created_ns ? now - t.created_ns : 0;
+  char line[512];
+  int n = std::snprintf(
+      line, sizeof(line),
+      "{\"module\":\"%s\",\"status\":%d,\"bytes\":%zu,\"worker\":%d,"
+      "\"queue_wait_us\":%.1f,\"startup_us\":%.1f,\"exec_cpu_us\":%.1f,"
+      "\"response_write_us\":%.1f,\"e2e_us\":%.1f,"
+      "\"dispatches\":%u,\"preempts\":%u,\"write_ok\":%s}\n",
+      t.mod->name.c_str(), t.status, w.data.size(), index_,
+      static_cast<double>(t.queue_wait_ns) / 1e3,
+      static_cast<double>(t.startup_ns) / 1e3,
+      static_cast<double>(t.exec_cpu_ns) / 1e3,
+      static_cast<double>(write_ns) / 1e3, static_cast<double>(e2e_ns) / 1e3,
+      t.dispatches, t.preempts, write_ok ? "true" : "false");
+  if (n > 0) access_buf_.append(line, std::min(sizeof(line) - 1,
+                                               static_cast<size_t>(n)));
+  if (access_buf_.size() >= 32 * 1024) flush_access_log();
+}
+
+void Worker::flush_access_log() {
+  if (access_buf_.empty()) return;
+  rt_->access_log_write(access_buf_);
+  access_buf_.clear();
 }
 
 }  // namespace sledge::runtime

@@ -20,6 +20,7 @@
 namespace sledge::runtime {
 
 class Runtime;
+struct LoadedModule;
 
 class Worker {
  public:
@@ -47,11 +48,26 @@ class Worker {
  private:
   friend void worker_quantum_handler(int);
 
+  // Per-request phase breakdown, captured at finalize() so it outlives the
+  // sandbox: the response-write phase completes after the sandbox is gone.
+  struct RequestTrace {
+    LoadedModule* mod = nullptr;
+    int status = 0;
+    uint64_t created_ns = 0;
+    uint64_t done_ns = 0;
+    uint64_t queue_wait_ns = 0;
+    uint64_t startup_ns = 0;
+    uint64_t exec_cpu_ns = 0;
+    uint32_t dispatches = 0;
+    uint32_t preempts = 0;
+  };
+
   struct WriteJob {
     int fd;
     std::string data;
     size_t offset = 0;
     bool keep_alive = false;
+    RequestTrace trace;
   };
 
   void thread_main();
@@ -62,6 +78,10 @@ class Worker {
   void pump_timers();
   // Returns true if any write made progress or completed.
   bool pump_writes();
+  // A flushed (or failed) response: record the response_write phase and
+  // append the structured access-log line to the worker-local buffer.
+  void complete_write(const WriteJob& w, uint64_t now, bool write_ok);
+  void flush_access_log();
   void setup_timer();
   // Arms the quantum timer, clipped to the sandbox's remaining CPU budget /
   // wall deadline so kills land promptly, not at the next full quantum.
@@ -78,6 +98,7 @@ class Worker {
   std::unique_ptr<SchedulerPolicy> policy_;
   std::vector<Sandbox*> sleeping_;
   std::vector<WriteJob> writes_;
+  std::string access_buf_;  // buffered access-log lines (flushed off-path)
 
   timer_t timer_{};
   bool timer_valid_ = false;
