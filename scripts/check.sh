@@ -21,4 +21,9 @@ cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan -j "$(nproc)"
 
+echo "== tsan: io event-loop tests (cross-thread wakeups) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target io_loop_test
+ctest --preset tsan-io -j "$(nproc)"
+
 echo "== all checks passed =="

@@ -78,4 +78,16 @@ void mc_resp_i32(int32_t v) {
   g_response.insert(g_response.end(), p, p + 4);
 }
 
+// Async host I/O is a runtime service (sockets, sibling functions); the
+// native baseline has neither, so these report "unsupported" (-1, matching
+// engine::kSbErrUnsupported) like a Wasm sandbox with no hooks installed.
+int32_t mc_sb_connect(const void*, int32_t, int32_t) { return -1; }
+int32_t mc_sb_send(int32_t, const void*, int32_t) { return -1; }
+int32_t mc_sb_recv(int32_t, void*, int32_t) { return -1; }
+int32_t mc_sb_close(int32_t) { return -1; }
+int32_t mc_sb_invoke(const void*, int32_t, const void*, int32_t, void*,
+                     int32_t) {
+  return -1;
+}
+
 }  // extern "C"

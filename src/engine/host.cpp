@@ -40,11 +40,14 @@ void register_serverless_abi(HostRegistry& r) {
         uint32_t dst = args[0].u32();
         uint32_t off = args[1].u32();
         uint32_t len = args[2].u32();
-        if (off >= env->request.size()) return Slot::from_u32(0);
-        uint32_t avail = static_cast<uint32_t>(env->request.size()) - off;
+        uint32_t avail = off < env->request.size()
+                             ? static_cast<uint32_t>(env->request.size()) - off
+                             : 0;
         uint32_t n = len < avail ? len : avail;
+        // Validate dst even when nothing will be copied (n == 0): a zero-
+        // length copy to a pointer past the end of linear memory still traps.
         uint8_t* p = ctx.mem.check_range(dst, n);
-        std::memcpy(p, env->request.data() + off, n);
+        if (n != 0) std::memcpy(p, env->request.data() + off, n);
         return Slot::from_u32(n);
       });
 
@@ -117,6 +120,84 @@ void register_serverless_abi(HostRegistry& r) {
 
   r.register_fn("env", "debug_i32", sig({V::kI32}, {}),
                 [](HostCallCtx&, const Slot*) { return Slot{}; });
+
+  // ---- Async host I/O (sb_*): outbound sockets + cross-function invoke ----
+  //
+  // Pointer/length pairs are validated against linear memory before the
+  // hook runs (including the len==0 / cap==0 edges: the pointer itself must
+  // stay within [0, size]). Without a scheduler-installed hook every call
+  // returns kSbErrUnsupported so pure-function runs stay deterministic.
+
+  // sb_connect(host_ptr, host_len, port) -> fd | negative error
+  r.register_fn("env", "sb_connect",
+                sig({V::kI32, V::kI32, V::kI32}, {V::kI32}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  uint32_t ptr = args[0].u32();
+                  uint32_t len = args[1].u32();
+                  const uint8_t* host = ctx.mem.check_range(ptr, len);
+                  if (!env->connect_hook) {
+                    return Slot::from_i32(kSbErrUnsupported);
+                  }
+                  return Slot::from_i32(
+                      env->connect_hook(host, len, args[2].u32()));
+                });
+
+  // sb_send(fd, ptr, len) -> bytes sent | negative error
+  r.register_fn("env", "sb_send",
+                sig({V::kI32, V::kI32, V::kI32}, {V::kI32}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  uint32_t ptr = args[1].u32();
+                  uint32_t len = args[2].u32();
+                  const uint8_t* data = ctx.mem.check_range(ptr, len);
+                  if (!env->send_hook) return Slot::from_i32(kSbErrUnsupported);
+                  if (len == 0) return Slot::from_i32(0);  // nothing to send
+                  return Slot::from_i32(
+                      env->send_hook(args[0].i32(), data, len));
+                });
+
+  // sb_recv(fd, ptr, cap) -> bytes received | 0 on EOF | negative error.
+  // cap == 0 returns 0 without touching the socket (it must not be
+  // mistakable for EOF by the hook's blocking path).
+  r.register_fn("env", "sb_recv",
+                sig({V::kI32, V::kI32, V::kI32}, {V::kI32}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  uint32_t ptr = args[1].u32();
+                  uint32_t cap = args[2].u32();
+                  uint8_t* buf = ctx.mem.check_range(ptr, cap);
+                  if (!env->recv_hook) return Slot::from_i32(kSbErrUnsupported);
+                  if (cap == 0) return Slot::from_i32(0);
+                  return Slot::from_i32(env->recv_hook(args[0].i32(), buf, cap));
+                });
+
+  // sb_close(fd) -> 0 | negative error
+  r.register_fn("env", "sb_close", sig({V::kI32}, {V::kI32}),
+                [](HostCallCtx& ctx, const Slot* args) {
+                  ServerlessEnv* env = env_of(ctx);
+                  if (!env->close_hook) {
+                    return Slot::from_i32(kSbErrUnsupported);
+                  }
+                  return Slot::from_i32(env->close_hook(args[0].i32()));
+                });
+
+  // sb_invoke(module_ptr, module_len, req_ptr, req_len, resp_ptr, resp_cap)
+  //   -> bytes copied into resp (child response truncated to resp_cap)
+  //    | negative error
+  r.register_fn(
+      "env", "sb_invoke",
+      sig({V::kI32, V::kI32, V::kI32, V::kI32, V::kI32, V::kI32}, {V::kI32}),
+      [](HostCallCtx& ctx, const Slot* args) {
+        ServerlessEnv* env = env_of(ctx);
+        const uint8_t* name = ctx.mem.check_range(args[0].u32(), args[1].u32());
+        const uint8_t* req = ctx.mem.check_range(args[2].u32(), args[3].u32());
+        uint8_t* resp = ctx.mem.check_range(args[4].u32(), args[5].u32());
+        if (!env->invoke_hook) return Slot::from_i32(kSbErrUnsupported);
+        return Slot::from_i32(env->invoke_hook(name, args[1].u32(), req,
+                                               args[3].u32(), resp,
+                                               args[5].u32()));
+      });
 
   // libm bridge: transcendental functions that Wasm MVP has no opcodes for.
   // Both the native builds and the sandboxed builds route through the same

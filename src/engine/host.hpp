@@ -28,6 +28,12 @@ struct MemView {
   uint64_t size = 0;
 
   // Validates [ptr, ptr+len) and returns a raw pointer, or traps.
+  //
+  // Zero-length ranges: `ptr` must still lie within [0, size] — a len==0
+  // call with ptr > size traps rather than fabricating an out-of-range
+  // pointer. The returned pointer may be one-past-the-end (ptr == size);
+  // callers never dereference it for an empty range, but must not assume it
+  // points at mapped guard-free memory either.
   uint8_t* check_range(uint32_t ptr, uint32_t len) const {
     if (static_cast<uint64_t>(ptr) + len > size) {
       raise_trap(TrapCode::kOutOfBoundsMemory);
@@ -70,6 +76,21 @@ class HostRegistry {
   std::map<std::string, HostBinding> bindings_;
 };
 
+// Error codes shared by the async host-I/O hostcalls (sb_connect /
+// sb_send / sb_recv / sb_close / sb_invoke). Returned to the sandbox as
+// negative i32 values; 0/positive is a byte count or descriptor.
+enum SbIoError : int32_t {
+  kSbErrUnsupported = -1,  // no scheduler hook installed (standalone run)
+  kSbErrBadFd = -2,        // descriptor not in this sandbox's fd table
+  kSbErrFdLimit = -3,      // per-sandbox open-fd cap reached
+  kSbErrConnect = -4,      // resolve/connect failure
+  kSbErrIo = -5,           // send/recv error (peer reset, ...)
+  kSbErrNoModule = -6,     // sb_invoke: target module not registered
+  kSbErrOverload = -7,     // sb_invoke: child admission shed (503 analogue)
+  kSbErrDepth = -8,        // sb_invoke: invoke-chain depth cap (cycle guard)
+  kSbErrChildFailed = -9,  // sb_invoke: child trapped / was killed
+};
+
 // The serverless request/response environment backing the standard "env"
 // ABI (req_len / req_read / resp_write / ...). One per sandbox execution.
 struct ServerlessEnv {
@@ -78,6 +99,27 @@ struct ServerlessEnv {
   // Optional cooperative-yield hook installed by the Sledge scheduler so a
   // sandbox can block (e.g. env.sleep_ms) without holding its worker core.
   std::function<void(uint64_t ns)> sleep_hook;
+
+  // ---- Async host-I/O hooks (sb_* hostcalls) ----
+  //
+  // Installed by the Sledge sandbox before entering Wasm; absent hooks make
+  // the corresponding hostcall return kSbErrUnsupported. All descriptors are
+  // sandbox-virtual (indices into a per-sandbox fd table), never raw OS fds.
+  // Hooks may block cooperatively (yield the worker core) and may raise a
+  // deadline trap on resume, so they must only be called inside a TrapScope.
+  std::function<int32_t(const uint8_t* host, uint32_t host_len,
+                        uint32_t port)>
+      connect_hook;
+  std::function<int32_t(int32_t fd, const uint8_t* data, uint32_t len)>
+      send_hook;
+  std::function<int32_t(int32_t fd, uint8_t* buf, uint32_t cap)> recv_hook;
+  std::function<int32_t(int32_t fd)> close_hook;
+  // sb_invoke: run another registered module on `req` and copy its response
+  // into `resp` (truncated to `resp_cap`); returns bytes copied or an error.
+  std::function<int32_t(const uint8_t* name, uint32_t name_len,
+                        const uint8_t* req, uint32_t req_len, uint8_t* resp,
+                        uint32_t resp_cap)>
+      invoke_hook;
 };
 
 // Registers the standard Sledge serverless ABI plus libm-style math imports

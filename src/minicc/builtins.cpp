@@ -15,6 +15,12 @@ const std::vector<Builtin>& builtins() {
       {"req_i32", "i", 'i', BuiltinLower::kImport, Op::kNop, "req_i32", "mc_req_i32"},
       {"resp_i32", "i", 'v', BuiltinLower::kImport, Op::kNop, "resp_i32", "mc_resp_i32"},
       {"debug_i32", "i", 'v', BuiltinLower::kImport, Op::kNop, "debug_i32", "mc_debug_i32"},
+      // async host I/O (outbound sockets + cross-function invocation)
+      {"sb_connect", "aii", 'i', BuiltinLower::kImport, Op::kNop, "sb_connect", "mc_sb_connect"},
+      {"sb_send", "iai", 'i', BuiltinLower::kImport, Op::kNop, "sb_send", "mc_sb_send"},
+      {"sb_recv", "iai", 'i', BuiltinLower::kImport, Op::kNop, "sb_recv", "mc_sb_recv"},
+      {"sb_close", "i", 'i', BuiltinLower::kImport, Op::kNop, "sb_close", "mc_sb_close"},
+      {"sb_invoke", "aiaiai", 'i', BuiltinLower::kImport, Op::kNop, "sb_invoke", "mc_sb_invoke"},
       // math with Wasm opcodes
       {"sqrt", "d", 'd', BuiltinLower::kOpcode, Op::kF64Sqrt, "", "sqrt"},
       {"fabs", "d", 'd', BuiltinLower::kOpcode, Op::kF64Abs, "", "fabs"},

@@ -377,6 +377,11 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
     uint64_t deadline = mod->limits.deadline_ns != 0 ? mod->limits.deadline_ns
                                                      : rc.deadline_ns;
     sb->set_limits(budget, deadline != 0 ? sb->created_ns() + deadline : 0);
+    // Async host I/O: the runtime brokers sb_invoke children; top-level
+    // requests start at chain depth 0.
+    sb->set_io_config(rt_, static_cast<uint32_t>(rc.max_sandbox_fds),
+                      /*depth=*/0,
+                      static_cast<uint32_t>(rc.max_invoke_depth));
 
     {
       std::lock_guard<std::mutex> lock(mod->stats.mu);
@@ -395,6 +400,7 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
 
     rt_->note_admitted();
     rt_->distributor().push(sb.release());
+    rt_->notify_workers();  // wake any core sleeping in its event loop
     return Consume::kStop;  // fd now belongs to the worker side
   }
   return Consume::kContinue;

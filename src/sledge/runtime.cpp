@@ -1,12 +1,14 @@
 #include "sledge/runtime.hpp"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <unistd.h>
 
 #include <cstdio>
 
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "engine/host.hpp"
 #include "sledge/listener.hpp"
 #include "sledge/worker.hpp"
 
@@ -53,7 +55,25 @@ void Distributor::push(Sandbox* sb) {
   }
 }
 
+void Distributor::inject(Sandbox* sb) {
+  // Worker-thread-safe side entrance: the Chase–Lev owner end belongs to
+  // the listener, so children bypass it through a small mutexed queue that
+  // fetch() probes with a relaxed counter (zero-cost when unused).
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  inject_q_.push_back(sb);
+  inject_count_.fetch_add(1, std::memory_order_release);
+}
+
 bool Distributor::fetch(int worker_index, Sandbox** out) {
+  if (inject_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    if (!inject_q_.empty()) {
+      *out = inject_q_.front();
+      inject_q_.pop_front();
+      inject_count_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
   switch (policy_) {
     case DistPolicy::kWorkStealing:
       return deque_.steal(out);
@@ -77,15 +97,16 @@ bool Distributor::fetch(int worker_index, Sandbox** out) {
 }
 
 int64_t Distributor::backlog_estimate() const {
+  int64_t injected = inject_count_.load(std::memory_order_acquire);
   switch (policy_) {
     case DistPolicy::kWorkStealing:
-      return deque_.size_estimate();
+      return injected + deque_.size_estimate();
     case DistPolicy::kGlobalLock: {
       std::lock_guard<std::mutex> lock(global_mu_);
-      return static_cast<int64_t>(global_q_.size());
+      return injected + static_cast<int64_t>(global_q_.size());
     }
     case DistPolicy::kPerWorker: {
-      int64_t total = 0;
+      int64_t total = injected;
       for (const auto& q : per_worker_) {
         std::lock_guard<std::mutex> lock(q->mu);
         total += static_cast<int64_t>(q->q.size());
@@ -93,7 +114,7 @@ int64_t Distributor::backlog_estimate() const {
       return total;
     }
   }
-  return 0;
+  return injected;
 }
 
 // ---- Runtime ----------------------------------------------------------
@@ -196,6 +217,7 @@ void Runtime::stop() {
     }
   }
   if (!running_.exchange(false)) return;
+  for (auto& w : workers_) w->notify();  // interrupt idle epoll sleeps
   if (listener_) listener_->wake();
   for (auto& w : workers_) w->join();
   if (listener_) listener_->join();
@@ -214,6 +236,9 @@ void Runtime::stop() {
         w->stats().pool_hits.load(std::memory_order_relaxed);
     retired_totals_.pool_misses +=
         w->stats().pool_misses.load(std::memory_order_relaxed);
+    retired_totals_.blocked +=
+        w->stats().blocked.load(std::memory_order_relaxed);
+    retired_totals_.woken += w->stats().woken.load(std::memory_order_relaxed);
   }
   workers_.clear();
   listener_.reset();
@@ -235,6 +260,76 @@ void Runtime::forget_connection(int fd) {
   if (listener_ && running()) listener_->discard_connection(fd);
 }
 
+bool Runtime::invoke_child(Sandbox* parent, const std::string& name,
+                           std::vector<uint8_t> request,
+                           std::shared_ptr<InvokeJoin> join, int32_t* err) {
+  LoadedModule* mod = find_module(name);
+  if (!mod) {
+    *err = engine::kSbErrNoModule;
+    return false;
+  }
+  // Children obey the same admission control as listener requests: a
+  // draining or saturated runtime sheds the invoke instead of queueing it.
+  if (!running() || draining() || overloaded()) {
+    note_shed();
+    *err = engine::kSbErrOverload;
+    return false;
+  }
+  std::unique_ptr<Sandbox> child =
+      Sandbox::create(&mod->module, std::move(request));
+  if (!child) {
+    note_shed();
+    *err = engine::kSbErrOverload;
+    return false;
+  }
+  child->user_tag = mod;
+  child->set_result_join(std::move(join));
+
+  // The child gets its module's budget, but its wall deadline is clipped to
+  // the parent's: when a blocked parent is killed at its deadline (504),
+  // the child dies at the same wall instant on its own — no cross-thread
+  // kill pointer that could dangle.
+  uint64_t budget = mod->limits.execution_budget_ns != 0
+                        ? mod->limits.execution_budget_ns
+                        : config_.execution_budget_ns;
+  uint64_t deadline_rel =
+      mod->limits.deadline_ns != 0 ? mod->limits.deadline_ns
+                                   : config_.deadline_ns;
+  uint64_t deadline_abs =
+      deadline_rel != 0 ? child->created_ns() + deadline_rel : 0;
+  if (parent->deadline_at_ns() != 0 &&
+      (deadline_abs == 0 || parent->deadline_at_ns() < deadline_abs)) {
+    deadline_abs = parent->deadline_at_ns();
+  }
+  child->set_limits(budget, deadline_abs);
+  child->set_io_config(this, static_cast<uint32_t>(config_.max_sandbox_fds),
+                       parent->invoke_depth() + 1,
+                       static_cast<uint32_t>(config_.max_invoke_depth));
+
+  {
+    std::lock_guard<std::mutex> lock(mod->stats.mu);
+    mod->stats.requests++;
+    mod->stats.startup.record(child->startup_cost_ns());
+    (child->pooled() ? mod->stats.startup_pooled : mod->stats.startup_cold)
+        .record(child->startup_cost_ns());
+  }
+  invokes_.fetch_add(1, std::memory_order_relaxed);
+  note_admitted();
+  distributor_->inject(child.release());
+  notify_workers();  // the parent's own worker may be the only idle core
+  return true;
+}
+
+void Runtime::notify_worker(int index) {
+  if (index >= 0 && index < static_cast<int>(workers_.size())) {
+    workers_[index]->notify();
+  }
+}
+
+void Runtime::notify_workers() {
+  for (auto& w : workers_) w->notify();
+}
+
 void Runtime::record_completion(Sandbox* sb, SandboxState final_state) {
   note_retired();
   auto* mod = static_cast<LoadedModule*>(sb->user_tag);
@@ -248,6 +343,7 @@ void Runtime::record_completion(Sandbox* sb, SandboxState final_state) {
   mod->stats.end_to_end.record(sb->done_ns() - sb->created_ns());
   mod->stats.queue_wait.record(sb->queue_wait_ns());
   mod->stats.exec_cpu.record(sb->cpu_ns());
+  if (sb->io_wait_ns() != 0) mod->stats.io_wait.record(sb->io_wait_ns());
   mod->stats.preemptions += sb->preempt_count();
 }
 
@@ -269,6 +365,7 @@ void Runtime::access_log_write(const std::string& block) {
 Runtime::Totals Runtime::totals() const {
   Totals t = retired_totals_;
   t.shed += shed_.load(std::memory_order_relaxed);
+  t.invokes += invokes_.load(std::memory_order_relaxed);
   for (const auto& w : workers_) {
     t.completed += w->stats().completed.load(std::memory_order_relaxed);
     t.failed += w->stats().failed.load(std::memory_order_relaxed);
@@ -278,6 +375,8 @@ Runtime::Totals Runtime::totals() const {
     t.steals += w->stats().steals.load(std::memory_order_relaxed);
     t.pool_hits += w->stats().pool_hits.load(std::memory_order_relaxed);
     t.pool_misses += w->stats().pool_misses.load(std::memory_order_relaxed);
+    t.blocked += w->stats().blocked.load(std::memory_order_relaxed);
+    t.woken += w->stats().woken.load(std::memory_order_relaxed);
   }
   return t;
 }
@@ -297,6 +396,8 @@ Runtime::StatsSnapshot Runtime::snapshot() const {
     ws.completed = w.completed.load(std::memory_order_relaxed);
     ws.failed = w.failed.load(std::memory_order_relaxed);
     ws.killed = w.killed.load(std::memory_order_relaxed);
+    ws.blocked = w.blocked.load(std::memory_order_relaxed);
+    ws.woken = w.woken.load(std::memory_order_relaxed);
     s.workers.push_back(ws);
   }
   for (const auto& [name, mod] : modules_) {
@@ -315,6 +416,7 @@ Runtime::StatsSnapshot Runtime::snapshot() const {
     ms.queue_wait = mod->stats.queue_wait.summary();
     ms.exec_cpu = mod->stats.exec_cpu.summary();
     ms.response_write = mod->stats.response_write.summary();
+    ms.io_wait = mod->stats.io_wait.summary();
     s.modules.push_back(std::move(ms));
   }
   return s;
@@ -356,6 +458,9 @@ std::string Runtime::stats_json() const {
   totals["pool_hits"] = json::Value(static_cast<double>(s.totals.pool_hits));
   totals["pool_misses"] =
       json::Value(static_cast<double>(s.totals.pool_misses));
+  totals["blocked"] = json::Value(static_cast<double>(s.totals.blocked));
+  totals["woken"] = json::Value(static_cast<double>(s.totals.woken));
+  totals["invokes"] = json::Value(static_cast<double>(s.totals.invokes));
   root["totals"] = json::Value(std::move(totals));
 
   json::Array workers;
@@ -368,6 +473,8 @@ std::string Runtime::stats_json() const {
     o["completed"] = json::Value(static_cast<double>(w.completed));
     o["failed"] = json::Value(static_cast<double>(w.failed));
     o["killed"] = json::Value(static_cast<double>(w.killed));
+    o["blocked"] = json::Value(static_cast<double>(w.blocked));
+    o["woken"] = json::Value(static_cast<double>(w.woken));
     workers.push_back(json::Value(std::move(o)));
   }
   root["workers"] = json::Value(std::move(workers));
@@ -388,6 +495,7 @@ std::string Runtime::stats_json() const {
     o["queue_wait"] = hist_to_json(m.queue_wait);
     o["exec_cpu"] = hist_to_json(m.exec_cpu);
     o["response_write"] = hist_to_json(m.response_write);
+    o["io_wait"] = hist_to_json(m.io_wait);
     modules[m.name] = json::Value(std::move(o));
   }
   root["modules"] = json::Value(std::move(modules));
@@ -422,6 +530,9 @@ std::string Runtime::stats_prometheus() const {
       {"sledge_steals_total", s.totals.steals},
       {"sledge_pool_hits_total", s.totals.pool_hits},
       {"sledge_pool_misses_total", s.totals.pool_misses},
+      {"sledge_blocked_total", s.totals.blocked},
+      {"sledge_woken_total", s.totals.woken},
+      {"sledge_invokes_total", s.totals.invokes},
   };
   for (const Counter& c : counters) {
     emit("# TYPE %s counter\n%s %llu\n", c.name, c.name,
@@ -455,6 +566,7 @@ std::string Runtime::stats_prometheus() const {
       {"sledge_queue_wait_seconds", &ModuleSnapshot::queue_wait},
       {"sledge_startup_seconds", &ModuleSnapshot::startup},
       {"sledge_exec_cpu_seconds", &ModuleSnapshot::exec_cpu},
+      {"sledge_io_wait_seconds", &ModuleSnapshot::io_wait},
       {"sledge_response_write_seconds", &ModuleSnapshot::response_write},
       {"sledge_end_to_end_seconds", &ModuleSnapshot::end_to_end},
   };
@@ -486,7 +598,7 @@ std::string Runtime::stats_report() const {
   std::snprintf(buf, sizeof(buf),
                 "runtime: completed=%llu failed=%llu killed=%llu "
                 "drained=%llu shed=%llu preemptions=%llu steals=%llu "
-                "(sched=%s)\n",
+                "blocked=%llu woken=%llu invokes=%llu (sched=%s)\n",
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.failed),
                 static_cast<unsigned long long>(t.killed),
@@ -494,6 +606,9 @@ std::string Runtime::stats_report() const {
                 static_cast<unsigned long long>(t.shed),
                 static_cast<unsigned long long>(t.preemptions),
                 static_cast<unsigned long long>(t.steals),
+                static_cast<unsigned long long>(t.blocked),
+                static_cast<unsigned long long>(t.woken),
+                static_cast<unsigned long long>(t.invokes),
                 to_string(config_.sched));
   out += buf;
 
@@ -554,10 +669,29 @@ Status run_sandbox_inline(Sandbox* sandbox) {
       return Status::error(sandbox->outcome().describe());
     }
     if (st == SandboxState::kBlocked) {
-      uint64_t now = now_ns();
-      if (sandbox->wake_at_ns() > now) {
-        ::usleep(static_cast<useconds_t>(
-            (sandbox->wake_at_ns() - now) / 1000 + 1));
+      // Inline runner: honor each wake condition synchronously (no event
+      // loop on this thread). kChild never appears — there is no broker.
+      switch (sandbox->wake_kind()) {
+        case WakeKind::kFdRead:
+        case WakeKind::kFdWrite: {
+          pollfd p{};
+          p.fd = sandbox->wake_os_fd();
+          p.events =
+              sandbox->wake_kind() == WakeKind::kFdRead ? POLLIN : POLLOUT;
+          ::poll(&p, 1, 100);  // spurious wakes just re-block
+          break;
+        }
+        case WakeKind::kChild:
+          return Status::error(
+              "sandbox blocked on sb_invoke outside a runtime");
+        default: {
+          uint64_t now = now_ns();
+          if (sandbox->wake_at_ns() > now) {
+            ::usleep(static_cast<useconds_t>(
+                (sandbox->wake_at_ns() - now) / 1000 + 1));
+          }
+          break;
+        }
       }
       sandbox->set_state(SandboxState::kRunnable);
     }

@@ -67,6 +67,14 @@ struct RuntimeConfig {
   // abandoning them.
   uint64_t drain_grace_ns = 2'000'000'000;
 
+  // ---- Async host I/O (sb_connect/sb_send/sb_recv/sb_invoke) ----
+  // Per-sandbox cap on concurrently open outbound sockets (tenant
+  // isolation: one function cannot exhaust the process fd table).
+  int max_sandbox_fds = 8;
+  // Maximum sb_invoke chain depth (top-level request = depth 0); bounds
+  // fan-out loops and recursive self-invocation.
+  int max_invoke_depth = 4;
+
   // ---- Observability plane ----
   // Serve GET /admin/stats (JSON) and GET /admin/metrics (Prometheus text)
   // from the listener thread, off lock-free/briefly-locked snapshots.
@@ -103,6 +111,9 @@ struct ModuleStats {
   LatencyHistogram queue_wait;
   LatencyHistogram exec_cpu;
   LatencyHistogram response_write;
+  // Wall time spent blocked on I/O wake conditions (outbound sockets,
+  // sleeps, child invocations) — the overlap the event loop buys.
+  LatencyHistogram io_wait;
 };
 
 struct LoadedModule {
@@ -114,11 +125,14 @@ struct LoadedModule {
 
 // Work distribution with swappable policy. push() is listener-only for
 // kWorkStealing (single deque owner); fetch() is called by workers.
+// inject() is the any-thread side entrance (sb_invoke children are admitted
+// from worker threads, which must not touch the Chase–Lev owner end).
 class Distributor {
  public:
   Distributor(DistPolicy policy, int workers);
 
   void push(Sandbox* sb);
+  void inject(Sandbox* sb);
   bool fetch(int worker_index, Sandbox** out);
   int64_t backlog_estimate() const;
 
@@ -128,6 +142,9 @@ class Distributor {
   WorkStealingDeque<Sandbox*> deque_;
   mutable std::mutex global_mu_;
   std::deque<Sandbox*> global_q_;
+  mutable std::mutex inject_mu_;
+  std::deque<Sandbox*> inject_q_;
+  std::atomic<int64_t> inject_count_{0};  // lock-free emptiness probe
   struct PerWorkerQ {
     std::mutex mu;
     std::deque<Sandbox*> q;
@@ -136,10 +153,10 @@ class Distributor {
   std::atomic<uint64_t> rr_cursor_{0};
 };
 
-class Runtime {
+class Runtime : public InvokeBroker {
  public:
   explicit Runtime(RuntimeConfig config);
-  ~Runtime();
+  ~Runtime() override;
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -181,6 +198,18 @@ class Runtime {
   // listener must discard any parked state (e.g. stashed pipelined bytes)
   // it still holds for that fd.
   void forget_connection(int fd);
+
+  // ---- Async host I/O (InvokeBroker) ----
+  // sb_invoke: admits a child sandbox of module `name` through the normal
+  // dispatch path (depth/limit checks happen in the hostcall). Called from
+  // worker threads.
+  bool invoke_child(Sandbox* parent, const std::string& name,
+                    std::vector<uint8_t> request,
+                    std::shared_ptr<InvokeJoin> join, int32_t* err) override;
+  // Pings one worker's (or every worker's) event loop: new injected work,
+  // child completion, or stop. Out-of-range index = no-op.
+  void notify_worker(int index);
+  void notify_workers();
 
   // Worker -> runtime: per-module latency/failure/kill accounting. Also
   // retires the sandbox from the in-flight count.
@@ -224,6 +253,9 @@ class Runtime {
     uint64_t steals = 0;
     uint64_t pool_hits = 0;    // warm starts (all resources pooled)
     uint64_t pool_misses = 0;  // cold starts
+    uint64_t blocked = 0;      // sandboxes parked on an I/O wake condition
+    uint64_t woken = 0;        // wakes delivered by worker event loops
+    uint64_t invokes = 0;      // child sandboxes admitted via sb_invoke
   };
   Totals totals() const;
 
@@ -247,6 +279,7 @@ class Runtime {
     LatencyHistogram::Summary queue_wait;
     LatencyHistogram::Summary exec_cpu;
     LatencyHistogram::Summary response_write;
+    LatencyHistogram::Summary io_wait;
   };
   struct WorkerSnapshot {
     int id = 0;
@@ -256,6 +289,8 @@ class Runtime {
     uint64_t completed = 0;
     uint64_t failed = 0;
     uint64_t killed = 0;
+    uint64_t blocked = 0;
+    uint64_t woken = 0;
   };
   struct StatsSnapshot {
     uint64_t uptime_ns = 0;
@@ -287,6 +322,7 @@ class Runtime {
   std::atomic<int64_t> inflight_{0};       // admitted, not yet retired
   std::atomic<int64_t> pending_writes_{0}; // responses not yet flushed
   std::atomic<uint64_t> shed_{0};          // 503s (overload / draining)
+  std::atomic<uint64_t> invokes_{0};       // sb_invoke children admitted
   uint16_t bound_port_ = 0;
   uint64_t start_ns_ = 0;  // stamped by start(); uptime anchor
   int access_log_fd_ = -1;

@@ -1,11 +1,21 @@
 #include "sledge/sandbox.hpp"
 
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/log.hpp"
 #include "engine/trap.hpp"
+
+using sledge::engine::SbIoError;
 
 namespace sledge::runtime {
 
@@ -24,6 +34,17 @@ const char* to_string(SandboxState s) {
     case SandboxState::kComplete: return "complete";
     case SandboxState::kFailed: return "failed";
     case SandboxState::kKilled: return "killed";
+  }
+  return "?";
+}
+
+const char* to_string(WakeKind k) {
+  switch (k) {
+    case WakeKind::kNone: return "none";
+    case WakeKind::kTimer: return "timer";
+    case WakeKind::kFdRead: return "fd_read";
+    case WakeKind::kFdWrite: return "fd_write";
+    case WakeKind::kChild: return "child";
   }
   return "?";
 }
@@ -96,12 +117,35 @@ std::unique_ptr<Sandbox> Sandbox::create(const engine::WasmModule* module,
 }
 
 Sandbox::~Sandbox() {
+  // Close any outbound sockets the function leaked (or was killed holding):
+  // the fd table dies with the request, never with the connection pool.
+  close_all_fds();
   // Return resources to the pool instead of unmapping: the linear memory is
   // zeroed + decommitted on the way in (cross-tenant isolation), the stack
   // keeps its mapping and guard registration.
   SandboxResourcePool& pool = SandboxResourcePool::instance();
   pool.release_memory(wasm_.reclaim_memory());
   if (stack_) pool.release_stack(stack_);
+}
+
+void Sandbox::close_all_fds() {
+  for (int& fd : fd_table_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+size_t Sandbox::open_fds() const {
+  size_t n = 0;
+  for (int fd : fd_table_) {
+    if (fd >= 0) ++n;
+  }
+  return n;
+}
+
+int Sandbox::os_fd_of(int32_t vfd) const {
+  if (vfd < 0 || static_cast<size_t>(vfd) >= fd_table_.size()) return -1;
+  return fd_table_[vfd];
 }
 
 void Sandbox::entry_trampoline(unsigned hi, unsigned lo) {
@@ -112,6 +156,20 @@ void Sandbox::entry_trampoline(unsigned hi, unsigned lo) {
 void Sandbox::entry() {
   if (t_first_run_ == 0) t_first_run_ = now_ns();
   env_.sleep_hook = [this](uint64_t ns) { sleep_yield(ns); };
+  env_.connect_hook = [this](const uint8_t* h, uint32_t l, uint32_t p) {
+    return io_connect(h, l, p);
+  };
+  env_.send_hook = [this](int32_t fd, const uint8_t* d, uint32_t l) {
+    return io_send(fd, d, l);
+  };
+  env_.recv_hook = [this](int32_t fd, uint8_t* b, uint32_t c) {
+    return io_recv(fd, b, c);
+  };
+  env_.close_hook = [this](int32_t fd) { return io_close(fd); };
+  env_.invoke_hook = [this](const uint8_t* n, uint32_t nl, const uint8_t* rq,
+                            uint32_t rl, uint8_t* rs, uint32_t rc) {
+    return io_invoke(n, nl, rq, rl, rs, rc);
+  };
 
   if (kill_requested()) {
     // Deadline blew before any engine state existed; nothing to unwind.
@@ -151,14 +209,175 @@ void Sandbox::dispatch(ucontext_t* scheduler_ctx) {
 }
 
 void Sandbox::sleep_yield(uint64_t ns) {
-  wake_at_ns_ = now_ns() + ns;
+  block_yield(WakeKind::kTimer, -1, now_ns() + ns);
+}
+
+void Sandbox::block_yield(WakeKind kind, int os_fd, uint64_t wake_at_ns) {
+  wake_kind_ = kind;
+  wake_fd_ = os_fd;
+  wake_at_ns_ = wake_at_ns;
+  uint64_t blocked_at = now_ns();
   set_state(SandboxState::kBlocked);
   ::swapcontext(&stack_->ctx, scheduler_ctx_);
-  // Resumed. A kill may have been requested while we were blocked (wall
-  // deadline passing); we are inside the host call's TrapScope, so unwind.
+  // Resumed (the worker's event loop observed our wake condition — or a
+  // kill). Blocked time is the io_wait phase; the worker already excluded
+  // it from cpu_ns by stamping slice boundaries in dispatch().
+  io_wait_ns_ += now_ns() - blocked_at;
+  wake_kind_ = WakeKind::kNone;
+  wake_fd_ = -1;
+  // A kill may have been requested while we were blocked (wall deadline
+  // passing); we are inside the host call's TrapScope, so unwind.
   if (kill_requested() && engine::in_trap_scope()) {
     engine::raise_trap(engine::TrapCode::kDeadlineExceeded);
   }
+}
+
+// ---- Async host I/O (sb_* hostcalls) ----------------------------------
+//
+// These run on the green-thread stack. A deadline kill unwinds them with a
+// longjmp (no destructors), so no frame below a potential block point may
+// own heap memory: scratch buffers are fixed-size, and the sb_invoke join
+// is parked in the pending_join_ member the Sandbox destructor releases.
+
+int32_t Sandbox::io_connect(const uint8_t* host, uint32_t host_len,
+                            uint32_t port) {
+  if (port > 65535) return SbIoError::kSbErrConnect;
+  char name[64];
+  if (host_len >= sizeof(name)) return SbIoError::kSbErrConnect;
+  std::memcpy(name, host, host_len);
+  name[host_len] = '\0';
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  // Numeric IPv4 only (plus "localhost"): edge functions talk to sidecars
+  // and peers by address; DNS would need its own async path.
+  const char* target = std::strcmp(name, "localhost") == 0 ? "127.0.0.1"
+                                                           : name;
+  if (::inet_pton(AF_INET, target, &addr.sin_addr) != 1) {
+    return SbIoError::kSbErrConnect;
+  }
+
+  // Find a free fd-table slot under the per-sandbox cap (tenant isolation:
+  // one function cannot hoard the process's descriptors).
+  int32_t vfd = -1;
+  for (size_t i = 0; i < fd_table_.size(); ++i) {
+    if (fd_table_[i] < 0) {
+      vfd = static_cast<int32_t>(i);
+      break;
+    }
+  }
+  if (vfd < 0) {
+    if (fd_table_.size() >= max_fds_) return SbIoError::kSbErrFdLimit;
+    fd_table_.push_back(-1);
+    vfd = static_cast<int32_t>(fd_table_.size() - 1);
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return SbIoError::kSbErrConnect;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Park the fd in the table before any block point so a mid-connect kill
+  // still closes it via the destructor sweep.
+  fd_table_[vfd] = fd;
+
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  // EINTR on a nonblocking connect means the attempt continues
+  // asynchronously, exactly like EINPROGRESS.
+  if (rc < 0 && (errno == EINPROGRESS || errno == EINTR)) {
+    block_yield(WakeKind::kFdWrite, fd, 0);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      rc = -1;
+      errno = err;
+    } else {
+      rc = 0;
+    }
+  }
+  if (rc < 0) {
+    ::close(fd);
+    fd_table_[vfd] = -1;
+    return SbIoError::kSbErrConnect;
+  }
+  return vfd;
+}
+
+int32_t Sandbox::io_send(int32_t vfd, const uint8_t* data, uint32_t len) {
+  int fd = os_fd_of(vfd);
+  if (fd < 0) return SbIoError::kSbErrBadFd;
+  uint32_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<uint32_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      block_yield(WakeKind::kFdWrite, fd, 0);
+      continue;
+    }
+    return off > 0 ? static_cast<int32_t>(off) : SbIoError::kSbErrIo;
+  }
+  return static_cast<int32_t>(off);
+}
+
+int32_t Sandbox::io_recv(int32_t vfd, uint8_t* buf, uint32_t cap) {
+  int fd = os_fd_of(vfd);
+  if (fd < 0) return SbIoError::kSbErrBadFd;
+  while (true) {
+    ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n >= 0) return static_cast<int32_t>(n);  // 0 = orderly EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      block_yield(WakeKind::kFdRead, fd, 0);
+      continue;
+    }
+    return SbIoError::kSbErrIo;
+  }
+}
+
+int32_t Sandbox::io_close(int32_t vfd) {
+  int fd = os_fd_of(vfd);
+  if (fd < 0) return SbIoError::kSbErrBadFd;
+  ::close(fd);
+  fd_table_[vfd] = -1;
+  return 0;
+}
+
+int32_t Sandbox::io_invoke(const uint8_t* name, uint32_t name_len,
+                           const uint8_t* req, uint32_t req_len,
+                           uint8_t* resp, uint32_t resp_cap) {
+  if (!broker_) return SbIoError::kSbErrUnsupported;
+  if (invoke_depth_ + 1 > max_invoke_depth_) return SbIoError::kSbErrDepth;
+  if (name_len >= 64) return SbIoError::kSbErrNoModule;
+
+  // The join outlives any one party: held in pending_join_ (released by our
+  // destructor even across a longjmp unwind) and by the child sandbox.
+  pending_join_ = std::make_shared<InvokeJoin>();
+  pending_join_->waiter_worker = owner_worker_;
+  int32_t err = 0;
+  if (!broker_->invoke_child(
+          this, std::string(reinterpret_cast<const char*>(name), name_len),
+          std::vector<uint8_t>(req, req + req_len), pending_join_, &err)) {
+    pending_join_.reset();
+    return err;
+  }
+  while (!pending_join_->done.load(std::memory_order_acquire)) {
+    block_yield(WakeKind::kChild, -1, 0);
+  }
+  int32_t status = pending_join_->status;
+  if (status != 0) {
+    pending_join_.reset();
+    return status;
+  }
+  const std::vector<uint8_t>& r = pending_join_->response;
+  uint32_t n = static_cast<uint32_t>(
+      r.size() < resp_cap ? r.size() : resp_cap);
+  if (n != 0) std::memcpy(resp, r.data(), n);
+  pending_join_.reset();
+  return static_cast<int32_t>(n);
 }
 
 void Sandbox::mark_killed_undispatched() {

@@ -31,13 +31,53 @@ enum class SandboxState : uint8_t {
   kAllocated,  // created, never run
   kRunnable,   // on a runqueue (or preempted)
   kRunning,    // currently on a worker core
-  kBlocked,    // waiting on a timer (cooperative yield)
+  kBlocked,    // waiting on a wake condition (timer / fd / child sandbox)
   kComplete,   // function returned
   kFailed,     // trapped or errored
   kKilled,     // terminated by the runtime (CPU budget / deadline exceeded)
 };
 
 const char* to_string(SandboxState s);
+
+// Why a kBlocked sandbox is parked, i.e. what wakes it (io_loop.hpp):
+//   kTimer   — wake_at_ns() passing (env.sleep_ms)
+//   kFdRead  — wake_fd() readable (sb_recv)
+//   kFdWrite — wake_fd() writable (sb_connect in progress, sb_send EAGAIN)
+//   kChild   — pending_join()->done (sb_invoke child completion)
+enum class WakeKind : uint8_t { kNone, kTimer, kFdRead, kFdWrite, kChild };
+
+const char* to_string(WakeKind k);
+
+class Sandbox;
+
+// Parent<->child rendezvous for sb_invoke. Shared (shared_ptr) between the
+// blocked parent and the child sandbox so either side may die first — a
+// parent killed at its wall deadline unwinds immediately and the child's
+// completion signal lands on an orphaned (but live) join; a child abandoned
+// at shutdown signals failure instead of leaving the parent parked forever.
+struct InvokeJoin {
+  // Written by the child's worker strictly before the `done` release-store;
+  // read by the parent only after acquiring `done`.
+  int32_t status = 0;  // 0 = child completed; else a SbIoError value
+  std::vector<uint8_t> response;
+  int waiter_worker = -1;  // worker index to notify on completion
+  std::atomic<bool> done{false};
+};
+
+// How a sandbox reaches back into the runtime to spawn a child request
+// (implemented by Runtime; an interface to keep sandbox.hpp free of a
+// runtime.hpp cycle).
+class InvokeBroker {
+ public:
+  virtual ~InvokeBroker() = default;
+  // Admits one child request of module `name` through the normal dispatch
+  // path. On success the child signals `join` when it retires. On failure
+  // returns false with *err set (kSbErrNoModule / kSbErrOverload / ...).
+  virtual bool invoke_child(Sandbox* parent, const std::string& name,
+                            std::vector<uint8_t> request,
+                            std::shared_ptr<InvokeJoin> join,
+                            int32_t* err) = 0;
+};
 
 class Sandbox {
  public:
@@ -58,6 +98,57 @@ class Sandbox {
 
   // Sandbox-side (host hook): block for `ns`, yielding the worker core.
   void sleep_yield(uint64_t ns);
+
+  // ---- Async host I/O (sb_* hostcall implementations) ----
+  //
+  // All run on the sandbox's green-thread stack inside the engine's
+  // TrapScope; any of them may block cooperatively (kBlocked + wake
+  // condition) and raise a deadline trap on resume. Descriptors are indices
+  // into the per-sandbox fd table (never raw OS fds), capped at
+  // max_fds(): the per-tenant isolation limit.
+  int32_t io_connect(const uint8_t* host, uint32_t host_len, uint32_t port);
+  int32_t io_send(int32_t vfd, const uint8_t* data, uint32_t len);
+  int32_t io_recv(int32_t vfd, uint8_t* buf, uint32_t cap);
+  int32_t io_close(int32_t vfd);
+  int32_t io_invoke(const uint8_t* name, uint32_t name_len,
+                    const uint8_t* req, uint32_t req_len, uint8_t* resp,
+                    uint32_t resp_cap);
+
+  // Per-sandbox I/O limits and the runtime broker for sb_invoke; set at
+  // admission (before the first dispatch). `depth` is this request's
+  // position in an invoke chain (0 = external request) — the invoke-cycle
+  // guard rejects children at max_depth.
+  void set_io_config(InvokeBroker* broker, uint32_t max_fds,
+                     uint32_t depth, uint32_t max_depth) {
+    broker_ = broker;
+    max_fds_ = max_fds;
+    invoke_depth_ = depth;
+    max_invoke_depth_ = max_depth;
+  }
+  uint32_t invoke_depth() const { return invoke_depth_; }
+  uint32_t max_invoke_depth() const { return max_invoke_depth_; }
+  uint32_t max_fds() const { return max_fds_; }
+  size_t open_fds() const;
+
+  // ---- Wake condition (valid while state() == kBlocked) ----
+  WakeKind wake_kind() const { return wake_kind_; }
+  int wake_os_fd() const { return wake_fd_; }
+  const std::shared_ptr<InvokeJoin>& pending_join() const {
+    return pending_join_;
+  }
+  // Child side: set when this sandbox is an sb_invoke child; its worker
+  // signals the join at retirement instead of writing an HTTP response.
+  void set_result_join(std::shared_ptr<InvokeJoin> join) {
+    result_join_ = std::move(join);
+  }
+  const std::shared_ptr<InvokeJoin>& result_join() const {
+    return result_join_;
+  }
+
+  // Worker that currently owns this sandbox (dispatching it or holding it
+  // blocked); -1 before first dispatch. Single-writer: the owning worker.
+  void set_owner_worker(int index) { owner_worker_ = index; }
+  int owner_worker() const { return owner_worker_; }
 
   // ---- Deadline enforcement ----
   //
@@ -104,6 +195,16 @@ class Sandbox {
   using CreateFaultHook = bool (*)();
   static void set_create_fault_hook(CreateFaultHook hook);
 
+  // Test-only: fabricate a blocked state + wake condition without running
+  // sandbox code (IoLoop unit tests stay free of ucontext switches so they
+  // can run under TSan).
+  void test_set_blocked(WakeKind kind, int os_fd, uint64_t wake_at_ns) {
+    wake_kind_ = kind;
+    wake_fd_ = os_fd;
+    wake_at_ns_ = wake_at_ns;
+    set_state(SandboxState::kBlocked);
+  }
+
   SandboxState state() const { return state_.load(std::memory_order_acquire); }
   void set_state(SandboxState s) {
     state_.store(s, std::memory_order_release);
@@ -128,6 +229,9 @@ class Sandbox {
   // response-write-complete on the WriteJob that outlives the sandbox.
   // CPU time consumed over completed slices (== total once done).
   uint64_t cpu_ns() const { return cpu_ns_; }
+  // Wall time spent blocked on I/O wake conditions (timer/fd/child),
+  // measured block -> resume so it includes post-wake scheduling delay.
+  uint64_t io_wait_ns() const { return io_wait_ns_; }
   uint32_t dispatch_count() const { return dispatch_count_; }
   uint32_t preempt_count() const { return preempt_count_; }
   // Quantum-handler side: runs on the owning worker's thread only.
@@ -154,6 +258,12 @@ class Sandbox {
   Sandbox() = default;
   static void entry_trampoline(unsigned hi, unsigned lo);
   void entry();
+  // Parks the sandbox (kBlocked + wake condition), swaps to the scheduler,
+  // and on resume accumulates io_wait and raises a deadline trap if a kill
+  // arrived while blocked. The generalization of the old sleep-only yield.
+  void block_yield(WakeKind kind, int os_fd, uint64_t wake_at_ns);
+  void close_all_fds();
+  int os_fd_of(int32_t vfd) const;  // -1 when vfd is invalid/closed
 
   const engine::WasmModule* module_ = nullptr;
   engine::WasmSandbox wasm_;
@@ -168,6 +278,21 @@ class Sandbox {
   bool pooled_ = false;
   ucontext_t* scheduler_ctx_ = nullptr;  // valid while running
   uint64_t wake_at_ns_ = 0;
+  WakeKind wake_kind_ = WakeKind::kNone;
+  int wake_fd_ = -1;  // OS fd backing kFdRead/kFdWrite waits
+
+  // ---- Async host I/O state ----
+  std::vector<int> fd_table_;  // vfd -> OS fd (-1 = closed slot)
+  uint32_t max_fds_ = 8;
+  InvokeBroker* broker_ = nullptr;  // null outside the Sledge runtime
+  uint32_t invoke_depth_ = 0;
+  uint32_t max_invoke_depth_ = 4;
+  // Held as a member (not a hostcall local) so a deadline trap's longjmp
+  // unwind cannot leak the join: the destructor drops the reference.
+  std::shared_ptr<InvokeJoin> pending_join_;
+  std::shared_ptr<InvokeJoin> result_join_;  // set when we ARE the child
+  int owner_worker_ = -1;
+  uint64_t io_wait_ns_ = 0;
 
   uint64_t budget_ns_ = 0;       // CPU budget (0 = unlimited)
   uint64_t deadline_at_ns_ = 0;  // absolute wall deadline (0 = none)

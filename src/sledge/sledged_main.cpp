@@ -19,6 +19,8 @@
 //   "deadline_us": 0,        // wall-clock deadline from admission -> 504
 //   "max_pending": 0,        // shed with 503 beyond this many in flight
 //   "drain_grace_ms": 2000,  // graceful-stop bound for in-flight requests
+//   "max_sandbox_fds": 8,    // per-sandbox open outbound-socket cap
+//   "max_invoke_depth": 4,   // sb_invoke chain depth cap (top level = 0)
 //   "admin_endpoint": true,  // GET /admin/stats (JSON) + /admin/metrics
 //   "access_log": "",        // per-request JSON lines file ("" = off)
 //   "modules": [
@@ -60,6 +62,8 @@ Result<runtime::RuntimeConfig> parse_config(const json::Value& doc) {
   cfg.max_pending = doc["max_pending"].as_int(0);
   cfg.drain_grace_ns =
       static_cast<uint64_t>(doc["drain_grace_ms"].as_int(2000)) * 1'000'000;
+  cfg.max_sandbox_fds = static_cast<int>(doc["max_sandbox_fds"].as_int(8));
+  cfg.max_invoke_depth = static_cast<int>(doc["max_invoke_depth"].as_int(4));
   if (doc["admin_endpoint"].is_bool()) {
     cfg.admin_endpoint = doc["admin_endpoint"].as_bool();
   }

@@ -14,6 +14,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "engine/host.hpp"
 #include "engine/trap.hpp"
 #include "http/http.hpp"
 #include "sledge/runtime.hpp"
@@ -130,6 +131,14 @@ void Worker::thread_main() {
   tls_worker = this;
   engine::ensure_sigaltstack();
 
+  // The event loop is the worker's heartbeat; without it the worker cannot
+  // sleep or park blocked sandboxes, so failure is fatal for this core.
+  Status io_st = io_loop_.init();
+  if (!io_st.is_ok()) {
+    SLEDGE_LOG_ERROR("worker %d: %s", index_, io_st.message().c_str());
+    return;
+  }
+
   // The scheduler runs with SIGALRM blocked; only sandbox contexts (whose
   // uc_sigmask unblocks it) can take the quantum signal.
   sigset_t mask;
@@ -146,34 +155,48 @@ void Worker::thread_main() {
     setup_timer();
   }
 
-  int idle_spins = 0;
+  // Idle sleeps are capped so running()/draining() flips are noticed even
+  // if a notify were lost; all expected wake sources (listener push, child
+  // completion, stop) also ping the eventfd, so the cap is a backstop, not
+  // the latency floor.
+  constexpr uint64_t kIdleSleepCapNs = 20'000'000;  // 20 ms
+
+  std::vector<Sandbox*> woken;
+  int dry_rounds = 0;
   while (rt_->running()) {
-    pump_timers();
-    bool wrote = pump_writes();
+    woken.clear();
+    bool writes_ready = false;
+    io_loop_.poll(0, &woken, &writes_ready);
+    admit_woken(&woken);
+    pump_writes();
 
     Sandbox* sb = next_sandbox();
-    if (!sb) {
-      if (wrote || !writes_.empty() || !sleeping_.empty()) {
-        idle_spins = 0;
-        continue;  // I/O in flight: stay hot
-      }
-      ++idle_spins;
-      // Draining and dry (a few re-checks absorb racy failed steals):
-      // this worker's part of the graceful stop is done.
-      if (rt_->draining() && idle_spins > 16 &&
-          rt_->distributor().backlog_estimate() == 0) {
-        break;
-      }
-      // Idle loop: back off briefly, then re-check the deque (this is where
-      // new-request dequeueing integrates with scheduling, paper §3.4).
-      if (idle_spins > 64) {
-        flush_access_log();  // off the hot path: only when the core is idle
-        ::usleep(200);
-      }
+    if (sb) {
+      dry_rounds = 0;
+      dispatch(sb);
       continue;
     }
-    idle_spins = 0;
-    dispatch(sb);
+
+    // Draining and dry (a few re-checks absorb racy failed steals): this
+    // worker's part of the graceful stop is done.
+    if (rt_->draining() && io_loop_.empty() && writes_.empty() &&
+        rt_->distributor().backlog_estimate() == 0) {
+      if (++dry_rounds > 16) break;
+      continue;
+    }
+    dry_rounds = 0;
+
+    // Nothing runnable: sleep in epoll until the nearest timer/deadline, a
+    // watched fd turns ready, or a cross-thread notify — no busy-spinning
+    // (this is where new-request dequeueing integrates with scheduling,
+    // paper §3.4, now without burning the core while waiting).
+    flush_access_log();  // off the hot path: only when the core is idle
+    uint64_t budget = io_loop_.sleep_budget_ns(now_ns(), kIdleSleepCapNs);
+    woken.clear();
+    writes_ready = false;
+    io_loop_.poll(budget, &woken, &writes_ready);
+    admit_woken(&woken);
+    if (writes_ready) pump_writes();
   }
 
   // Anything left after the drain grace period is abandoned: connections
@@ -181,13 +204,14 @@ void Worker::thread_main() {
   Sandbox* sb = nullptr;
   while (rt_->distributor().fetch(index_, &sb)) abandon(sb);
   while (Sandbox* s = policy_->pick_next()) abandon(s);
-  for (Sandbox* s : sleeping_) abandon(s);
+  std::vector<Sandbox*> blocked;
+  io_loop_.drain_all(&blocked);
+  for (Sandbox* s : blocked) abandon(s);
   for (WriteJob& w : writes_) {
     rt_->forget_connection(w.fd);
     ::close(w.fd);
     rt_->note_write_done();
   }
-  sleeping_.clear();
   writes_.clear();
   flush_access_log();
 
@@ -225,6 +249,7 @@ void Worker::dispatch(Sandbox* sb) {
   }
 
   stats_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  sb->set_owner_worker(index_);  // children spawned via sb_invoke ping us
   const bool preempt =
       rt_->config().preemption && policy_->allows_preemption();
   current_ = sb;
@@ -238,7 +263,11 @@ void Worker::dispatch(Sandbox* sb) {
       policy_->enqueue(sb);
       break;
     case SandboxState::kBlocked:
-      sleeping_.push_back(sb);
+      stats_.blocked.fetch_add(1, std::memory_order_relaxed);
+      io_loop_.add_blocked(sb);
+      // add_blocked fails open (bad fd, epoll error): the sandbox comes
+      // back runnable and the hostcall retries to surface the error.
+      if (sb->state() == SandboxState::kRunnable) policy_->enqueue(sb);
       break;
     case SandboxState::kComplete:
     case SandboxState::kFailed:
@@ -269,6 +298,12 @@ void Worker::finalize(Sandbox* sb) {
   }
 
   rt_->record_completion(sb, st);
+
+  // A child sandbox (sb_invoke) reports through its InvokeJoin instead of
+  // an HTTP response; its parent may be blocked on another worker.
+  signal_join(sb,
+              st == SandboxState::kComplete ? 0 : engine::kSbErrChildFailed,
+              /*take_response=*/st == SandboxState::kComplete);
 
   if (sb->conn_fd() >= 0) {
     int status;
@@ -302,6 +337,7 @@ void Worker::finalize(Sandbox* sb) {
     trace.queue_wait_ns = sb->queue_wait_ns();
     trace.startup_ns = sb->startup_cost_ns();
     trace.exec_cpu_ns = sb->cpu_ns();
+    trace.io_wait_ns = sb->io_wait_ns();
     trace.dispatches = sb->dispatch_count();
     trace.preempts = sb->preempt_count();
     rt_->note_write_queued();
@@ -315,6 +351,7 @@ void Worker::finalize(Sandbox* sb) {
 void Worker::abandon(Sandbox* sb) {
   stats_.drained.fetch_add(1, std::memory_order_relaxed);
   rt_->note_retired();
+  signal_join(sb, engine::kSbErrChildFailed, /*take_response=*/false);
   if (sb->conn_fd() >= 0) {
     rt_->forget_connection(sb->conn_fd());
     ::close(sb->conn_fd());  // no response is coming
@@ -322,22 +359,23 @@ void Worker::abandon(Sandbox* sb) {
   delete sb;
 }
 
-void Worker::pump_timers() {
-  if (sleeping_.empty()) return;
-  uint64_t now = now_ns();
-  for (size_t i = 0; i < sleeping_.size();) {
-    Sandbox* sb = sleeping_[i];
-    bool expired = sb->deadline_exceeded(now);
-    if (expired) sb->request_kill();  // wake early; dies at sleep resume
-    if (expired || sb->wake_at_ns() <= now) {
-      sb->set_state(SandboxState::kRunnable);
-      policy_->enqueue(sb);
-      sleeping_[i] = sleeping_.back();
-      sleeping_.pop_back();
-    } else {
-      ++i;
-    }
+void Worker::admit_woken(std::vector<Sandbox*>* woken) {
+  for (Sandbox* sb : *woken) {
+    stats_.woken.fetch_add(1, std::memory_order_relaxed);
+    policy_->enqueue(sb);
   }
+  woken->clear();
+}
+
+void Worker::signal_join(Sandbox* sb, int32_t status, bool take_response) {
+  const std::shared_ptr<InvokeJoin>& join = sb->result_join();
+  if (!join) return;
+  // Status and payload must be visible before done flips: the parent reads
+  // them after an acquire load of done.
+  join->status = status;
+  if (take_response) join->response = std::move(sb->response());
+  join->done.store(true, std::memory_order_release);
+  rt_->notify_worker(join->waiter_worker);
 }
 
 bool Worker::pump_writes() {
@@ -361,6 +399,7 @@ bool Worker::pump_writes() {
     if (w.offset == w.data.size()) done = true;
 
     if (done || dead) {
+      io_loop_.unwatch_write_fd(w.fd);
       complete_write(w, now_ns(), done && !dead);
       if (done && w.keep_alive && !dead) {
         rt_->return_connection(w.fd);
@@ -373,6 +412,7 @@ bool Worker::pump_writes() {
       writes_.pop_back();
       progressed = true;
     } else {
+      io_loop_.watch_write_fd(w.fd);  // EAGAIN: park for EPOLLOUT
       ++i;
     }
   }
@@ -391,12 +431,13 @@ void Worker::complete_write(const WriteJob& w, uint64_t now, bool write_ok) {
       line, sizeof(line),
       "{\"module\":\"%s\",\"status\":%d,\"bytes\":%zu,\"worker\":%d,"
       "\"queue_wait_us\":%.1f,\"startup_us\":%.1f,\"exec_cpu_us\":%.1f,"
-      "\"response_write_us\":%.1f,\"e2e_us\":%.1f,"
+      "\"io_wait_us\":%.1f,\"response_write_us\":%.1f,\"e2e_us\":%.1f,"
       "\"dispatches\":%u,\"preempts\":%u,\"write_ok\":%s}\n",
       t.mod->name.c_str(), t.status, w.data.size(), index_,
       static_cast<double>(t.queue_wait_ns) / 1e3,
       static_cast<double>(t.startup_ns) / 1e3,
       static_cast<double>(t.exec_cpu_ns) / 1e3,
+      static_cast<double>(t.io_wait_ns) / 1e3,
       static_cast<double>(write_ns) / 1e3, static_cast<double>(e2e_ns) / 1e3,
       t.dispatches, t.preempts, write_ok ? "true" : "false");
   if (n > 0) access_buf_.append(line, std::min(sizeof(line) - 1,

@@ -1,8 +1,10 @@
 // A Sledge worker core: a pluggable per-worker scheduling policy (round
-// robin / FIFO run-to-completion / EDF) over sandbox contexts, cooperative
-// timers, and non-blocking response writes (the libuv-style per-worker
-// event loop of paper §4). The quantum timer is only armed when both the
-// runtime config and the policy allow preemption.
+// robin / FIFO run-to-completion / EDF) over sandbox contexts, fused with a
+// per-worker epoll event loop (IoLoop — the libuv-style loop of paper §4)
+// that parks blocked sandboxes on wake conditions (timers, outbound-socket
+// readiness, child-sandbox completion) and sleeps the core when nothing is
+// runnable. The quantum timer is only armed when both the runtime config
+// and the policy allow preemption.
 #pragma once
 
 #include <ucontext.h>
@@ -14,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "sledge/io_loop.hpp"
 #include "sledge/sandbox.hpp"
 #include "sledge/scheduler_policy.hpp"
 
@@ -30,6 +33,9 @@ class Worker {
   void start();
   void join();
 
+  // Cross-thread wake: interrupts an idle epoll sleep. Safe from any thread.
+  void notify() { io_loop_.notify(); }
+
   struct Stats {
     std::atomic<uint64_t> dispatches{0};
     std::atomic<uint64_t> preemptions{0};
@@ -38,6 +44,8 @@ class Worker {
     std::atomic<uint64_t> failed{0};
     std::atomic<uint64_t> killed{0};   // deadline/budget terminations (504)
     std::atomic<uint64_t> drained{0};  // abandoned at shutdown
+    std::atomic<uint64_t> blocked{0};  // sandboxes parked on a wake condition
+    std::atomic<uint64_t> woken{0};    // sandboxes handed back by the IoLoop
     // Resource-pool split of retired sandboxes: warm (every resource off a
     // free list) vs cold (at least one fresh allocation).
     std::atomic<uint64_t> pool_hits{0};
@@ -58,6 +66,7 @@ class Worker {
     uint64_t queue_wait_ns = 0;
     uint64_t startup_ns = 0;
     uint64_t exec_cpu_ns = 0;
+    uint64_t io_wait_ns = 0;
     uint32_t dispatches = 0;
     uint32_t preempts = 0;
   };
@@ -75,7 +84,11 @@ class Worker {
   void dispatch(Sandbox* sb);
   void finalize(Sandbox* sb);
   void abandon(Sandbox* sb);  // shutdown: retire without a response
-  void pump_timers();
+  // Re-enqueues sandboxes the IoLoop handed back from poll().
+  void admit_woken(std::vector<Sandbox*>* woken);
+  // Completes (or errors out) a child sandbox's InvokeJoin and pings the
+  // parent's worker. No-op for listener-originated sandboxes.
+  void signal_join(Sandbox* sb, int32_t status, bool take_response);
   // Returns true if any write made progress or completed.
   bool pump_writes();
   // A flushed (or failed) response: record the response_write phase and
@@ -96,7 +109,7 @@ class Worker {
   Sandbox* current_ = nullptr;
 
   std::unique_ptr<SchedulerPolicy> policy_;
-  std::vector<Sandbox*> sleeping_;
+  IoLoop io_loop_;
   std::vector<WriteJob> writes_;
   std::string access_buf_;  // buffered access-log lines (flushed off-path)
 
