@@ -1,0 +1,209 @@
+// Ablation: dispatcher layer × admission policy under mixed-deadline
+// overload (DESIGN.md §11). Two tenants share the server:
+//
+//   tight — a ~ms CPU burn with a deadline that is meetable when the
+//           request runs immediately but NOT after queueing behind a
+//           saturated backlog (the Lumos scenario: tail, not mean, decides)
+//   loose — ping with a deadline three orders of magnitude above service
+//           time (never legitimately missed)
+//
+// Every dispatcher (work_stealing / global_edf / sharded_module) runs under
+// both admission policies (depth / slack). The claim under test: expected-
+// slack admission converts admit-then-kill deadline misses (504 after the
+// sandbox already burned CPU) into early 503 sheds, so the 504 rate drops
+// while goodput holds — the raw-depth baseline keeps admitting requests the
+// predictor already knows cannot finish in time.
+//
+// Emits BENCH_dispatch.json (one record per combo: p50/p99, miss rate, shed
+// rate, goodput) as the recorded baseline future PRs diff against.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_server_util.hpp"
+
+using namespace sledge;
+using namespace sledge::bench;
+
+namespace {
+
+const char* kPingSrc = R"(
+char out[1];
+int main() { out[0] = 112; resp_write(out, 1); return 0; }
+)";
+
+// ~2-5 ms of linear-memory arithmetic under the AoT tier.
+std::string burn_src() {
+  return R"(
+int acc[2];
+char out[1];
+int main() {
+  int i = 0;
+  while (i < 3000000) { acc[0] = acc[0] + i; i = i + 1; }
+  out[0] = 98;
+  resp_write(out, 1);
+  return acc[0];
+}
+)";
+}
+
+struct ComboResult {
+  std::string dispatcher;
+  std::string admission;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double miss_rate = 0;   // 504s / issued (admitted-then-killed + early)
+  double shed_rate = 0;   // 503s / issued
+  double goodput_rps = 0; // in-deadline 200s per second, both tenants
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t missed = 0;
+};
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: dispatcher x admission under overload",
+               "DESIGN.md §11");
+
+  const uint64_t tight_reqs =
+      static_cast<uint64_t>(env_long("SLEDGE_BENCH_REQS", 1200));
+  const uint64_t loose_reqs = tight_reqs / 2;
+  const int tight_conc = static_cast<int>(env_long("SLEDGE_BENCH_CONC", 16));
+
+  auto ping = minicc::compile_to_wasm(kPingSrc);
+  auto burn = minicc::compile_to_wasm(burn_src());
+  if (!ping.ok() || !burn.ok()) {
+    std::fprintf(stderr, "compile failed\n");
+    return 1;
+  }
+
+  std::printf("%-15s %-6s | %8s %8s | %7s %7s | %10s\n", "dispatcher",
+              "admit", "p50 ms", "p99 ms", "miss%", "shed%", "goodput r/s");
+
+  std::vector<ComboResult> results;
+  for (runtime::DispatchPolicy dp :
+       {runtime::DispatchPolicy::kWorkStealing,
+        runtime::DispatchPolicy::kGlobalEdf,
+        runtime::DispatchPolicy::kShardedByModule}) {
+    for (runtime::AdmissionPolicy ap :
+         {runtime::AdmissionPolicy::kQueueDepth,
+          runtime::AdmissionPolicy::kExpectedSlack}) {
+      runtime::RuntimeConfig cfg;
+      cfg.workers = 3;
+      cfg.dispatcher = dp;
+      cfg.admission = ap;
+      // Deep enough that queue wait dwarfs the tight deadline: admitted
+      // tight requests behind a full backlog are doomed under depth-only
+      // admission.
+      cfg.max_pending = 24;
+      runtime::Runtime rt(cfg);
+
+      runtime::ModuleLimits tight_lim;
+      tight_lim.deadline_ns = 20'000'000;  // 20 ms vs ~2-5 ms service time
+      if (!rt.register_module("tight", burn.value(), tight_lim).is_ok()) {
+        return 1;
+      }
+      runtime::ModuleLimits loose_lim;
+      loose_lim.deadline_ns = 2'000'000'000;
+      if (!rt.register_module("loose", ping.value(), loose_lim).is_ok()) {
+        return 1;
+      }
+      if (!rt.start().is_ok()) return 1;
+
+      // Warm the slack predictor (and both tiers' code paths) below
+      // saturation so the measured phase starts with published p99s.
+      drive(rt.bound_port(), "/tight", {}, 2, 60);
+      drive(rt.bound_port(), "/loose", {}, 2, 60);
+
+      // Measured phase: saturate the tight tenant; run the loose tenant
+      // alongside to observe goodput protection.
+      loadgen::Report tight_rep, loose_rep;
+      std::thread loose_t([&] {
+        loose_rep = drive(rt.bound_port(), "/loose", {}, 4, loose_reqs);
+      });
+      tight_rep = drive(rt.bound_port(), "/tight", {}, tight_conc, tight_reqs);
+      loose_t.join();
+      rt.stop();
+
+      ComboResult r;
+      r.dispatcher = to_string(dp);
+      r.admission = to_string(ap);
+      const uint64_t issued = tight_reqs + loose_reqs;
+      r.ok = tight_rep.count(200) + loose_rep.count(200);
+      r.shed = tight_rep.count(503) + loose_rep.count(503);
+      r.missed = tight_rep.count(504) + loose_rep.count(504);
+      r.miss_rate = static_cast<double>(r.missed) / issued;
+      r.shed_rate = static_cast<double>(r.shed) / issued;
+      // Latency histograms only record successful (200) requests; the
+      // measured-phase duration is the longer of the two drivers.
+      double duration =
+          tight_rep.duration_s > loose_rep.duration_s ? tight_rep.duration_s
+                                                      : loose_rep.duration_s;
+      r.goodput_rps = duration > 0 ? r.ok / duration : 0;
+      r.p50_ms =
+          static_cast<double>(tight_rep.latency.percentile_ns(0.5)) / 1e6;
+      r.p99_ms = tight_rep.p99_ms();
+      results.push_back(r);
+
+      std::printf("%-15s %-6s | %8.2f %8.2f | %6.1f%% %6.1f%% | %10.0f\n",
+                  r.dispatcher.c_str(), r.admission.c_str(), r.p50_ms,
+                  r.p99_ms, 100 * r.miss_rate, 100 * r.shed_rate,
+                  r.goodput_rps);
+    }
+  }
+
+  // Recorded baseline: one JSON record per combo.
+  const char* out_path = std::getenv("SLEDGE_BENCH_OUT");
+  if (!out_path || !out_path[0]) out_path = "BENCH_dispatch.json";
+  FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"dispatch\",\n"
+               "  \"workload\": {\"tight_reqs\": %llu, \"loose_reqs\": %llu, "
+               "\"tight_conc\": %d, \"tight_deadline_ms\": 20, "
+               "\"workers\": 3, \"max_pending\": 24},\n  \"combos\": [\n",
+               static_cast<unsigned long long>(tight_reqs),
+               static_cast<unsigned long long>(loose_reqs), tight_conc);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ComboResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"dispatcher\": \"%s\", \"admission\": \"%s\", "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"miss_rate\": %.4f, "
+        "\"shed_rate\": %.4f, \"goodput_rps\": %.1f, \"ok\": %llu, "
+        "\"shed\": %llu, \"missed\": %llu}%s\n",
+        r.dispatcher.c_str(), r.admission.c_str(), r.p50_ms, r.p99_ms,
+        r.miss_rate, r.shed_rate, r.goodput_rps,
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.missed),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+
+  // The headline comparison the acceptance gate reads: slack vs depth 504
+  // rate, averaged over dispatchers.
+  double depth_miss = 0, slack_miss = 0;
+  int n = 0;
+  for (const ComboResult& r : results) {
+    if (r.admission == "depth") depth_miss += r.miss_rate;
+    if (r.admission == "slack") slack_miss += r.miss_rate;
+  }
+  n = static_cast<int>(results.size()) / 2;
+  if (n > 0) {
+    std::printf("mean 504 rate: depth %.1f%% -> slack %.1f%% "
+                "(%s)\n",
+                100 * depth_miss / n, 100 * slack_miss / n,
+                slack_miss < depth_miss
+                    ? "slack admission sheds early instead of killing late"
+                    : "UNEXPECTED: slack did not reduce misses");
+  }
+  return 0;
+}

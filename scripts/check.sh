@@ -26,4 +26,8 @@ cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target io_loop_test
 ctest --preset tsan-io -j "$(nproc)"
 
+echo "== tsan: dispatcher/admission soak (concurrent push/inject/fetch) =="
+cmake --build --preset tsan -j "$(nproc)" --target admission_test
+ctest --preset tsan-dispatch -j "$(nproc)"
+
 echo "== all checks passed =="

@@ -130,12 +130,14 @@ bool RequestParser::parse_header_block() {
 std::string serialize_response(int status, const std::string& reason,
                                const std::vector<uint8_t>& body,
                                bool keep_alive,
-                               const std::string& content_type) {
+                               const std::string& content_type,
+                               const std::string& extra_headers) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
                     "\r\nContent-Type: " + content_type +
                     "\r\nContent-Length: " + std::to_string(body.size()) +
                     "\r\nConnection: " +
-                    (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+                    (keep_alive ? "keep-alive" : "close") + "\r\n" +
+                    extra_headers + "\r\n";
   out.append(reinterpret_cast<const char*>(body.data()), body.size());
   return out;
 }

@@ -68,11 +68,15 @@ class RequestParser {
 };
 
 // Serializes a response with Content-Length and Connection headers.
+// `extra_headers` is a pre-formatted header block appended verbatim before
+// the terminating blank line; each header must end with "\r\n"
+// (e.g. "Retry-After: 1\r\n").
 std::string serialize_response(int status, const std::string& reason,
                                const std::vector<uint8_t>& body,
                                bool keep_alive,
                                const std::string& content_type =
-                                   "application/octet-stream");
+                                   "application/octet-stream",
+                               const std::string& extra_headers = "");
 
 std::string serialize_request(const std::string& method,
                               const std::string& target,

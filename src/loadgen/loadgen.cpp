@@ -163,12 +163,14 @@ Result<Report> run_load(const Options& options) {
   std::atomic<uint64_t> err_count{0};
   std::mutex merge_mu;
   LatencyHistogram merged;
+  std::map<int, uint64_t> merged_statuses;
 
   std::string request_bytes = http::serialize_request(
       "POST", options.path, options.body, options.keep_alive);
 
   auto client = [&]() {
     LatencyHistogram local;
+    std::map<int, uint64_t> local_statuses;
     int fd = -1;
     while (true) {
       uint64_t ticket = issued.fetch_add(1, std::memory_order_relaxed);
@@ -176,6 +178,7 @@ Result<Report> run_load(const Options& options) {
 
       uint64_t t0 = now_ns();
       bool success = false;
+      int observed = 0;  // 0 = no HTTP response at all
       for (int attempt = 0; attempt < 2 && !success; ++attempt) {
         if (fd < 0) {
           fd = connect_to(options.host, options.port);
@@ -186,6 +189,7 @@ Result<Report> run_load(const Options& options) {
         bool keep = false;
         if (send_all(fd, request_bytes.data(), request_bytes.size()) &&
             read_response(fd, &status, &body, &keep)) {
+          observed = status;
           success = status == 200 &&
                     (options.expect_body.empty() ||
                      body == options.expect_body);
@@ -199,6 +203,7 @@ Result<Report> run_load(const Options& options) {
         ::close(fd);
         fd = -1;
       }
+      local_statuses[observed]++;
       if (success) {
         local.record(now_ns() - t0);
         ok_count.fetch_add(1, std::memory_order_relaxed);
@@ -209,6 +214,9 @@ Result<Report> run_load(const Options& options) {
     if (fd >= 0) ::close(fd);
     std::lock_guard<std::mutex> lock(merge_mu);
     merged.merge(local);
+    for (const auto& [status, n] : local_statuses) {
+      merged_statuses[status] += n;
+    }
   };
 
   Stopwatch sw;
@@ -224,6 +232,7 @@ Result<Report> run_load(const Options& options) {
   report.ok = ok_count.load();
   report.errors = err_count.load();
   report.latency = std::move(merged);
+  report.status_counts = std::move(merged_statuses);
   report.throughput_rps =
       report.duration_s > 0 ? static_cast<double>(report.ok) / report.duration_s
                             : 0;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -35,11 +36,19 @@ struct Report {
   double duration_s = 0;
   double throughput_rps = 0;
   LatencyHistogram latency;
+  // Responses observed per HTTP status code (0 = no response at all:
+  // connect/send/read failure). Lets tests reconcile client-observed
+  // 503/504 counts against the server's shed/kill counters.
+  std::map<int, uint64_t> status_counts;
   // Body of Options::scrape_path (server-side stats JSON), if requested.
   std::string server_stats;
 
   double mean_ms() const { return latency.mean_ms(); }
   double p99_ms() const { return latency.p99_ms(); }
+  uint64_t count(int status) const {
+    auto it = status_counts.find(status);
+    return it == status_counts.end() ? 0 : it->second;
+  }
 };
 
 Result<Report> run_load(const Options& options);

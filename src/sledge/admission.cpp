@@ -1,0 +1,101 @@
+#include "sledge/admission.hpp"
+
+#include <algorithm>
+
+namespace sledge::runtime {
+
+const char* to_string(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kQueueDepth: return "depth";
+    case AdmissionPolicy::kExpectedSlack: return "slack";
+  }
+  return "?";
+}
+
+const char* to_string(AdmitVerdict v) {
+  switch (v) {
+    case AdmitVerdict::kAdmit: return "admit";
+    case AdmitVerdict::kShedOverload: return "shed_overload";
+    case AdmitVerdict::kShedDeadline: return "shed_deadline";
+  }
+  return "?";
+}
+
+void SlackPredictor::record(uint64_t queue_wait_ns, uint64_t exec_cpu_ns) {
+  size_t slot = static_cast<size_t>(count_ % kWindow);
+  queue_ring_[slot] = queue_wait_ns;
+  exec_ring_[slot] = exec_cpu_ns;
+  ++count_;
+  // Publish fresh p99s periodically, plus once exactly at kMinSamples so
+  // the first ready() read never sees zeroed percentiles.
+  if (count_ % kRefreshPeriod == 0 || count_ == kMinSamples) refresh();
+}
+
+void SlackPredictor::refresh() {
+  size_t n = static_cast<size_t>(std::min<uint64_t>(count_, kWindow));
+  if (n == 0) return;
+  std::array<uint64_t, kWindow> scratch;
+  size_t rank = (n * 99) / 100;  // index of the p99 order statistic
+  if (rank >= n) rank = n - 1;
+
+  std::copy(queue_ring_.begin(), queue_ring_.begin() + n, scratch.begin());
+  std::nth_element(scratch.begin(), scratch.begin() + rank,
+                   scratch.begin() + n);
+  uint64_t qp = scratch[rank];
+
+  std::copy(exec_ring_.begin(), exec_ring_.begin() + n, scratch.begin());
+  std::nth_element(scratch.begin(), scratch.begin() + rank,
+                   scratch.begin() + n);
+  uint64_t ep = scratch[rank];
+
+  // p99s first, then the sample count: a reader that observes ready() is
+  // guaranteed to read percentiles at least this fresh.
+  queue_p99_.store(qp, std::memory_order_release);
+  exec_p99_.store(ep, std::memory_order_release);
+  published_.store(count_, std::memory_order_release);
+}
+
+int64_t AdmissionController::fair_share(int64_t max_pending, uint32_t weight,
+                                        uint64_t total_weight) {
+  if (max_pending <= 0) return INT64_MAX;  // caps off
+  if (total_weight == 0) total_weight = 1;
+  uint64_t w = weight == 0 ? 1 : weight;
+  int64_t share = static_cast<int64_t>(
+      (static_cast<uint64_t>(max_pending) * w) / total_weight);
+  return std::max<int64_t>(1, share);
+}
+
+AdmitVerdict AdmissionController::check(const AdmitRequest& in) const {
+  // Depth cap applies under both policies (the PR 1 contract).
+  if (max_pending_ > 0 && in.inflight >= max_pending_) {
+    return AdmitVerdict::kShedOverload;
+  }
+  if (policy_ != AdmissionPolicy::kExpectedSlack) {
+    return AdmitVerdict::kAdmit;
+  }
+  // Weighted fair share: a module may not hold more than its reservation
+  // of the global admission window.
+  if (max_pending_ > 0 &&
+      in.module_inflight >=
+          fair_share(max_pending_, in.tenant_weight, in.total_weight)) {
+    return AdmitVerdict::kShedOverload;
+  }
+  // Expected-slack gate: only meaningful with a deadline and a warmed-up
+  // predictor (cold modules are admitted — the window fills fast).
+  if (in.deadline_rel_ns != 0 && in.predictor_ready) {
+    if (in.exec_cpu_p99_ns > in.deadline_rel_ns) {
+      // Unmeetable even from an empty queue: the work itself blows the
+      // deadline. 504-early — a retry won't help until the module or its
+      // deadline changes.
+      return AdmitVerdict::kShedDeadline;
+    }
+    if (in.queue_wait_p99_ns + in.exec_cpu_p99_ns > in.deadline_rel_ns) {
+      // Queueing is what kills it: predicted completion past the deadline,
+      // but a retry after backoff (drained queue) may well succeed. 503.
+      return AdmitVerdict::kShedOverload;
+    }
+  }
+  return AdmitVerdict::kAdmit;
+}
+
+}  // namespace sledge::runtime

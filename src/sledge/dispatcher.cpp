@@ -1,0 +1,281 @@
+#include "sledge/dispatcher.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace sledge::runtime {
+
+const char* to_string(DistPolicy p) {
+  switch (p) {
+    case DistPolicy::kWorkStealing: return "work_stealing";
+    case DistPolicy::kGlobalLock: return "global_lock";
+    case DistPolicy::kPerWorker: return "per_worker";
+  }
+  return "?";
+}
+
+const char* to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::kWorkStealing: return "work_stealing";
+    case DispatchPolicy::kGlobalEdf: return "global_edf";
+    case DispatchPolicy::kShardedByModule: return "sharded_module";
+  }
+  return "?";
+}
+
+// ---- Distributor -----------------------------------------------------
+
+Distributor::Distributor(DistPolicy policy, int workers)
+    : policy_(policy), workers_(workers) {
+  if (policy_ == DistPolicy::kPerWorker) {
+    for (int i = 0; i < workers; ++i) {
+      per_worker_.push_back(std::make_unique<PerWorkerQ>());
+    }
+  }
+}
+
+void Distributor::push(Sandbox* sb) {
+  switch (policy_) {
+    case DistPolicy::kWorkStealing:
+      deque_.push(sb);
+      break;
+    case DistPolicy::kGlobalLock: {
+      std::lock_guard<std::mutex> lock(global_mu_);
+      global_q_.push_back(sb);
+      break;
+    }
+    case DistPolicy::kPerWorker: {
+      uint64_t idx = rr_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                     static_cast<uint64_t>(workers_);
+      PerWorkerQ& q = *per_worker_[idx];
+      std::lock_guard<std::mutex> lock(q.mu);
+      q.q.push_back(sb);
+      break;
+    }
+  }
+}
+
+void Distributor::inject(Sandbox* sb) {
+  // Worker-thread-safe side entrance: the Chase–Lev owner end belongs to
+  // the listener, so children bypass it through a small mutexed queue that
+  // fetch() probes with a relaxed counter (zero-cost when unused).
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  inject_q_.push_back(sb);
+  inject_count_.fetch_add(1, std::memory_order_release);
+}
+
+bool Distributor::fetch(int worker_index, Sandbox** out) {
+  if (inject_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    if (!inject_q_.empty()) {
+      *out = inject_q_.front();
+      inject_q_.pop_front();
+      inject_count_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  switch (policy_) {
+    case DistPolicy::kWorkStealing:
+      return deque_.steal(out);
+    case DistPolicy::kGlobalLock: {
+      std::lock_guard<std::mutex> lock(global_mu_);
+      if (global_q_.empty()) return false;
+      *out = global_q_.front();
+      global_q_.pop_front();
+      return true;
+    }
+    case DistPolicy::kPerWorker: {
+      PerWorkerQ& q = *per_worker_[worker_index];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.q.empty()) return false;
+      *out = q.q.front();
+      q.q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t Distributor::backlog_estimate() const {
+  int64_t injected = inject_count_.load(std::memory_order_acquire);
+  switch (policy_) {
+    case DistPolicy::kWorkStealing:
+      return injected + deque_.size_estimate();
+    case DistPolicy::kGlobalLock: {
+      std::lock_guard<std::mutex> lock(global_mu_);
+      return injected + static_cast<int64_t>(global_q_.size());
+    }
+    case DistPolicy::kPerWorker: {
+      int64_t total = injected;
+      for (const auto& q : per_worker_) {
+        std::lock_guard<std::mutex> lock(q->mu);
+        total += static_cast<int64_t>(q->q.size());
+      }
+      return total;
+    }
+  }
+  return injected;
+}
+
+// ---- Dispatchers ------------------------------------------------------
+
+namespace {
+
+// The paper's design, unchanged: the Distributor (and its DistPolicy queue
+// ablation) behind the Dispatcher interface.
+class WorkStealingDispatcher : public Dispatcher {
+ public:
+  WorkStealingDispatcher(DistPolicy dist, int workers)
+      : dist_(dist, workers) {}
+
+  DispatchPolicy kind() const override {
+    return DispatchPolicy::kWorkStealing;
+  }
+  void push(Sandbox* sb) override { dist_.push(sb); }
+  void inject(Sandbox* sb) override { dist_.inject(sb); }
+  bool fetch(int worker_index, Sandbox** out) override {
+    return dist_.fetch(worker_index, out);
+  }
+  int64_t backlog_estimate() const override {
+    return dist_.backlog_estimate();
+  }
+
+ private:
+  Distributor dist_;
+};
+
+// Centralized deadline-sorted admit order: one mutexed min-heap on the
+// absolute wall-clock deadline stamped at admission. Every fetch — from any
+// worker — pops the globally earliest deadline, so under bursts the tightest
+// requests reach a core first regardless of arrival order. Deadline-less
+// requests sort last; equal deadlines break FIFO (seq).
+class GlobalEdfDispatcher : public Dispatcher {
+ public:
+  DispatchPolicy kind() const override { return DispatchPolicy::kGlobalEdf; }
+
+  void push(Sandbox* sb) override { place(sb); }
+  void inject(Sandbox* sb) override { place(sb); }
+
+  bool fetch(int, Sandbox** out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    *out = heap_.back().sb;
+    heap_.pop_back();
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  int64_t backlog_estimate() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    uint64_t deadline;  // absolute ns; UINT64_MAX = no deadline
+    uint64_t seq;       // FIFO tie-break
+    Sandbox* sb;
+  };
+  // Min-heap on (deadline, seq) via std::*_heap's max-heap comparator.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  void place(Sandbox* sb) {
+    uint64_t deadline = sb->deadline_at_ns();
+    std::lock_guard<std::mutex> lock(mu_);
+    heap_.push_back(Entry{deadline == 0 ? UINT64_MAX : deadline, seq_++, sb});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Entry> heap_;
+  uint64_t seq_ = 0;
+  std::atomic<int64_t> size_{0};
+};
+
+// Sharded-by-module placement: the target module (Sandbox::user_tag, set
+// before push/inject) hashes to one worker's shard, so a module's requests
+// always run on the same core — instruction/data locality and hard
+// per-module isolation, at the price of work conservation (an idle worker
+// never helps a loaded shard).
+class ShardedByModuleDispatcher : public Dispatcher {
+ public:
+  explicit ShardedByModuleDispatcher(int workers) : workers_(workers) {
+    for (int i = 0; i < workers; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  DispatchPolicy kind() const override {
+    return DispatchPolicy::kShardedByModule;
+  }
+
+  void push(Sandbox* sb) override { place(sb); }
+  void inject(Sandbox* sb) override { place(sb); }
+
+  bool fetch(int worker_index, Sandbox** out) override {
+    if (worker_index < 0 || worker_index >= workers_) return false;
+    Shard& s = *shards_[worker_index];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.q.empty()) return false;
+    *out = s.q.front();
+    s.q.pop_front();
+    return true;
+  }
+
+  int64_t backlog_estimate() const override {
+    int64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      total += static_cast<int64_t>(s->q.size());
+    }
+    return total;
+  }
+
+  int shard_of(const void* module_tag) const {
+    // Mix the pointer bits (splitmix-style) so allocation alignment does
+    // not funnel every module onto shard 0.
+    uint64_t z = reinterpret_cast<uintptr_t>(module_tag);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<int>((z ^ (z >> 31)) %
+                            static_cast<uint64_t>(workers_));
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::deque<Sandbox*> q;
+  };
+
+  void place(Sandbox* sb) {
+    Shard& s = *shards_[shard_of(sb->user_tag)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.q.push_back(sb);
+  }
+
+  int workers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace
+
+std::unique_ptr<Dispatcher> Dispatcher::make(DispatchPolicy policy,
+                                             DistPolicy dist, int workers) {
+  switch (policy) {
+    case DispatchPolicy::kGlobalEdf:
+      return std::make_unique<GlobalEdfDispatcher>();
+    case DispatchPolicy::kShardedByModule:
+      return std::make_unique<ShardedByModuleDispatcher>(workers);
+    case DispatchPolicy::kWorkStealing:
+      break;
+  }
+  return std::make_unique<WorkStealingDispatcher>(dist, workers);
+}
+
+}  // namespace sledge::runtime

@@ -1,0 +1,109 @@
+// The dispatcher layer: how admitted sandboxes travel from the listener to
+// a worker core. Sits above the per-worker SchedulerPolicy (which orders a
+// worker's *local* runnable set) and decides the *global* hand-out:
+//
+//   kWorkStealing — the paper's design: a global Chase–Lev deque (or the
+//                   lock/per-worker ablations of DistPolicy) that any idle
+//                   worker drains. Deadline-blind but work-conserving.
+//   kGlobalEdf    — one centralized deadline-sorted admit order: every
+//                   fetch() pops the earliest absolute deadline across ALL
+//                   queued requests (deadline-less requests sort last, FIFO
+//                   ties). The SLEdgeScale-style "task-deadline-aware"
+//                   hand-out; a mutexed binary heap, so scalability is
+//                   traded for global deadline order.
+//   kShardedByModule — requests are placed on a per-worker shard chosen by
+//                   hashing the target module: one module's requests always
+//                   land on the same core (cache locality, per-module
+//                   isolation), no stealing, not work-conserving.
+//
+// Every dispatcher composes with every per-worker SchedulerPolicy: the
+// dispatcher fixes the order in which a worker *receives* work, the policy
+// the order in which the worker *runs* what it holds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sledge/deque.hpp"
+#include "sledge/sandbox.hpp"
+
+namespace sledge::runtime {
+
+// Work-distribution policy of the kWorkStealing dispatcher (the queue
+// ablation of DESIGN.md):
+//   kWorkStealing — lock-free global Chase–Lev deque (the paper's design)
+//   kGlobalLock   — one mutex-protected FIFO (work-conserving, not scalable)
+//   kPerWorker    — per-worker mutex FIFOs, round-robin assignment, no
+//                   stealing (scalable, not work-conserving)
+enum class DistPolicy : uint8_t { kWorkStealing, kGlobalLock, kPerWorker };
+
+const char* to_string(DistPolicy p);
+
+enum class DispatchPolicy : uint8_t {
+  kWorkStealing = 0,
+  kGlobalEdf = 1,
+  kShardedByModule = 2,
+};
+
+const char* to_string(DispatchPolicy p);
+
+// Work distribution with swappable policy. push() is listener-only for
+// kWorkStealing (single deque owner); fetch() is called by workers.
+// inject() is the any-thread side entrance (sb_invoke children are admitted
+// from worker threads, which must not touch the Chase–Lev owner end).
+class Distributor {
+ public:
+  Distributor(DistPolicy policy, int workers);
+
+  void push(Sandbox* sb);
+  void inject(Sandbox* sb);
+  bool fetch(int worker_index, Sandbox** out);
+  int64_t backlog_estimate() const;
+
+ private:
+  DistPolicy policy_;
+  int workers_;
+  WorkStealingDeque<Sandbox*> deque_;
+  mutable std::mutex global_mu_;
+  std::deque<Sandbox*> global_q_;
+  mutable std::mutex inject_mu_;
+  std::deque<Sandbox*> inject_q_;
+  std::atomic<int64_t> inject_count_{0};  // lock-free emptiness probe
+  struct PerWorkerQ {
+    std::mutex mu;
+    std::deque<Sandbox*> q;
+  };
+  std::vector<std::unique_ptr<PerWorkerQ>> per_worker_;
+  std::atomic<uint64_t> rr_cursor_{0};
+};
+
+// The pluggable hand-out structure. Contracts shared by every
+// implementation:
+//   push()   — listener-thread admit (single producer; kWorkStealing owns
+//              the Chase–Lev producer end there).
+//   inject() — any-thread side entrance (sb_invoke children admitted from
+//              worker threads).
+//   fetch()  — worker-side dequeue; returns false when nothing is available
+//              for `worker_index`. Each pushed sandbox is returned by
+//              exactly one successful fetch (no loss, no duplication).
+//   backlog_estimate() — racy size probe for drain/observability.
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  virtual DispatchPolicy kind() const = 0;
+  virtual void push(Sandbox* sb) = 0;
+  virtual void inject(Sandbox* sb) = 0;
+  virtual bool fetch(int worker_index, Sandbox** out) = 0;
+  virtual int64_t backlog_estimate() const = 0;
+
+  // `dist` only affects kWorkStealing (the queue ablation rides along).
+  static std::unique_ptr<Dispatcher> make(DispatchPolicy policy,
+                                          DistPolicy dist, int workers);
+};
+
+}  // namespace sledge::runtime

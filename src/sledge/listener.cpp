@@ -337,16 +337,44 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
       continue;
     }
 
-    // Overload shedding (configurable backlog threshold) and graceful
-    // drain both answer 503 without admitting a sandbox; a kept-alive
-    // connection stays parked here so the client can retry.
-    if (rt_->overloaded() || rt_->draining()) {
-      rt_->note_shed();
-      std::string resp = http::serialize_response(503, "Overloaded", {},
-                                                  keep_alive, "text/plain");
+    // Admission control, all without building a sandbox: graceful drain
+    // (503, longer Retry-After — this process is going away), overload /
+    // fair-share / queue-slack shedding (503, short Retry-After — backoff
+    // and retry likely succeeds), and the unmeetable-deadline gate
+    // (504-early: even an empty queue cannot run this module inside its
+    // deadline). All responses honor keep-alive so the client can reuse
+    // the parked connection for the retry.
+    if (rt_->draining()) {
+      rt_->note_shed(mod);
+      std::string resp =
+          http::serialize_response(503, "Draining", {}, keep_alive,
+                                   "text/plain", "Retry-After: 5\r\n");
       if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
       conn->parser.reset();
       continue;
+    }
+    switch (rt_->admission_check(mod)) {
+      case AdmitVerdict::kAdmit:
+        break;
+      case AdmitVerdict::kShedOverload: {
+        rt_->note_shed(mod);
+        std::string resp =
+            http::serialize_response(503, "Overloaded", {}, keep_alive,
+                                     "text/plain", "Retry-After: 1\r\n");
+        if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+        conn->parser.reset();
+        continue;
+      }
+      case AdmitVerdict::kShedDeadline: {
+        rt_->note_shed_deadline(mod);
+        std::string resp =
+            http::serialize_response(504, "Deadline Unmeetable", {},
+                                     keep_alive, "text/plain",
+                                     "Retry-After: 1\r\n");
+        if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+        conn->parser.reset();
+        continue;
+      }
     }
 
     // Admission: the worker writes this request's response itself, so any
@@ -360,9 +388,10 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
     std::unique_ptr<Sandbox> sb =
         Sandbox::create(&mod->module, std::move(body), conn->fd, keep_alive);
     if (!sb) {
-      rt_->note_shed();
-      std::string resp = http::serialize_response(503, "Overloaded", {},
-                                                  keep_alive, "text/plain");
+      rt_->note_shed(mod);
+      std::string resp =
+          http::serialize_response(503, "Overloaded", {}, keep_alive,
+                                   "text/plain", "Retry-After: 1\r\n");
       if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
       conn->parser.reset();
       continue;
@@ -398,8 +427,8 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
     conn->stash.assign(data + off, n - off);
     detach_to_loaned(conn);
 
-    rt_->note_admitted();
-    rt_->distributor().push(sb.release());
+    rt_->note_admitted(mod);
+    rt_->dispatcher().push(sb.release());
     rt_->notify_workers();  // wake any core sleeping in its event loop
     return Consume::kStop;  // fd now belongs to the worker side
   }

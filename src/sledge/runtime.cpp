@@ -14,115 +14,13 @@
 
 namespace sledge::runtime {
 
-const char* to_string(DistPolicy p) {
-  switch (p) {
-    case DistPolicy::kWorkStealing: return "work_stealing";
-    case DistPolicy::kGlobalLock: return "global_lock";
-    case DistPolicy::kPerWorker: return "per_worker";
-  }
-  return "?";
-}
-
-// ---- Distributor -----------------------------------------------------
-
-Distributor::Distributor(DistPolicy policy, int workers)
-    : policy_(policy), workers_(workers) {
-  if (policy_ == DistPolicy::kPerWorker) {
-    for (int i = 0; i < workers; ++i) {
-      per_worker_.push_back(std::make_unique<PerWorkerQ>());
-    }
-  }
-}
-
-void Distributor::push(Sandbox* sb) {
-  switch (policy_) {
-    case DistPolicy::kWorkStealing:
-      deque_.push(sb);
-      break;
-    case DistPolicy::kGlobalLock: {
-      std::lock_guard<std::mutex> lock(global_mu_);
-      global_q_.push_back(sb);
-      break;
-    }
-    case DistPolicy::kPerWorker: {
-      uint64_t idx = rr_cursor_.fetch_add(1, std::memory_order_relaxed) %
-                     static_cast<uint64_t>(workers_);
-      PerWorkerQ& q = *per_worker_[idx];
-      std::lock_guard<std::mutex> lock(q.mu);
-      q.q.push_back(sb);
-      break;
-    }
-  }
-}
-
-void Distributor::inject(Sandbox* sb) {
-  // Worker-thread-safe side entrance: the Chase–Lev owner end belongs to
-  // the listener, so children bypass it through a small mutexed queue that
-  // fetch() probes with a relaxed counter (zero-cost when unused).
-  std::lock_guard<std::mutex> lock(inject_mu_);
-  inject_q_.push_back(sb);
-  inject_count_.fetch_add(1, std::memory_order_release);
-}
-
-bool Distributor::fetch(int worker_index, Sandbox** out) {
-  if (inject_count_.load(std::memory_order_acquire) > 0) {
-    std::lock_guard<std::mutex> lock(inject_mu_);
-    if (!inject_q_.empty()) {
-      *out = inject_q_.front();
-      inject_q_.pop_front();
-      inject_count_.fetch_sub(1, std::memory_order_release);
-      return true;
-    }
-  }
-  switch (policy_) {
-    case DistPolicy::kWorkStealing:
-      return deque_.steal(out);
-    case DistPolicy::kGlobalLock: {
-      std::lock_guard<std::mutex> lock(global_mu_);
-      if (global_q_.empty()) return false;
-      *out = global_q_.front();
-      global_q_.pop_front();
-      return true;
-    }
-    case DistPolicy::kPerWorker: {
-      PerWorkerQ& q = *per_worker_[worker_index];
-      std::lock_guard<std::mutex> lock(q.mu);
-      if (q.q.empty()) return false;
-      *out = q.q.front();
-      q.q.pop_front();
-      return true;
-    }
-  }
-  return false;
-}
-
-int64_t Distributor::backlog_estimate() const {
-  int64_t injected = inject_count_.load(std::memory_order_acquire);
-  switch (policy_) {
-    case DistPolicy::kWorkStealing:
-      return injected + deque_.size_estimate();
-    case DistPolicy::kGlobalLock: {
-      std::lock_guard<std::mutex> lock(global_mu_);
-      return injected + static_cast<int64_t>(global_q_.size());
-    }
-    case DistPolicy::kPerWorker: {
-      int64_t total = injected;
-      for (const auto& q : per_worker_) {
-        std::lock_guard<std::mutex> lock(q->mu);
-        total += static_cast<int64_t>(q->q.size());
-      }
-      return total;
-    }
-  }
-  return injected;
-}
-
 // ---- Runtime ----------------------------------------------------------
 
-Runtime::Runtime(RuntimeConfig config) : config_(config) {
+Runtime::Runtime(RuntimeConfig config)
+    : config_(config), admission_(config.admission, config.max_pending) {
   if (config_.workers < 1) config_.workers = 1;
-  distributor_ =
-      std::make_unique<Distributor>(config_.policy, config_.workers);
+  dispatcher_ =
+      Dispatcher::make(config_.dispatcher, config_.policy, config_.workers);
   SandboxResourcePool::instance().configure(config_.pool);
 }
 
@@ -161,6 +59,8 @@ Status Runtime::register_module(
   loaded->name = name;
   loaded->module = mod.take();
   loaded->limits = limits;
+  total_weight_.fetch_add(limits.tenant_weight == 0 ? 1 : limits.tenant_weight,
+                          std::memory_order_acq_rel);
   modules_[name] = std::move(loaded);
   return Status::ok();
 }
@@ -168,6 +68,18 @@ Status Runtime::register_module(
 LoadedModule* Runtime::find_module(const std::string& name) {
   auto it = modules_.find(name);
   return it == modules_.end() ? nullptr : it->second.get();
+}
+
+Status Runtime::update_module_limits(const std::string& name,
+                                     const ModuleLimits& limits) {
+  LoadedModule* mod = find_module(name);
+  if (!mod) return Status::error("module '" + name + "' not registered");
+  uint64_t old_w = mod->limits.tenant_weight == 0 ? 1
+                                                  : mod->limits.tenant_weight;
+  uint64_t new_w = limits.tenant_weight == 0 ? 1 : limits.tenant_weight;
+  mod->limits = limits;
+  total_weight_.fetch_add(new_w - old_w, std::memory_order_acq_rel);
+  return Status::ok();
 }
 
 Status Runtime::start() {
@@ -193,13 +105,31 @@ Status Runtime::start() {
   }
   listener_->start();
   SLEDGE_LOG_INFO(
-      "sledge runtime on port %u (%d workers, quantum %lu us, %s, sched=%s, "
-      "pool=%s)",
+      "sledge runtime on port %u (%d workers, quantum %lu us, %s, "
+      "dispatcher=%s, sched=%s, admission=%s, pool=%s)",
       bound_port_, config_.workers,
       static_cast<unsigned long>(config_.quantum_us),
-      to_string(config_.policy), to_string(config_.sched),
+      to_string(config_.policy), to_string(config_.dispatcher),
+      to_string(config_.sched), to_string(config_.admission),
       config_.pool.enabled ? "on" : "off");
   return Status::ok();
+}
+
+AdmitVerdict Runtime::admission_check(const LoadedModule* mod) const {
+  AdmitRequest in;
+  in.inflight = inflight();
+  if (mod) {
+    in.module_inflight = mod->inflight.load(std::memory_order_acquire);
+    in.tenant_weight =
+        mod->limits.tenant_weight == 0 ? 1 : mod->limits.tenant_weight;
+    in.deadline_rel_ns = mod->limits.deadline_ns != 0 ? mod->limits.deadline_ns
+                                                      : config_.deadline_ns;
+    in.queue_wait_p99_ns = mod->stats.predictor.queue_wait_p99_ns();
+    in.exec_cpu_p99_ns = mod->stats.predictor.exec_cpu_p99_ns();
+    in.predictor_ready = mod->stats.predictor.ready();
+  }
+  in.total_weight = total_weight();
+  return admission_.check(in);
 }
 
 void Runtime::stop() {
@@ -270,15 +200,29 @@ bool Runtime::invoke_child(Sandbox* parent, const std::string& name,
   }
   // Children obey the same admission control as listener requests: a
   // draining or saturated runtime sheds the invoke instead of queueing it.
-  if (!running() || draining() || overloaded()) {
-    note_shed();
+  if (!running() || draining()) {
+    note_shed(mod);
     *err = engine::kSbErrOverload;
     return false;
+  }
+  switch (admission_check(mod)) {
+    case AdmitVerdict::kAdmit:
+      break;
+    case AdmitVerdict::kShedOverload:
+      note_shed(mod);
+      *err = engine::kSbErrOverload;
+      return false;
+    case AdmitVerdict::kShedDeadline:
+      // The child's deadline is unmeetable per the predictor; the parent
+      // sees the same overload error either way (no HTTP status here).
+      note_shed_deadline(mod);
+      *err = engine::kSbErrOverload;
+      return false;
   }
   std::unique_ptr<Sandbox> child =
       Sandbox::create(&mod->module, std::move(request));
   if (!child) {
-    note_shed();
+    note_shed(mod);
     *err = engine::kSbErrOverload;
     return false;
   }
@@ -314,8 +258,8 @@ bool Runtime::invoke_child(Sandbox* parent, const std::string& name,
         .record(child->startup_cost_ns());
   }
   invokes_.fetch_add(1, std::memory_order_relaxed);
-  note_admitted();
-  distributor_->inject(child.release());
+  note_admitted(mod);
+  dispatcher_->inject(child.release());
   notify_workers();  // the parent's own worker may be the only idle core
   return true;
 }
@@ -331,8 +275,8 @@ void Runtime::notify_workers() {
 }
 
 void Runtime::record_completion(Sandbox* sb, SandboxState final_state) {
-  note_retired();
   auto* mod = static_cast<LoadedModule*>(sb->user_tag);
+  note_retired(mod);
   if (!mod) return;
   std::lock_guard<std::mutex> lock(mod->stats.mu);
   if (final_state == SandboxState::kKilled) {
@@ -343,6 +287,9 @@ void Runtime::record_completion(Sandbox* sb, SandboxState final_state) {
   mod->stats.end_to_end.record(sb->done_ns() - sb->created_ns());
   mod->stats.queue_wait.record(sb->queue_wait_ns());
   mod->stats.exec_cpu.record(sb->cpu_ns());
+  // Feed the slack predictor (killed requests included: their truncated
+  // exec and full queue_wait are the congestion signal the gate wants).
+  mod->stats.predictor.record(sb->queue_wait_ns(), sb->cpu_ns());
   if (sb->io_wait_ns() != 0) mod->stats.io_wait.record(sb->io_wait_ns());
   mod->stats.preemptions += sb->preempt_count();
 }
@@ -365,6 +312,7 @@ void Runtime::access_log_write(const std::string& block) {
 Runtime::Totals Runtime::totals() const {
   Totals t = retired_totals_;
   t.shed += shed_.load(std::memory_order_relaxed);
+  t.shed_deadline += shed_deadline_.load(std::memory_order_relaxed);
   t.invokes += invokes_.load(std::memory_order_relaxed);
   for (const auto& w : workers_) {
     t.completed += w->stats().completed.load(std::memory_order_relaxed);
@@ -403,10 +351,17 @@ Runtime::StatsSnapshot Runtime::snapshot() const {
   for (const auto& [name, mod] : modules_) {
     ModuleSnapshot ms;
     ms.name = name;
+    ms.inflight = mod->inflight.load(std::memory_order_acquire);
+    ms.tenant_weight =
+        mod->limits.tenant_weight == 0 ? 1 : mod->limits.tenant_weight;
+    ms.predicted_queue_p99_ns = mod->stats.predictor.queue_wait_p99_ns();
+    ms.predicted_exec_p99_ns = mod->stats.predictor.exec_cpu_p99_ns();
     std::lock_guard<std::mutex> lock(mod->stats.mu);
     ms.requests = mod->stats.requests;
     ms.failures = mod->stats.failures;
     ms.kills = mod->stats.kills;
+    ms.shed = mod->stats.shed;
+    ms.shed_deadline = mod->stats.shed_deadline;
     ms.preemptions = mod->stats.preemptions;
     ms.response_bytes = mod->stats.response_bytes;
     ms.end_to_end = mod->stats.end_to_end.summary();
@@ -445,6 +400,8 @@ std::string Runtime::stats_json() const {
   json::Object root;
   root["uptime_s"] = json::Value(static_cast<double>(s.uptime_ns) / 1e9);
   root["inflight"] = json::Value(static_cast<double>(s.inflight));
+  root["dispatcher"] = json::Value(std::string(to_string(config_.dispatcher)));
+  root["admission"] = json::Value(std::string(to_string(config_.admission)));
 
   json::Object totals;
   totals["completed"] = json::Value(static_cast<double>(s.totals.completed));
@@ -452,6 +409,8 @@ std::string Runtime::stats_json() const {
   totals["killed"] = json::Value(static_cast<double>(s.totals.killed));
   totals["drained"] = json::Value(static_cast<double>(s.totals.drained));
   totals["shed"] = json::Value(static_cast<double>(s.totals.shed));
+  totals["shed_deadline"] =
+      json::Value(static_cast<double>(s.totals.shed_deadline));
   totals["preemptions"] =
       json::Value(static_cast<double>(s.totals.preemptions));
   totals["steals"] = json::Value(static_cast<double>(s.totals.steals));
@@ -485,6 +444,14 @@ std::string Runtime::stats_json() const {
     o["requests"] = json::Value(static_cast<double>(m.requests));
     o["failures"] = json::Value(static_cast<double>(m.failures));
     o["kills"] = json::Value(static_cast<double>(m.kills));
+    o["shed"] = json::Value(static_cast<double>(m.shed));
+    o["shed_deadline"] = json::Value(static_cast<double>(m.shed_deadline));
+    o["inflight"] = json::Value(static_cast<double>(m.inflight));
+    o["tenant_weight"] = json::Value(static_cast<double>(m.tenant_weight));
+    o["predicted_queue_p99_ns"] =
+        json::Value(static_cast<double>(m.predicted_queue_p99_ns));
+    o["predicted_exec_p99_ns"] =
+        json::Value(static_cast<double>(m.predicted_exec_p99_ns));
     o["preemptions"] = json::Value(static_cast<double>(m.preemptions));
     o["response_bytes"] =
         json::Value(static_cast<double>(m.response_bytes));
@@ -526,6 +493,7 @@ std::string Runtime::stats_prometheus() const {
       {"sledge_killed_total", s.totals.killed},
       {"sledge_drained_total", s.totals.drained},
       {"sledge_shed_total", s.totals.shed},
+      {"sledge_shed_deadline_total", s.totals.shed_deadline},
       {"sledge_preemptions_total", s.totals.preemptions},
       {"sledge_steals_total", s.totals.steals},
       {"sledge_pool_hits_total", s.totals.pool_hits},
@@ -547,6 +515,8 @@ std::string Runtime::stats_prometheus() const {
       {"sledge_requests_total", &ModuleSnapshot::requests},
       {"sledge_failures_total", &ModuleSnapshot::failures},
       {"sledge_kills_total", &ModuleSnapshot::kills},
+      {"sledge_module_shed_total", &ModuleSnapshot::shed},
+      {"sledge_module_shed_deadline_total", &ModuleSnapshot::shed_deadline},
       {"sledge_module_preemptions_total", &ModuleSnapshot::preemptions},
       {"sledge_response_bytes_total", &ModuleSnapshot::response_bytes},
   };
@@ -597,19 +567,22 @@ std::string Runtime::stats_report() const {
   Totals t = totals();
   std::snprintf(buf, sizeof(buf),
                 "runtime: completed=%llu failed=%llu killed=%llu "
-                "drained=%llu shed=%llu preemptions=%llu steals=%llu "
-                "blocked=%llu woken=%llu invokes=%llu (sched=%s)\n",
+                "drained=%llu shed=%llu shed_deadline=%llu preemptions=%llu "
+                "steals=%llu blocked=%llu woken=%llu invokes=%llu "
+                "(dispatcher=%s sched=%s admission=%s)\n",
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.failed),
                 static_cast<unsigned long long>(t.killed),
                 static_cast<unsigned long long>(t.drained),
                 static_cast<unsigned long long>(t.shed),
+                static_cast<unsigned long long>(t.shed_deadline),
                 static_cast<unsigned long long>(t.preemptions),
                 static_cast<unsigned long long>(t.steals),
                 static_cast<unsigned long long>(t.blocked),
                 static_cast<unsigned long long>(t.woken),
                 static_cast<unsigned long long>(t.invokes),
-                to_string(config_.sched));
+                to_string(config_.dispatcher), to_string(config_.sched),
+                to_string(config_.admission));
   out += buf;
 
   const SandboxResourcePool::Counters pc =

@@ -20,7 +20,8 @@
 #include "common/histogram.hpp"
 #include "common/status.hpp"
 #include "engine/engine.hpp"
-#include "sledge/deque.hpp"
+#include "sledge/admission.hpp"
+#include "sledge/dispatcher.hpp"
 #include "sledge/resource_pool.hpp"
 #include "sledge/sandbox.hpp"
 #include "sledge/scheduler_policy.hpp"
@@ -30,21 +31,16 @@ namespace sledge::runtime {
 class Worker;
 class Listener;
 
-// Work-distribution policy (the queue ablation of DESIGN.md):
-//   kWorkStealing — lock-free global Chase–Lev deque (the paper's design)
-//   kGlobalLock   — one mutex-protected FIFO (work-conserving, not scalable)
-//   kPerWorker    — per-worker mutex FIFOs, round-robin assignment, no
-//                   stealing (scalable, not work-conserving)
-enum class DistPolicy : uint8_t { kWorkStealing, kGlobalLock, kPerWorker };
-
-const char* to_string(DistPolicy p);
-
 struct RuntimeConfig {
   uint16_t port = 0;  // 0 = pick a free port (see Runtime::bound_port)
   int workers = 3;
   uint64_t quantum_us = 5000;  // paper's 5 ms time slice
   bool preemption = true;      // false = cooperative-only (ablation)
   DistPolicy policy = DistPolicy::kWorkStealing;
+  // Dispatcher layer above the Distributor: how admitted sandboxes are
+  // handed out across workers (work_stealing keeps `policy`'s queue
+  // ablation; global_edf and sharded_module replace it).
+  DispatchPolicy dispatcher = DispatchPolicy::kWorkStealing;
   // Per-worker scheduling policy over the local runnable set (the
   // cross-worker handoff above stays as configured by `policy`).
   SchedPolicy sched = SchedPolicy::kRoundRobin;
@@ -63,6 +59,10 @@ struct RuntimeConfig {
   // Admission control: when > 0, new requests are shed with 503 once this
   // many sandboxes are in flight (queued + running + blocked).
   int64_t max_pending = 0;
+  // Admission policy: kQueueDepth sheds purely on the cap above;
+  // kExpectedSlack adds the predicted-slack gate (503/504-early from live
+  // per-module p99s) and per-tenant weighted fair shares of max_pending.
+  AdmissionPolicy admission = AdmissionPolicy::kQueueDepth;
   // stop() drains in-flight sandboxes for at most this long before
   // abandoning them.
   uint64_t drain_grace_ns = 2'000'000'000;
@@ -90,6 +90,9 @@ struct RuntimeConfig {
 struct ModuleLimits {
   uint64_t execution_budget_ns = 0;
   uint64_t deadline_ns = 0;
+  // Weighted fair share of the admission window (admission = slack only);
+  // 0 inherits the default weight of 1.
+  uint32_t tenant_weight = 0;
 };
 
 struct ModuleStats {
@@ -97,6 +100,8 @@ struct ModuleStats {
   uint64_t requests = 0;
   uint64_t failures = 0;
   uint64_t kills = 0;  // deadline/budget terminations (504s)
+  uint64_t shed = 0;   // admission 503s (depth / fair share / queue slack)
+  uint64_t shed_deadline = 0;  // admission 504-earlys (unmeetable deadline)
   uint64_t preemptions = 0;       // quantum expiries across all requests
   uint64_t response_bytes = 0;    // HTTP bytes written (incl. headers)
   LatencyHistogram end_to_end;  // sandbox creation -> completion
@@ -114,6 +119,9 @@ struct ModuleStats {
   // Wall time spent blocked on I/O wake conditions (outbound sockets,
   // sleeps, child invocations) — the overlap the event loop buys.
   LatencyHistogram io_wait;
+  // Sliding-window queue_wait/exec_cpu p99 predictor feeding expected-slack
+  // admission (record() under `mu`; reads are lock-free).
+  SlackPredictor predictor;
 };
 
 struct LoadedModule {
@@ -121,36 +129,9 @@ struct LoadedModule {
   engine::WasmModule module;
   ModuleLimits limits;
   ModuleStats stats;
-};
-
-// Work distribution with swappable policy. push() is listener-only for
-// kWorkStealing (single deque owner); fetch() is called by workers.
-// inject() is the any-thread side entrance (sb_invoke children are admitted
-// from worker threads, which must not touch the Chase–Lev owner end).
-class Distributor {
- public:
-  Distributor(DistPolicy policy, int workers);
-
-  void push(Sandbox* sb);
-  void inject(Sandbox* sb);
-  bool fetch(int worker_index, Sandbox** out);
-  int64_t backlog_estimate() const;
-
- private:
-  DistPolicy policy_;
-  int workers_;
-  WorkStealingDeque<Sandbox*> deque_;
-  mutable std::mutex global_mu_;
-  std::deque<Sandbox*> global_q_;
-  mutable std::mutex inject_mu_;
-  std::deque<Sandbox*> inject_q_;
-  std::atomic<int64_t> inject_count_{0};  // lock-free emptiness probe
-  struct PerWorkerQ {
-    std::mutex mu;
-    std::deque<Sandbox*> q;
-  };
-  std::vector<std::unique_ptr<PerWorkerQ>> per_worker_;
-  std::atomic<uint64_t> rr_cursor_{0};
+  // In-flight slots this module holds (admitted, not yet retired) — the
+  // fair-share accounting input. Touched by listener and workers.
+  std::atomic<int64_t> inflight{0};
 };
 
 class Runtime : public InvokeBroker {
@@ -184,9 +165,15 @@ class Runtime : public InvokeBroker {
 
   uint16_t bound_port() const { return bound_port_; }
   LoadedModule* find_module(const std::string& name);
+  // Replaces a registered module's limit overrides (deadline, budget,
+  // tenant weight). Quiescent-use only: callers must ensure no request for
+  // the module is in flight (tests warm the slack predictor under one set
+  // of limits, then tighten the deadline).
+  Status update_module_limits(const std::string& name,
+                              const ModuleLimits& limits);
 
   const RuntimeConfig& config() const { return config_; }
-  Distributor& distributor() { return *distributor_; }
+  Dispatcher& dispatcher() { return *dispatcher_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
   // True while stop() is letting in-flight sandboxes finish; the listener
   // sheds new requests with 503 and workers exit once dry.
@@ -225,10 +212,40 @@ class Runtime : public InvokeBroker {
   // the hot path; a single O_APPEND write keeps lines whole).
   void access_log_write(const std::string& block);
 
+  // ---- Admission control ----
+  // The full admit decision for one request of `mod` (global depth, fair
+  // share, expected slack). Listener thread and worker threads (children).
+  AdmitVerdict admission_check(const LoadedModule* mod) const;
+  const AdmissionController& admission() const { return admission_; }
+  // Sum of tenant weights over registered modules (fair-share denominator).
+  uint64_t total_weight() const {
+    return total_weight_.load(std::memory_order_acquire);
+  }
+
   // ---- In-flight accounting (admission control + graceful drain) ----
-  void note_admitted() { inflight_.fetch_add(1, std::memory_order_acq_rel); }
-  void note_retired() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
-  void note_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_admitted(LoadedModule* mod) {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (mod) mod->inflight.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void note_retired(LoadedModule* mod) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (mod) mod->inflight.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  void note_shed(LoadedModule* mod) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (mod) {
+      std::lock_guard<std::mutex> lock(mod->stats.mu);
+      ++mod->stats.shed;
+    }
+  }
+  // 504-early: deadline unmeetable per the predictor; no sandbox was built.
+  void note_shed_deadline(LoadedModule* mod) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    if (mod) {
+      std::lock_guard<std::mutex> lock(mod->stats.mu);
+      ++mod->stats.shed_deadline;
+    }
+  }
   void note_write_queued() {
     pending_writes_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -249,6 +266,7 @@ class Runtime : public InvokeBroker {
     uint64_t killed = 0;   // deadline/budget terminations (504)
     uint64_t drained = 0;  // abandoned at shutdown after the grace period
     uint64_t shed = 0;     // rejected with 503 (overload or draining)
+    uint64_t shed_deadline = 0;  // rejected 504-early (slack admission)
     uint64_t preemptions = 0;
     uint64_t steals = 0;
     uint64_t pool_hits = 0;    // warm starts (all resources pooled)
@@ -270,8 +288,15 @@ class Runtime : public InvokeBroker {
     uint64_t requests = 0;
     uint64_t failures = 0;
     uint64_t kills = 0;
+    uint64_t shed = 0;
+    uint64_t shed_deadline = 0;
     uint64_t preemptions = 0;
     uint64_t response_bytes = 0;
+    int64_t inflight = 0;
+    uint32_t tenant_weight = 1;
+    // Live predictor state (what the admission gate sees).
+    uint64_t predicted_queue_p99_ns = 0;
+    uint64_t predicted_exec_p99_ns = 0;
     LatencyHistogram::Summary end_to_end;
     LatencyHistogram::Summary startup;
     LatencyHistogram::Summary startup_pooled;
@@ -314,7 +339,8 @@ class Runtime : public InvokeBroker {
 
   RuntimeConfig config_;
   std::map<std::string, std::unique_ptr<LoadedModule>> modules_;
-  std::unique_ptr<Distributor> distributor_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  AdmissionController admission_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Listener> listener_;
   std::atomic<bool> running_{false};
@@ -322,6 +348,8 @@ class Runtime : public InvokeBroker {
   std::atomic<int64_t> inflight_{0};       // admitted, not yet retired
   std::atomic<int64_t> pending_writes_{0}; // responses not yet flushed
   std::atomic<uint64_t> shed_{0};          // 503s (overload / draining)
+  std::atomic<uint64_t> shed_deadline_{0}; // 504-earlys (slack admission)
+  std::atomic<uint64_t> total_weight_{0};  // sum of module tenant weights
   std::atomic<uint64_t> invokes_{0};       // sb_invoke children admitted
   uint16_t bound_port_ = 0;
   uint64_t start_ns_ = 0;  // stamped by start(); uptime anchor

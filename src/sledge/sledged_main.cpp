@@ -9,7 +9,9 @@
 //   "quantum_us": 5000,
 //   "preemption": true,
 //   "policy": "work_stealing",   // | "global_lock" | "per_worker"
+//   "dispatcher": "work_stealing",  // | "global_edf" | "sharded_module"
 //   "scheduler": "round_robin",  // | "fifo" (run-to-completion) | "edf"
+//   "admission": "depth",        // | "slack" (expected-slack + fair shares)
 //   "pool": true,                // sandbox resource pool (warm startup)
 //   "pool_per_thread": 8,        // free-list entries kept per thread
 //   "pool_global": 64,           // global overflow cap / reclaim watermark
@@ -26,7 +28,8 @@
 //   "modules": [
 //     {"name": "fib", "wasm": "path/to/fib.wasm"},
 //     {"name": "ekf", "minicc": "src/apps/wasm_src/ekf.mc",
-//      "budget_us": 50000, "deadline_us": 200000}   // per-module overrides
+//      "budget_us": 50000, "deadline_us": 200000,   // per-module overrides
+//      "tenant_weight": 2}   // fair-share weight (admission = "slack")
 //   ]
 // }
 //
@@ -78,6 +81,28 @@ Result<runtime::RuntimeConfig> parse_config(const json::Value& doc) {
     cfg.policy = runtime::DistPolicy::kWorkStealing;
   } else {
     return Result<runtime::RuntimeConfig>::error("unknown policy: " + policy);
+  }
+
+  const std::string& dispatcher = doc["dispatcher"].as_string();
+  if (dispatcher == "global_edf") {
+    cfg.dispatcher = runtime::DispatchPolicy::kGlobalEdf;
+  } else if (dispatcher == "sharded_module") {
+    cfg.dispatcher = runtime::DispatchPolicy::kShardedByModule;
+  } else if (dispatcher.empty() || dispatcher == "work_stealing") {
+    cfg.dispatcher = runtime::DispatchPolicy::kWorkStealing;
+  } else {
+    return Result<runtime::RuntimeConfig>::error("unknown dispatcher: " +
+                                                 dispatcher);
+  }
+
+  const std::string& admission = doc["admission"].as_string();
+  if (admission == "slack") {
+    cfg.admission = runtime::AdmissionPolicy::kExpectedSlack;
+  } else if (admission.empty() || admission == "depth") {
+    cfg.admission = runtime::AdmissionPolicy::kQueueDepth;
+  } else {
+    return Result<runtime::RuntimeConfig>::error("unknown admission: " +
+                                                 admission);
   }
 
   const std::string& sched = doc["scheduler"].as_string();
@@ -191,6 +216,8 @@ int main(int argc, char** argv) {
         static_cast<uint64_t>(module["budget_us"].as_int(0)) * 1000;
     limits.deadline_ns =
         static_cast<uint64_t>(module["deadline_us"].as_int(0)) * 1000;
+    limits.tenant_weight =
+        static_cast<uint32_t>(module["tenant_weight"].as_int(0));
     Status s = rt.register_module(name, wasm_bytes, limits);
     if (!s.is_ok()) {
       std::fprintf(stderr, "%s\n", s.message().c_str());

@@ -180,7 +180,7 @@ void Worker::thread_main() {
     // Draining and dry (a few re-checks absorb racy failed steals): this
     // worker's part of the graceful stop is done.
     if (rt_->draining() && io_loop_.empty() && writes_.empty() &&
-        rt_->distributor().backlog_estimate() == 0) {
+        rt_->dispatcher().backlog_estimate() == 0) {
       if (++dry_rounds > 16) break;
       continue;
     }
@@ -202,7 +202,7 @@ void Worker::thread_main() {
   // Anything left after the drain grace period is abandoned: connections
   // die with the process lifetime.
   Sandbox* sb = nullptr;
-  while (rt_->distributor().fetch(index_, &sb)) abandon(sb);
+  while (rt_->dispatcher().fetch(index_, &sb)) abandon(sb);
   while (Sandbox* s = policy_->pick_next()) abandon(s);
   std::vector<Sandbox*> blocked;
   io_loop_.drain_all(&blocked);
@@ -226,7 +226,7 @@ Sandbox* Worker::next_sandbox() {
   // long-running preempted ones; EDF drains everything available so the
   // deadline comparison sees the full candidate set.
   Sandbox* stolen = nullptr;
-  while (rt_->distributor().fetch(index_, &stolen)) {
+  while (rt_->dispatcher().fetch(index_, &stolen)) {
     stats_.steals.fetch_add(1, std::memory_order_relaxed);
     policy_->enqueue(stolen);
     if (!policy_->admit_eagerly()) break;
@@ -276,7 +276,7 @@ void Worker::dispatch(Sandbox* sb) {
       break;
     default:
       SLEDGE_LOG_ERROR("worker %d: sandbox in unexpected state", index_);
-      rt_->note_retired();
+      rt_->note_retired(static_cast<LoadedModule*>(sb->user_tag));
       delete sb;
       break;
   }
@@ -350,7 +350,7 @@ void Worker::finalize(Sandbox* sb) {
 
 void Worker::abandon(Sandbox* sb) {
   stats_.drained.fetch_add(1, std::memory_order_relaxed);
-  rt_->note_retired();
+  rt_->note_retired(static_cast<LoadedModule*>(sb->user_tag));
   signal_join(sb, engine::kSbErrChildFailed, /*take_response=*/false);
   if (sb->conn_fd() >= 0) {
     rt_->forget_connection(sb->conn_fd());

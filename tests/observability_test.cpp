@@ -97,6 +97,33 @@ bool recv_response(int fd, int* status, std::string* body,
   }
 }
 
+// Like recv_response, but also hands back the raw header block so tests can
+// assert on control-path headers (Retry-After, Connection).
+bool recv_response_headers(int fd, int* status, std::string* headers,
+                           std::string* body, std::string* carry) {
+  std::string& buf = *carry;
+  char chunk[4096];
+  for (;;) {
+    size_t header_end = buf.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      if (::sscanf(buf.c_str(), "HTTP/1.1 %d", status) != 1) return false;
+      size_t cl = buf.find("Content-Length:");
+      if (cl == std::string::npos || cl > header_end) return false;
+      size_t content_len = std::strtoul(buf.c_str() + cl + 15, nullptr, 10);
+      size_t body_start = header_end + 4;
+      if (buf.size() >= body_start + content_len) {
+        *headers = buf.substr(0, header_end);
+        *body = buf.substr(body_start, content_len);
+        buf.erase(0, body_start + content_len);
+        return true;
+      }
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
 json::Value scrape_json(uint16_t port, const char* path = "/admin/stats") {
   auto body = loadgen::http_get("127.0.0.1", port, path);
   EXPECT_TRUE(body.ok()) << body.error_message();
@@ -418,6 +445,111 @@ TEST(ObservabilityTest, SlowReaderReceivesEvery503Intact) {
   ::close(fd);
   rt.stop();
   EXPECT_EQ(rt.totals().shed, static_cast<uint64_t>(kRequests));
+}
+
+// ---- Retry-After on admission rejections (overload vs. drain) ----
+
+// An overload 503 tells the client the condition is transient: it carries
+// "Retry-After: 1" and keeps the connection alive, so the SAME socket can
+// retry successfully once the backlog clears.
+TEST(ObservabilityTest, Overload503CarriesRetryAfterAndKeepsConnection) {
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.max_pending = 1;
+  Runtime rt(cfg);
+  const char* kSleep60Src = R"(
+char out[1];
+int main() { sleep_ms(60); out[0] = 122; resp_write(out, 1); return 0; }
+)";
+  ASSERT_TRUE(rt.register_module("sleep", compile(kSleep60Src)).is_ok());
+  ASSERT_TRUE(rt.register_module("ping", compile(kPingSrc)).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  // Connection A occupies the single admission slot with a blocked sandbox.
+  int fd_a = raw_connect(rt.bound_port());
+  ASSERT_TRUE(send_all(
+      fd_a, http::serialize_request("POST", "/sleep", {}, true)));
+  bool saturated = false;
+  for (int i = 0; i < 500 && !saturated; ++i) {
+    saturated = rt.inflight() >= 1;
+    if (!saturated) ::usleep(1'000);
+  }
+  ASSERT_TRUE(saturated);
+
+  // Connection B is shed: 503 + Retry-After: 1, connection kept alive.
+  int fd_b = raw_connect(rt.bound_port());
+  ASSERT_TRUE(
+      send_all(fd_b, http::serialize_request("POST", "/ping", {}, true)));
+  int status = 0;
+  std::string headers, body, carry_b;
+  ASSERT_TRUE(recv_response_headers(fd_b, &status, &headers, &body, &carry_b));
+  EXPECT_EQ(status, 503);
+  EXPECT_NE(headers.find("Retry-After: 1"), std::string::npos) << headers;
+  EXPECT_NE(headers.find("Connection: keep-alive"), std::string::npos)
+      << headers;
+
+  // Drain connection A (the sleeper finishes), then retry on the SAME
+  // socket B: the keep-alive promise must be real.
+  std::string carry_a;
+  ASSERT_TRUE(recv_response_headers(fd_a, &status, &headers, &body, &carry_a));
+  EXPECT_EQ(status, 200);
+  ASSERT_TRUE(
+      send_all(fd_b, http::serialize_request("POST", "/ping", {}, true)));
+  ASSERT_TRUE(recv_response_headers(fd_b, &status, &headers, &body, &carry_b));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "p");
+
+  ::close(fd_a);
+  ::close(fd_b);
+  rt.stop();
+  EXPECT_EQ(rt.totals().shed, 1u);
+}
+
+// A drain 503 is a different condition: the server is going away for the
+// drain-grace window, so it advertises the longer "Retry-After: 5" —
+// clients can distinguish "back off briefly" from "find another replica".
+TEST(ObservabilityTest, Drain503CarriesLongerRetryAfter) {
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  Runtime rt(cfg);
+  const char* kSleep100Src = R"(
+char out[1];
+int main() { sleep_ms(100); out[0] = 122; resp_write(out, 1); return 0; }
+)";
+  ASSERT_TRUE(rt.register_module("sleep", compile(kSleep100Src)).is_ok());
+  ASSERT_TRUE(rt.register_module("ping", compile(kPingSrc)).is_ok());
+  ASSERT_TRUE(rt.start().is_ok());
+
+  // Keep one request in flight so stop() has something to drain, giving us
+  // a window in which the listener is up but shedding.
+  int fd_a = raw_connect(rt.bound_port());
+  ASSERT_TRUE(send_all(
+      fd_a, http::serialize_request("POST", "/sleep", {}, true)));
+  for (int i = 0; i < 500 && rt.inflight() < 1; ++i) ::usleep(1'000);
+  ASSERT_GE(rt.inflight(), 1);
+
+  // Connect BEFORE the drain starts (accept behavior during drain is not
+  // the contract under test), then wait for the draining flag.
+  int fd_b = raw_connect(rt.bound_port());
+  std::thread stopper([&] { rt.stop(); });
+  for (int i = 0; i < 500 && !rt.draining(); ++i) ::usleep(1'000);
+  ASSERT_TRUE(rt.draining());
+
+  ASSERT_TRUE(
+      send_all(fd_b, http::serialize_request("POST", "/ping", {}, true)));
+  int status = 0;
+  std::string headers, body, carry;
+  ASSERT_TRUE(recv_response_headers(fd_b, &status, &headers, &body, &carry));
+  EXPECT_EQ(status, 503);
+  EXPECT_NE(headers.find("Retry-After: 5"), std::string::npos) << headers;
+  EXPECT_NE(headers.find("Connection: keep-alive"), std::string::npos)
+      << headers;
+
+  stopper.join();
+  ::close(fd_a);
+  ::close(fd_b);
+  EXPECT_EQ(rt.totals().shed, 1u);
+  EXPECT_EQ(rt.totals().completed, 1u);  // the sleeper drained cleanly
 }
 
 // ---- Histogram percentile cache (sort once per snapshot) ----

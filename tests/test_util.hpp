@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "engine/engine.hpp"
 #include "sledge/sandbox.hpp"
 
@@ -44,6 +45,31 @@ int main() {
 )",
                 iters);
   return std::string(buf);
+}
+
+// One step of a deterministic arrival script: wait `gap_us`, then issue a
+// request against module index `module`. Scripts are generated from a seed
+// so dispatcher/admission tests replay the exact same interleaved workload
+// on every run (and across dispatcher×scheduler parameterizations).
+struct Arrival {
+  int module = 0;
+  uint64_t gap_us = 0;
+};
+
+inline std::vector<Arrival> arrival_script(uint64_t seed, size_t count,
+                                           int modules,
+                                           uint64_t max_gap_us) {
+  Rng rng(seed);
+  std::vector<Arrival> script;
+  script.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Arrival a;
+    a.module = static_cast<int>(rng.below(static_cast<uint32_t>(
+        modules < 1 ? 1 : modules)));
+    a.gap_us = rng.below(static_cast<uint32_t>(max_gap_us + 1));
+    script.push_back(a);
+  }
+  return script;
 }
 
 // Scoped fault injection into the sandbox allocation path: while alive,
