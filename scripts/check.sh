@@ -16,6 +16,9 @@ ctest --preset default -j "$(nproc)"
 echo "== quick preset =="
 ctest --preset quick -j "$(nproc)"
 
+echo "== listener saturation bench (smoke) =="
+./build/bench/bench_ping_concurrency --smoke
+
 echo "== asan: configure + build + sanitizer-safe tests =="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
@@ -29,5 +32,9 @@ ctest --preset tsan-io -j "$(nproc)"
 echo "== tsan: dispatcher/admission soak (concurrent push/inject/fetch) =="
 cmake --build --preset tsan -j "$(nproc)" --target admission_test
 ctest --preset tsan-dispatch -j "$(nproc)"
+
+echo "== tsan: multi-shard listener soak (REUSEPORT shards + stats plane) =="
+cmake --build --preset tsan -j "$(nproc)" --target listener_soak_test http_test
+ctest --preset tsan-listener -j "$(nproc)"
 
 echo "== all checks passed =="

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdlib>
 
 namespace sledge::http {
 
@@ -21,12 +20,39 @@ std::string trim(const std::string& s) {
   return s.substr(a, b - a + 1);
 }
 
+// Strict Content-Length: non-empty, every byte a digit (no sign, no
+// whitespace, no trailing junk), no overflow. strtoull was too lax — it
+// accepted "", "  5", "+5" and "-1" (the latter wrapping past any cap).
+bool parse_content_length(const std::string& value, uint64_t* out) {
+  if (value.empty()) return false;
+  uint64_t v = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;  // overflow
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
 }  // namespace
 
 void RequestParser::reset() {
   state_ = State::kHeaders;
   header_buf_.clear();
   body_expected_ = 0;
+  chunked_ = false;
+  chunk_line_.clear();
+  chunk_left_ = 0;
+  chunked_consumed_ = 0;
   req_ = Request{};
   error_.clear();
 }
@@ -52,11 +78,31 @@ int RequestParser::feed(const uint8_t* data, size_t len) {
     header_buf_.resize(header_total);
     if (!parse_header_block()) return -1;
 
+    auto te = req_.headers.find("transfer-encoding");
+    if (te != req_.headers.end()) {
+      std::string coding = to_lower(trim(te->second));
+      if (coding == "chunked") {
+        // Framed-and-discarded: walk the chunk framing to find the request
+        // boundary so pipelined successors stay parseable, but keep no
+        // body. Content-Length, if also present, is ignored (RFC 7230:
+        // Transfer-Encoding wins; honoring both is a smuggling vector).
+        chunked_ = true;
+        state_ = State::kChunkSize;
+        int used = feed_chunked(data + consumed, len - consumed);
+        if (used < 0) return -1;
+        return static_cast<int>(consumed) + used;
+      }
+      if (coding != "identity") {
+        return fail("unsupported transfer-encoding: " + coding);
+      }
+    }
+
     auto it = req_.headers.find("content-length");
     if (it != req_.headers.end()) {
-      char* endp = nullptr;
-      unsigned long long v = std::strtoull(it->second.c_str(), &endp, 10);
-      if (!endp || *endp != '\0') return fail("bad content-length");
+      uint64_t v = 0;
+      if (!parse_content_length(it->second, &v)) {
+        return fail("bad content-length");
+      }
       if (v > kMaxBodyBytes) return fail("body too large");
       body_expected_ = static_cast<size_t>(v);
     }
@@ -76,9 +122,106 @@ int RequestParser::feed(const uint8_t* data, size_t len) {
     req_.body.insert(req_.body.end(), data, data + take);
     consumed += take;
     if (req_.body.size() == body_expected_) state_ = State::kDone;
+    return static_cast<int>(consumed);
+  }
+
+  if (state_ == State::kChunkSize || state_ == State::kChunkData ||
+      state_ == State::kChunkDataEnd || state_ == State::kChunkTrailer) {
+    int used = feed_chunked(data, len);
+    if (used < 0) return -1;
+    return static_cast<int>(consumed) + used;
   }
 
   return static_cast<int>(consumed);
+}
+
+int RequestParser::feed_chunked(const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    if (chunked_consumed_ > kMaxBodyBytes) {
+      return fail("chunked body too large");
+    }
+    switch (state_) {
+      case State::kChunkSize: {
+        char c = static_cast<char>(data[off++]);
+        ++chunked_consumed_;
+        if (c == '\n') {
+          // Line complete (tolerate a bare LF; strip the CR if present).
+          if (!chunk_line_.empty() && chunk_line_.back() == '\r') {
+            chunk_line_.pop_back();
+          }
+          size_t semi = chunk_line_.find(';');  // drop chunk extensions
+          std::string digits = trim(chunk_line_.substr(0, semi));
+          chunk_line_.clear();
+          if (digits.empty()) return fail("empty chunk size");
+          uint64_t size = 0;
+          for (char d : digits) {
+            int h = hex_digit(d);
+            if (h < 0) return fail("bad chunk size");
+            if (size > (UINT64_MAX - static_cast<uint64_t>(h)) / 16) {
+              return fail("chunk size overflow");
+            }
+            size = size * 16 + static_cast<uint64_t>(h);
+          }
+          if (size > kMaxBodyBytes) return fail("chunked body too large");
+          if (size == 0) {
+            state_ = State::kChunkTrailer;
+          } else {
+            chunk_left_ = static_cast<size_t>(size);
+            state_ = State::kChunkData;
+          }
+        } else {
+          chunk_line_.push_back(c);
+          if (chunk_line_.size() > 128) return fail("chunk size line too long");
+        }
+        break;
+      }
+      case State::kChunkData: {
+        size_t take = std::min(len - off, chunk_left_);
+        off += take;  // payload is discarded, not stored
+        chunked_consumed_ += take;
+        chunk_left_ -= take;
+        if (chunk_left_ == 0) state_ = State::kChunkDataEnd;
+        break;
+      }
+      case State::kChunkDataEnd: {
+        // The CRLF closing the chunk payload. Accept CR then LF; a bare LF
+        // also terminates (same tolerance as the size line).
+        char c = static_cast<char>(data[off++]);
+        ++chunked_consumed_;
+        if (c == '\r') break;  // stay: LF must follow
+        if (c == '\n') {
+          state_ = State::kChunkSize;
+          break;
+        }
+        return fail("bad chunk terminator");
+      }
+      case State::kChunkTrailer: {
+        char c = static_cast<char>(data[off++]);
+        ++chunked_consumed_;
+        if (c == '\n') {
+          if (!chunk_line_.empty() && chunk_line_.back() == '\r') {
+            chunk_line_.pop_back();
+          }
+          bool blank = chunk_line_.empty();
+          chunk_line_.clear();
+          if (blank) {
+            state_ = State::kDone;  // end of trailers = end of request
+            return static_cast<int>(off);
+          }
+        } else {
+          chunk_line_.push_back(c);
+          if (chunk_line_.size() > kMaxHeaderBytes) {
+            return fail("chunk trailer too long");
+          }
+        }
+        break;
+      }
+      default:
+        return static_cast<int>(off);
+    }
+  }
+  return static_cast<int>(off);
 }
 
 bool RequestParser::parse_header_block() {
@@ -122,9 +265,31 @@ bool RequestParser::parse_header_block() {
       fail("empty header name");
       return false;
     }
+    if (key == "content-length") {
+      // Duplicate Content-Length headers with distinct values are a request
+      // smuggling vector; the old map insert silently kept the last one.
+      auto prev = req_.headers.find(key);
+      if (prev != req_.headers.end() && prev->second != value) {
+        fail("conflicting content-length headers");
+        return false;
+      }
+    }
     req_.headers[key] = value;
   }
   return true;
+}
+
+std::string serialize_response_header(int status, const std::string& reason,
+                                      size_t body_len, bool keep_alive,
+                                      const std::string& content_type,
+                                      const std::string& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body_len) +
+                    "\r\nConnection: " +
+                    (keep_alive ? "keep-alive" : "close") + "\r\n" +
+                    extra_headers + "\r\n";
+  return out;
 }
 
 std::string serialize_response(int status, const std::string& reason,
@@ -132,13 +297,12 @@ std::string serialize_response(int status, const std::string& reason,
                                bool keep_alive,
                                const std::string& content_type,
                                const std::string& extra_headers) {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
-                    "\r\nContent-Type: " + content_type +
-                    "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: " +
-                    (keep_alive ? "keep-alive" : "close") + "\r\n" +
-                    extra_headers + "\r\n";
-  out.append(reinterpret_cast<const char*>(body.data()), body.size());
+  std::string out = serialize_response_header(status, reason, body.size(),
+                                              keep_alive, content_type,
+                                              extra_headers);
+  if (!body.empty()) {
+    out.append(reinterpret_cast<const char*>(body.data()), body.size());
+  }
   return out;
 }
 

@@ -1,8 +1,10 @@
 // Minimal HTTP/1.1 machinery for the Sledge listener and the procfaas
 // baseline: an incremental request parser (byte stream in, request out —
 // resilient to arbitrary TCP segmentation) and a response serializer.
-// POST bodies are delimited by Content-Length; chunked encoding is not
-// needed by either the paper's workloads or our load generator.
+// POST bodies are delimited by Content-Length. `Transfer-Encoding:
+// chunked` bodies are framed-and-discarded (the request is flagged so the
+// server can answer 501 while keeping the connection in sync for the next
+// pipelined request); any other transfer coding is a hard parse error.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +46,12 @@ class RequestParser {
   bool failed() const { return state_ == State::kError; }
   const std::string& error() const { return error_; }
 
+  // True once done() for a request that declared `Transfer-Encoding:
+  // chunked`. The chunk framing has been consumed (body discarded) so the
+  // byte stream is positioned at the next request boundary; the server
+  // answers 501 Not Implemented and may keep the connection alive.
+  bool chunked() const { return chunked_; }
+
   Request& request() { return req_; }
   void reset();
 
@@ -51,7 +59,16 @@ class RequestParser {
   static constexpr size_t kMaxBodyBytes = 16 * 1024 * 1024;
 
  private:
-  enum class State { kHeaders, kBody, kDone, kError };
+  enum class State {
+    kHeaders,
+    kBody,
+    kChunkSize,     // reading "<hex-size>[;ext]\r\n"
+    kChunkData,     // discarding `chunk_left_` payload bytes
+    kChunkDataEnd,  // consuming the CRLF that closes a chunk
+    kChunkTrailer,  // trailer lines after the 0-size chunk, until CRLF CRLF
+    kDone,
+    kError,
+  };
 
   int fail(const std::string& msg) {
     state_ = State::kError;
@@ -59,18 +76,35 @@ class RequestParser {
     return -1;
   }
   bool parse_header_block();
+  // Advances the chunked-framing state machine over data[0..len); returns
+  // bytes consumed or -1 (malformed framing / body cap exceeded).
+  int feed_chunked(const uint8_t* data, size_t len);
 
   State state_ = State::kHeaders;
   std::string header_buf_;
   size_t body_expected_ = 0;
+  bool chunked_ = false;
+  std::string chunk_line_;     // accumulating size/trailer line
+  size_t chunk_left_ = 0;      // payload bytes left in the current chunk
+  size_t chunked_consumed_ = 0;  // total framed bytes (kMaxBodyBytes cap)
   Request req_;
   std::string error_;
 };
 
-// Serializes a response with Content-Length and Connection headers.
+// Serializes just the status line + headers (terminated by the blank line)
+// for a response whose body is `body_len` bytes. The body is sent
+// separately (writev of header + body iovecs — no concatenation copy).
 // `extra_headers` is a pre-formatted header block appended verbatim before
 // the terminating blank line; each header must end with "\r\n"
 // (e.g. "Retry-After: 1\r\n").
+std::string serialize_response_header(int status, const std::string& reason,
+                                      size_t body_len, bool keep_alive,
+                                      const std::string& content_type =
+                                          "application/octet-stream",
+                                      const std::string& extra_headers = "");
+
+// Serializes a full response (header + body in one string). Convenience
+// wrapper over serialize_response_header for tests and non-hot paths.
 std::string serialize_response(int status, const std::string& reason,
                                const std::vector<uint8_t>& body,
                                bool keep_alive,

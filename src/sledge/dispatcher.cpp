@@ -34,22 +34,31 @@ Distributor::Distributor(DistPolicy policy, int workers)
   }
 }
 
-void Distributor::push(Sandbox* sb) {
+void Distributor::push(Sandbox* sb) { push_batch(&sb, 1); }
+
+void Distributor::push_batch(Sandbox* const* sbs, size_t n) {
+  if (n == 0) return;
   switch (policy_) {
-    case DistPolicy::kWorkStealing:
-      deque_.push(sb);
+    case DistPolicy::kWorkStealing: {
+      // One owner-end session per batch: push_mu_ serializes the N listener
+      // shards (the deque's owner ops assume a single thread at a time).
+      std::lock_guard<std::mutex> lock(push_mu_);
+      for (size_t i = 0; i < n; ++i) deque_.push(sbs[i]);
       break;
+    }
     case DistPolicy::kGlobalLock: {
       std::lock_guard<std::mutex> lock(global_mu_);
-      global_q_.push_back(sb);
+      for (size_t i = 0; i < n; ++i) global_q_.push_back(sbs[i]);
       break;
     }
     case DistPolicy::kPerWorker: {
-      uint64_t idx = rr_cursor_.fetch_add(1, std::memory_order_relaxed) %
-                     static_cast<uint64_t>(workers_);
-      PerWorkerQ& q = *per_worker_[idx];
-      std::lock_guard<std::mutex> lock(q.mu);
-      q.q.push_back(sb);
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t idx = rr_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<uint64_t>(workers_);
+        PerWorkerQ& q = *per_worker_[idx];
+        std::lock_guard<std::mutex> lock(q.mu);
+        q.q.push_back(sbs[i]);
+      }
       break;
     }
   }
@@ -132,6 +141,9 @@ class WorkStealingDispatcher : public Dispatcher {
     return DispatchPolicy::kWorkStealing;
   }
   void push(Sandbox* sb) override { dist_.push(sb); }
+  void push_batch(Sandbox* const* sbs, size_t n) override {
+    dist_.push_batch(sbs, n);
+  }
   void inject(Sandbox* sb) override { dist_.inject(sb); }
   bool fetch(int worker_index, Sandbox** out) override {
     return dist_.fetch(worker_index, out);

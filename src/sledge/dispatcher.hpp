@@ -51,15 +51,19 @@ enum class DispatchPolicy : uint8_t {
 
 const char* to_string(DispatchPolicy p);
 
-// Work distribution with swappable policy. push() is listener-only for
-// kWorkStealing (single deque owner); fetch() is called by workers.
-// inject() is the any-thread side entrance (sb_invoke children are admitted
-// from worker threads, which must not touch the Chase–Lev owner end).
+// Work distribution with swappable policy. push() is listener-shard-only
+// for kWorkStealing; with N listener shards the Chase–Lev owner end has N
+// producers, so owner-end sessions are serialized by `push_mu_` (steals stay
+// lock-free). inject() is the any-thread side entrance (sb_invoke children
+// are admitted from worker threads, which must not touch the owner end).
 class Distributor {
  public:
   Distributor(DistPolicy policy, int workers);
 
   void push(Sandbox* sb);
+  // Batched admission: one owner-end session / lock acquisition for the
+  // whole epoll tick instead of one per request.
+  void push_batch(Sandbox* const* sbs, size_t n);
   void inject(Sandbox* sb);
   bool fetch(int worker_index, Sandbox** out);
   int64_t backlog_estimate() const;
@@ -67,6 +71,10 @@ class Distributor {
  private:
   DistPolicy policy_;
   int workers_;
+  // Serializes the Chase–Lev owner end across listener shards. The deque's
+  // owner ops assume one thread; the mutex gives successive owners a
+  // happens-before edge, which is all the algorithm needs.
+  std::mutex push_mu_;
   WorkStealingDeque<Sandbox*> deque_;
   mutable std::mutex global_mu_;
   std::deque<Sandbox*> global_q_;
@@ -97,6 +105,12 @@ class Dispatcher {
 
   virtual DispatchPolicy kind() const = 0;
   virtual void push(Sandbox* sb) = 0;
+  // Admit a whole epoll tick's worth of sandboxes in one call (listener
+  // shards batch admissions; queue kinds that lock can amortize to one
+  // acquisition). Default just loops over push().
+  virtual void push_batch(Sandbox* const* sbs, size_t n) {
+    for (size_t i = 0; i < n; ++i) push(sbs[i]);
+  }
   virtual void inject(Sandbox* sb) = 0;
   virtual bool fetch(int worker_index, Sandbox** out) = 0;
   virtual int64_t backlog_estimate() const = 0;

@@ -9,6 +9,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -30,15 +31,48 @@ const char k400[] =
 // the socket before a worker takes over the fd, or response order breaks).
 constexpr uint64_t kFlushTimeoutNs = 2'000'000'000;
 
+// How long accept stays disarmed after an unshedable EMFILE (no reserve fd
+// could be reclaimed): long enough to stop the 100%-CPU accept spin, short
+// enough that recovery after fds free up is prompt.
+constexpr uint64_t kAcceptBackoffNs = 10'000'000;  // 10 ms
+
+// Single sendmsg of header+body iovecs starting at logical offset `off`
+// into the concatenation. Returns sendmsg's result.
+ssize_t send_iovecs(int fd, const std::string& header, const void* body,
+                    size_t body_len, size_t off) {
+  iovec iov[2];
+  int cnt = 0;
+  if (off < header.size()) {
+    iov[cnt].iov_base = const_cast<char*>(header.data()) + off;
+    iov[cnt].iov_len = header.size() - off;
+    ++cnt;
+    if (body_len != 0) {
+      iov[cnt].iov_base = const_cast<void*>(body);
+      iov[cnt].iov_len = body_len;
+      ++cnt;
+    }
+  } else {
+    size_t boff = off - header.size();
+    iov[cnt].iov_base = static_cast<char*>(const_cast<void*>(body)) + boff;
+    iov[cnt].iov_len = body_len - boff;
+    ++cnt;
+  }
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = static_cast<size_t>(cnt);
+  return ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+}
+
 }  // namespace
 
-Listener::Listener(Runtime* rt) : rt_(rt) {}
+Listener::Listener(Runtime* rt, int shard) : rt_(rt), shard_(shard) {}
 
 Listener::~Listener() {
   join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (event_fd_ >= 0) ::close(event_fd_);
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
   for (auto& [fd, conn] : conns_) ::close(fd);
   // loaned_ fds belong to workers (already closed worker-side by now);
   // closing them here could hit a recycled descriptor.
@@ -49,6 +83,14 @@ Status Listener::init(uint16_t port, uint16_t* bound_port) {
   if (listen_fd_ < 0) return Status::error("socket() failed");
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Every shard binds the same port; the kernel hashes incoming 4-tuples
+  // across the REUSEPORT group so each connection lands on exactly one
+  // shard's accept queue.
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+      0) {
+    return Status::error("setsockopt(SO_REUSEPORT) failed: " +
+                         std::string(strerror(errno)));
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -68,6 +110,9 @@ Status Listener::init(uint16_t port, uint16_t* bound_port) {
   if (epoll_fd_ < 0) return Status::error("epoll_create1 failed");
   event_fd_ = ::eventfd(0, EFD_NONBLOCK);
   if (event_fd_ < 0) return Status::error("eventfd failed");
+  // EMFILE headroom: one reserved fd this shard can burn to accept-and-
+  // close when the process fd table is full (see shed_one_accept).
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -121,7 +166,10 @@ void Listener::drain_returned() {
     gone.swap(discarded_);
   }
   // Discards first: a stale loaned entry must never shadow a reattach.
-  for (int fd : gone) loaned_.erase(fd);
+  for (int fd : gone) {
+    loaned_conns_.fetch_sub(static_cast<int64_t>(loaned_.erase(fd)),
+                            std::memory_order_relaxed);
+  }
   for (int fd : fds) reattach_connection(fd);
 }
 
@@ -136,6 +184,7 @@ void Listener::add_connection(int fd) {
     return;
   }
   conns_[fd] = std::move(conn);
+  open_conns_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Listener::reattach_connection(int fd) {
@@ -144,6 +193,7 @@ void Listener::reattach_connection(int fd) {
   if (it != loaned_.end()) {
     conn = std::move(it->second);
     loaned_.erase(it);
+    loaned_conns_.fetch_sub(1, std::memory_order_relaxed);
   } else {
     conn = std::make_unique<Conn>();
     conn->fd = fd;
@@ -157,6 +207,7 @@ void Listener::reattach_connection(int fd) {
   }
   Conn* c = conn.get();
   conns_[fd] = std::move(conn);
+  open_conns_.fetch_add(1, std::memory_order_relaxed);
   // Replay bytes that arrived pipelined behind the request the worker just
   // answered; any bytes still in the kernel buffer will level-trigger
   // EPOLLIN on their own.
@@ -173,11 +224,14 @@ void Listener::detach_to_loaned(Conn* conn) {
   auto it = conns_.find(fd);
   loaned_[fd] = std::move(it->second);
   conns_.erase(it);
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+  loaned_conns_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Listener::drop_connection(int fd) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  conns_.erase(fd);
+  open_conns_.fetch_sub(static_cast<int64_t>(conns_.erase(fd)),
+                        std::memory_order_relaxed);
   ::close(fd);
 }
 
@@ -188,41 +242,98 @@ void Listener::set_events(Conn* conn, uint32_t events) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 
+bool Listener::shed_one_accept() {
+  accept_errors_.fetch_add(1, std::memory_order_relaxed);
+  // Free one fd slot, take the pending connection, hang up on it, retake
+  // the slot. Each round retires one queued connection, so the accept
+  // backlog drains (slowly, with connection resets) instead of wedging the
+  // shard in a 100%-CPU accept/EMFILE spin on the level-triggered EPOLLIN.
+  if (reserve_fd_ >= 0) {
+    ::close(reserve_fd_);
+    reserve_fd_ = -1;
+  }
+  int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+  if (fd >= 0) ::close(fd);
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  return fd >= 0;
+}
+
+void Listener::disarm_accept() {
+  epoll_event ev{};
+  ev.events = 0;  // keep registered, deliver nothing
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
+  accept_rearm_at_ns_ = now_ns() + kAcceptBackoffNs;
+}
+
+void Listener::rearm_accept_if_due(uint64_t now) {
+  if (accept_rearm_at_ns_ == 0 || now < accept_rearm_at_ns_) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
+  accept_rearm_at_ns_ = 0;
+}
+
 void Listener::accept_new() {
   while (true) {
     int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd pressure: shed via the reserve fd. If even that made no
+        // progress (reserve already gone), back off instead of spinning.
+        if (!shed_one_accept()) {
+          disarm_accept();
+          return;
+        }
+        continue;
+      }
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     add_connection(fd);
   }
 }
 
-bool Listener::conn_send(Conn* conn, const std::string& data,
+bool Listener::conn_send(Conn* conn, const std::string& header,
+                         const void* body, size_t body_len,
                          bool close_after) {
   if (!conn->outbuf.empty()) {
     // Earlier response still draining: append to keep socket order.
-    conn->outbuf += data;
+    conn->outbuf += header;
+    if (body_len != 0) {
+      conn->outbuf.append(static_cast<const char*>(body), body_len);
+    }
     conn->close_after_write = conn->close_after_write || close_after;
     return true;
   }
+  const size_t total = header.size() + body_len;
   size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::send(conn->fd, data.data() + off, data.size() - off,
-                       MSG_NOSIGNAL);
+  while (off < total) {
+    ssize_t n = send_iovecs(conn->fd, header, body, body_len, off);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Short write: park the remainder and let EPOLLOUT finish the job
-      // (the old path dropped these bytes — a truncated 404/503).
-      conn->outbuf.assign(data, off, std::string::npos);
+      // Short write: park the remainder (the only copy on this path) and
+      // let EPOLLOUT finish the job.
+      if (off < header.size()) {
+        conn->outbuf.assign(header, off, std::string::npos);
+        if (body_len != 0) {
+          conn->outbuf.append(static_cast<const char*>(body), body_len);
+        }
+      } else {
+        conn->outbuf.assign(static_cast<const char*>(body) +
+                                (off - header.size()),
+                            body_len - (off - header.size()));
+      }
       conn->outoff = 0;
       conn->close_after_write = close_after;
       set_events(conn, EPOLLOUT | (close_after ? 0u : EPOLLIN));
@@ -284,6 +395,14 @@ bool Listener::flush_outbuf_blocking(Conn* conn) {
   return true;
 }
 
+void Listener::flush_admitted() {
+  if (pending_admits_.empty()) return;
+  rt_->dispatcher().push_batch(pending_admits_.data(),
+                               pending_admits_.size());
+  pending_admits_.clear();
+  rt_->notify_workers();  // one wake per tick, not per request
+}
+
 Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
                                           size_t n) {
   size_t off = 0;
@@ -299,6 +418,19 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
     http::Request& req = conn->parser.request();
     bool keep_alive = req.keep_alive();
 
+    // Chunked transfer encoding is not implemented; the parser consumed the
+    // chunk framing (body discarded) so the stream is positioned at the
+    // next request boundary — answer 501 and keep the connection usable.
+    if (conn->parser.chunked()) {
+      std::string header = http::serialize_response_header(
+          501, "Not Implemented", 0, keep_alive, "text/plain");
+      if (!conn_send(conn, header, nullptr, 0, !keep_alive)) {
+        return Consume::kStop;
+      }
+      conn->parser.reset();
+      continue;
+    }
+
     // Live observability endpoints, answered on the listener thread from
     // brief lock-free/per-module-lock snapshots (no global pause).
     if (rt_->config().admin_endpoint &&
@@ -312,15 +444,15 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
         body = rt_->stats_prometheus();
         content_type = "text/plain; version=0.0.4";
       }
-      std::string resp =
+      std::string header =
           body.empty()
-              ? http::serialize_response(404, "Not Found", {}, keep_alive,
-                                         "text/plain")
-              : http::serialize_response(
-                    200, "OK",
-                    std::vector<uint8_t>(body.begin(), body.end()),
-                    keep_alive, content_type);
-      if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+              ? http::serialize_response_header(404, "Not Found", 0,
+                                                keep_alive, "text/plain")
+              : http::serialize_response_header(200, "OK", body.size(),
+                                                keep_alive, content_type);
+      if (!conn_send(conn, header, body.data(), body.size(), !keep_alive)) {
+        return Consume::kStop;
+      }
       conn->parser.reset();
       continue;
     }
@@ -330,9 +462,11 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
                                                    : req.target.substr(1);
     LoadedModule* mod = rt_->find_module(name);
     if (!mod) {
-      std::string resp = http::serialize_response(404, "Not Found", {},
-                                                  keep_alive, "text/plain");
-      if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+      std::string header = http::serialize_response_header(
+          404, "Not Found", 0, keep_alive, "text/plain");
+      if (!conn_send(conn, header, nullptr, 0, !keep_alive)) {
+        return Consume::kStop;
+      }
       conn->parser.reset();
       continue;
     }
@@ -346,10 +480,11 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
     // the parked connection for the retry.
     if (rt_->draining()) {
       rt_->note_shed(mod);
-      std::string resp =
-          http::serialize_response(503, "Draining", {}, keep_alive,
-                                   "text/plain", "Retry-After: 5\r\n");
-      if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+      std::string header = http::serialize_response_header(
+          503, "Draining", 0, keep_alive, "text/plain", "Retry-After: 5\r\n");
+      if (!conn_send(conn, header, nullptr, 0, !keep_alive)) {
+        return Consume::kStop;
+      }
       conn->parser.reset();
       continue;
     }
@@ -358,20 +493,23 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
         break;
       case AdmitVerdict::kShedOverload: {
         rt_->note_shed(mod);
-        std::string resp =
-            http::serialize_response(503, "Overloaded", {}, keep_alive,
-                                     "text/plain", "Retry-After: 1\r\n");
-        if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+        std::string header = http::serialize_response_header(
+            503, "Overloaded", 0, keep_alive, "text/plain",
+            "Retry-After: 1\r\n");
+        if (!conn_send(conn, header, nullptr, 0, !keep_alive)) {
+          return Consume::kStop;
+        }
         conn->parser.reset();
         continue;
       }
       case AdmitVerdict::kShedDeadline: {
         rt_->note_shed_deadline(mod);
-        std::string resp =
-            http::serialize_response(504, "Deadline Unmeetable", {},
-                                     keep_alive, "text/plain",
-                                     "Retry-After: 1\r\n");
-        if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+        std::string header = http::serialize_response_header(
+            504, "Deadline Unmeetable", 0, keep_alive, "text/plain",
+            "Retry-After: 1\r\n");
+        if (!conn_send(conn, header, nullptr, 0, !keep_alive)) {
+          return Consume::kStop;
+        }
         conn->parser.reset();
         continue;
       }
@@ -379,9 +517,14 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
 
     // Admission: the worker writes this request's response itself, so any
     // parked listener-side bytes must flush first to keep socket order.
-    if (!conn->outbuf.empty() && !flush_outbuf_blocking(conn)) {
-      drop_connection(conn->fd);
-      return Consume::kStop;
+    // The blocking flush can stall this shard, so hand off the sandboxes
+    // already admitted this tick before entering it.
+    if (!conn->outbuf.empty()) {
+      flush_admitted();
+      if (!flush_outbuf_blocking(conn)) {
+        drop_connection(conn->fd);
+        return Consume::kStop;
+      }
     }
 
     std::vector<uint8_t> body = std::move(req.body);
@@ -389,14 +532,17 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
         Sandbox::create(&mod->module, std::move(body), conn->fd, keep_alive);
     if (!sb) {
       rt_->note_shed(mod);
-      std::string resp =
-          http::serialize_response(503, "Overloaded", {}, keep_alive,
-                                   "text/plain", "Retry-After: 1\r\n");
-      if (!conn_send(conn, resp, !keep_alive)) return Consume::kStop;
+      std::string header = http::serialize_response_header(
+          503, "Overloaded", 0, keep_alive, "text/plain",
+          "Retry-After: 1\r\n");
+      if (!conn_send(conn, header, nullptr, 0, !keep_alive)) {
+        return Consume::kStop;
+      }
       conn->parser.reset();
       continue;
     }
     sb->user_tag = mod;
+    sb->set_conn_shard(shard_);  // workers return the fd to this shard
 
     // Resolve limits: per-module override, else runtime default.
     const RuntimeConfig& rc = rt_->config();
@@ -428,8 +574,9 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
     detach_to_loaned(conn);
 
     rt_->note_admitted(mod);
-    rt_->dispatcher().push(sb.release());
-    rt_->notify_workers();  // wake any core sleeping in its event loop
+    // Batched admission: the sandbox joins this tick's batch and reaches
+    // the dispatcher via one push_batch/notify_workers at tick end.
+    pending_admits_.push_back(sb.release());
     return Consume::kStop;  // fd now belongs to the worker side
   }
   return Consume::kContinue;
@@ -461,8 +608,9 @@ void Listener::thread_main() {
     int n = ::epoll_wait(epoll_fd_, events, 128, 50);
     if (n < 0) {
       if (errno == EINTR) continue;
-      SLEDGE_LOG_ERROR("listener epoll_wait failed: %s", strerror(errno));
-      return;
+      SLEDGE_LOG_ERROR("listener[%d] epoll_wait failed: %s", shard_,
+                       strerror(errno));
+      break;
     }
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
@@ -484,7 +632,11 @@ void Listener::thread_main() {
         handle_readable(conn);
       }
     }
+    // One dispatcher hand-off and one worker wake for the whole tick.
+    flush_admitted();
+    rearm_accept_if_due(now_ns());
   }
+  flush_admitted();  // shutdown: nothing admitted may be stranded here
 }
 
 }  // namespace sledge::runtime

@@ -1,17 +1,24 @@
-// The Sledge listener core: epoll-based request forwarding (paper §4).
-// Accepts connections, incrementally parses HTTP, resolves the target
-// module, creates the sandbox and pushes it onto the work-distribution
-// structure. Workers hand kept-alive connections back through
-// return_connection (eventfd-signalled queue).
+// A Sledge listener shard: epoll-based request forwarding (paper §4),
+// replicated N times behind one SO_REUSEPORT port so accepts, parsing,
+// admission and control-path writes scale per core (the front door stops
+// being a single epoll loop). Each shard owns its listen socket, epoll fd,
+// eventfd and connection table end to end; the kernel's REUSEPORT 4-tuple
+// hash spreads incoming connections across shards. Workers hand kept-alive
+// fds back to the *owning* shard (the shard index is stamped into the
+// loaned Sandbox) through return_connection (eventfd-signalled queue).
 //
-// Control-path responses (400/404/503 and the /admin observability
-// endpoints) are written with short-write safety: a partial ::send parks
-// the remainder on the Conn and re-arms EPOLLOUT instead of silently
-// truncating. While a connection is loaned to a worker its Conn (parser
-// state plus any already-received bytes of the next pipelined request) is
-// parked in `loaned_` and replayed when the worker returns the fd.
+// Control-path responses (400/404/501/503 and the /admin observability
+// endpoints) are written zero-copy as a writev of header+body iovecs, with
+// short-write safety: a partial send parks the remainder on the Conn and
+// re-arms EPOLLOUT instead of silently truncating. Admissions are batched
+// per epoll tick: admitted sandboxes collect into a local vector and reach
+// the dispatcher through one push_batch() + one notify_workers() per
+// wakeup. While a connection is loaned to a worker its Conn (parser state
+// plus any already-received bytes of the next pipelined request) is parked
+// in `loaned_` and replayed when the worker returns the fd.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -26,16 +33,21 @@
 namespace sledge::runtime {
 
 class Runtime;
+class Sandbox;
 
 class Listener {
  public:
-  explicit Listener(Runtime* rt);
+  Listener(Runtime* rt, int shard);
   ~Listener();
 
-  // Creates and binds the listening socket; fills bound port.
+  // Creates and binds the SO_REUSEPORT listening socket; fills bound port.
+  // Shard 0 may bind port 0 (kernel-picked); later shards must pass shard
+  // 0's resolved port so all shards share the accept queue hash.
   Status init(uint16_t port, uint16_t* bound_port);
   void start();
   void join();
+
+  int shard() const { return shard_; }
 
   // Thread-safe: workers return kept-alive connections here.
   void return_connection(int fd);
@@ -45,12 +57,29 @@ class Listener {
   // Wakes the epoll loop (used by stop()).
   void wake();
 
+  // ---- Live per-shard counters (the /admin observability plane) ----
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  // Failed accepts: fd-pressure sheds (EMFILE/ENFILE accept-and-close via
+  // the reserve fd) plus unexpected accept errno.
+  uint64_t accept_errors() const {
+    return accept_errors_.load(std::memory_order_relaxed);
+  }
+  int64_t open_conns() const {
+    return open_conns_.load(std::memory_order_relaxed);
+  }
+  int64_t loaned_conns() const {
+    return loaned_conns_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Conn {
     int fd;
     http::RequestParser parser;
-    // Unsent control-path response bytes, parked when ::send would block;
-    // flushed by EPOLLOUT events (outoff = consumed prefix).
+    // Unsent control-path response bytes, parked when the socket would
+    // block; flushed by EPOLLOUT events (outoff = consumed prefix). The
+    // fast path never touches this — writev straight from header+body.
     std::string outbuf;
     size_t outoff = 0;
     bool close_after_write = false;
@@ -64,18 +93,34 @@ class Listener {
 
   void thread_main();
   void accept_new();
+  // EMFILE/ENFILE shed: close the reserve fd, accept-and-close one pending
+  // connection, retake the reserve. Returns false if no progress was
+  // possible (accept must then back off instead of spinning).
+  bool shed_one_accept();
+  // Drops EPOLLIN on the listen socket for a short backoff (re-armed by
+  // thread_main) so persistent fd exhaustion cannot spin the shard at 100%.
+  void disarm_accept();
+  void rearm_accept_if_due(uint64_t now);
   void handle_readable(Conn* conn);
   // Flushes parked outbuf bytes; returns false if the conn was dropped.
   bool handle_writable(Conn* conn);
   // Runs `n` received bytes through the parser/dispatch state machine.
   Consume process_bytes(Conn* conn, const char* data, size_t n);
-  // Short-write-safe response send: parks the remainder on EAGAIN and
-  // re-arms EPOLLOUT. Returns false if the conn was dropped (peer dead, or
-  // close_after and everything flushed).
-  bool conn_send(Conn* conn, const std::string& data, bool close_after);
+  // Zero-copy response send: one writev of header+body iovecs. Parks the
+  // unsent remainder (copying only then) on EAGAIN and re-arms EPOLLOUT.
+  // Returns false if the conn was dropped (peer dead, or close_after and
+  // everything flushed).
+  bool conn_send(Conn* conn, const std::string& header, const void* body,
+                 size_t body_len, bool close_after);
+  bool conn_send(Conn* conn, const std::string& data, bool close_after) {
+    return conn_send(conn, data, nullptr, 0, close_after);
+  }
   // Bounded blocking flush of parked bytes, used only before loaning a
   // connection to a worker (response order on the socket must be kept).
   bool flush_outbuf_blocking(Conn* conn);
+  // Hands the tick's admitted sandboxes to the dispatcher: one
+  // push_batch() + one notify_workers() per epoll wakeup.
+  void flush_admitted();
   void set_events(Conn* conn, uint32_t events);
   void add_connection(int fd);
   // Re-registers a worker-returned fd, restoring parked state and
@@ -88,17 +133,29 @@ class Listener {
   void drain_returned();
 
   Runtime* rt_;
+  const int shard_;
   std::thread thread_;
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int event_fd_ = -1;
+  // Reserved dummy fd (EMFILE headroom): closed to free a slot, used to
+  // accept-and-close under fd pressure, then reopened.
+  int reserve_fd_ = -1;
+  // 0 = accept armed; else earliest ns the disarmed accept re-arms.
+  uint64_t accept_rearm_at_ns_ = 0;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
   // Connections currently owned by workers; fds here are NOT in the epoll
   // set and are closed (if at all) by the worker side, never by us.
   std::unordered_map<int, std::unique_ptr<Conn>> loaned_;
+  // Sandboxes admitted this epoll tick, flushed in one dispatcher batch.
+  std::vector<Sandbox*> pending_admits_;
   std::mutex ret_mu_;
   std::vector<int> returned_;
   std::vector<int> discarded_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> accept_errors_{0};
+  std::atomic<int64_t> open_conns_{0};
+  std::atomic<int64_t> loaned_conns_{0};
 };
 
 }  // namespace sledge::runtime

@@ -4,7 +4,9 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "common/json.hpp"
 #include "common/log.hpp"
@@ -82,11 +84,30 @@ Status Runtime::update_module_limits(const std::string& name,
   return Status::ok();
 }
 
+int Runtime::num_listeners() const {
+  if (config_.num_listeners > 0) return config_.num_listeners;
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+  return static_cast<int>(std::min(4u, cores));
+}
+
 Status Runtime::start() {
   if (running_.load()) return Status::error("already running");
-  listener_ = std::make_unique<Listener>(this);
-  Status s = listener_->init(config_.port, &bound_port_);
-  if (!s.is_ok()) return s;
+  listeners_.clear();
+  // Shard 0 resolves the port (config_.port may be 0 = kernel-picked);
+  // every later shard joins the same SO_REUSEPORT group on that port.
+  const int shards = num_listeners();
+  for (int i = 0; i < shards; ++i) {
+    listeners_.push_back(std::make_unique<Listener>(this, i));
+    uint16_t port = 0;
+    Status s = listeners_.back()->init(i == 0 ? config_.port : bound_port_,
+                                       &port);
+    if (!s.is_ok()) {
+      listeners_.clear();
+      return s;
+    }
+    if (i == 0) bound_port_ = port;
+  }
 
   if (!config_.access_log_path.empty()) {
     access_log_fd_ = ::open(config_.access_log_path.c_str(),
@@ -103,11 +124,11 @@ Status Runtime::start() {
     workers_.push_back(std::make_unique<Worker>(this, i));
     workers_.back()->start();
   }
-  listener_->start();
+  for (auto& l : listeners_) l->start();
   SLEDGE_LOG_INFO(
-      "sledge runtime on port %u (%d workers, quantum %lu us, %s, "
-      "dispatcher=%s, sched=%s, admission=%s, pool=%s)",
-      bound_port_, config_.workers,
+      "sledge runtime on port %u (%d listeners, %d workers, quantum %lu us, "
+      "%s, dispatcher=%s, sched=%s, admission=%s, pool=%s)",
+      bound_port_, shards, config_.workers,
       static_cast<unsigned long>(config_.quantum_us),
       to_string(config_.policy), to_string(config_.dispatcher),
       to_string(config_.sched), to_string(config_.admission),
@@ -148,9 +169,9 @@ void Runtime::stop() {
   }
   if (!running_.exchange(false)) return;
   for (auto& w : workers_) w->notify();  // interrupt idle epoll sleeps
-  if (listener_) listener_->wake();
+  for (auto& l : listeners_) l->wake();
   for (auto& w : workers_) w->join();
-  if (listener_) listener_->join();
+  for (auto& l : listeners_) l->join();
   // Fold worker counters into the retired totals before tearing down.
   for (const auto& w : workers_) {
     retired_totals_.completed +=
@@ -170,24 +191,32 @@ void Runtime::stop() {
         w->stats().blocked.load(std::memory_order_relaxed);
     retired_totals_.woken += w->stats().woken.load(std::memory_order_relaxed);
   }
+  for (const auto& l : listeners_) {
+    retired_totals_.accepted += l->accepted();
+    retired_totals_.accept_errors += l->accept_errors();
+  }
   workers_.clear();
-  listener_.reset();
+  listeners_.clear();
   if (access_log_fd_ >= 0) {
     ::close(access_log_fd_);  // workers flushed their buffers before join
     access_log_fd_ = -1;
   }
 }
 
-void Runtime::return_connection(int fd) {
-  if (listener_ && running()) {
-    listener_->return_connection(fd);
+void Runtime::return_connection(int fd, int shard) {
+  if (running() && shard >= 0 &&
+      shard < static_cast<int>(listeners_.size())) {
+    listeners_[shard]->return_connection(fd);
   } else {
     ::close(fd);
   }
 }
 
-void Runtime::forget_connection(int fd) {
-  if (listener_ && running()) listener_->discard_connection(fd);
+void Runtime::forget_connection(int fd, int shard) {
+  if (running() && shard >= 0 &&
+      shard < static_cast<int>(listeners_.size())) {
+    listeners_[shard]->discard_connection(fd);
+  }
 }
 
 bool Runtime::invoke_child(Sandbox* parent, const std::string& name,
@@ -326,6 +355,10 @@ Runtime::Totals Runtime::totals() const {
     t.blocked += w->stats().blocked.load(std::memory_order_relaxed);
     t.woken += w->stats().woken.load(std::memory_order_relaxed);
   }
+  for (const auto& l : listeners_) {
+    t.accepted += l->accepted();
+    t.accept_errors += l->accept_errors();
+  }
   return t;
 }
 
@@ -334,6 +367,15 @@ Runtime::StatsSnapshot Runtime::snapshot() const {
   s.uptime_ns = start_ns_ != 0 ? now_ns() - start_ns_ : 0;
   s.inflight = inflight();
   s.totals = totals();
+  for (const auto& l : listeners_) {
+    ListenerSnapshot ls;
+    ls.id = l->shard();
+    ls.accepted = l->accepted();
+    ls.accept_errors = l->accept_errors();
+    ls.open_conns = l->open_conns();
+    ls.loaned_conns = l->loaned_conns();
+    s.listeners.push_back(ls);
+  }
   for (size_t i = 0; i < workers_.size(); ++i) {
     const Worker::Stats& w = workers_[i]->stats();
     WorkerSnapshot ws;
@@ -420,7 +462,22 @@ std::string Runtime::stats_json() const {
   totals["blocked"] = json::Value(static_cast<double>(s.totals.blocked));
   totals["woken"] = json::Value(static_cast<double>(s.totals.woken));
   totals["invokes"] = json::Value(static_cast<double>(s.totals.invokes));
+  totals["accepted"] = json::Value(static_cast<double>(s.totals.accepted));
+  totals["accept_errors"] =
+      json::Value(static_cast<double>(s.totals.accept_errors));
   root["totals"] = json::Value(std::move(totals));
+
+  json::Array listeners;
+  for (const ListenerSnapshot& l : s.listeners) {
+    json::Object o;
+    o["id"] = json::Value(l.id);
+    o["accepted"] = json::Value(static_cast<double>(l.accepted));
+    o["accept_errors"] = json::Value(static_cast<double>(l.accept_errors));
+    o["open_conns"] = json::Value(static_cast<double>(l.open_conns));
+    o["loaned_conns"] = json::Value(static_cast<double>(l.loaned_conns));
+    listeners.push_back(json::Value(std::move(o)));
+  }
+  root["listeners"] = json::Value(std::move(listeners));
 
   json::Array workers;
   for (const WorkerSnapshot& w : s.workers) {
@@ -501,10 +558,33 @@ std::string Runtime::stats_prometheus() const {
       {"sledge_blocked_total", s.totals.blocked},
       {"sledge_woken_total", s.totals.woken},
       {"sledge_invokes_total", s.totals.invokes},
+      {"sledge_accepted_total", s.totals.accepted},
+      {"sledge_accept_errors_total", s.totals.accept_errors},
   };
   for (const Counter& c : counters) {
     emit("# TYPE %s counter\n%s %llu\n", c.name, c.name,
          static_cast<unsigned long long>(c.value));
+  }
+
+  emit("# TYPE sledge_listener_accepted_total counter\n");
+  for (const ListenerSnapshot& l : s.listeners) {
+    emit("sledge_listener_accepted_total{shard=\"%d\"} %llu\n", l.id,
+         static_cast<unsigned long long>(l.accepted));
+  }
+  emit("# TYPE sledge_listener_accept_errors_total counter\n");
+  for (const ListenerSnapshot& l : s.listeners) {
+    emit("sledge_listener_accept_errors_total{shard=\"%d\"} %llu\n", l.id,
+         static_cast<unsigned long long>(l.accept_errors));
+  }
+  emit("# TYPE sledge_listener_open_conns gauge\n");
+  for (const ListenerSnapshot& l : s.listeners) {
+    emit("sledge_listener_open_conns{shard=\"%d\"} %lld\n", l.id,
+         static_cast<long long>(l.open_conns));
+  }
+  emit("# TYPE sledge_listener_loaned_conns gauge\n");
+  for (const ListenerSnapshot& l : s.listeners) {
+    emit("sledge_listener_loaned_conns{shard=\"%d\"} %lld\n", l.id,
+         static_cast<long long>(l.loaned_conns));
   }
 
   struct ModCounter {

@@ -34,6 +34,10 @@ class Listener;
 struct RuntimeConfig {
   uint16_t port = 0;  // 0 = pick a free port (see Runtime::bound_port)
   int workers = 3;
+  // Listener shards: N SO_REUSEPORT accept loops, each with its own epoll
+  // set and connection table (the kernel hashes connections across them).
+  // 0 = min(4, hardware cores).
+  int num_listeners = 0;
   uint64_t quantum_us = 5000;  // paper's 5 ms time slice
   bool preemption = true;      // false = cooperative-only (ablation)
   DistPolicy policy = DistPolicy::kWorkStealing;
@@ -180,11 +184,15 @@ class Runtime : public InvokeBroker {
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   // Worker -> listener: hand a kept-alive connection back after a response.
-  void return_connection(int fd);
+  // `shard` is the owning listener shard (Sandbox::conn_shard) — each shard
+  // has its own epoll set and parked-Conn table, so the fd must go home.
+  void return_connection(int fd, int shard);
   // Worker -> listener: a loaned connection fd was closed worker-side; the
-  // listener must discard any parked state (e.g. stashed pipelined bytes)
-  // it still holds for that fd.
-  void forget_connection(int fd);
+  // owning shard must discard any parked state (e.g. stashed pipelined
+  // bytes) it still holds for that fd.
+  void forget_connection(int fd, int shard);
+  // Resolved shard count (config.num_listeners, 0 -> min(4, cores)).
+  int num_listeners() const;
 
   // ---- Async host I/O (InvokeBroker) ----
   // sb_invoke: admits a child sandbox of module `name` through the normal
@@ -274,6 +282,8 @@ class Runtime : public InvokeBroker {
     uint64_t blocked = 0;      // sandboxes parked on an I/O wake condition
     uint64_t woken = 0;        // wakes delivered by worker event loops
     uint64_t invokes = 0;      // child sandboxes admitted via sb_invoke
+    uint64_t accepted = 0;       // connections accepted (all shards)
+    uint64_t accept_errors = 0;  // failed accepts incl. EMFILE sheds
   };
   Totals totals() const;
 
@@ -317,10 +327,18 @@ class Runtime : public InvokeBroker {
     uint64_t blocked = 0;
     uint64_t woken = 0;
   };
+  struct ListenerSnapshot {
+    int id = 0;
+    uint64_t accepted = 0;
+    uint64_t accept_errors = 0;
+    int64_t open_conns = 0;    // in this shard's epoll set
+    int64_t loaned_conns = 0;  // parked, fd owned by a worker
+  };
   struct StatsSnapshot {
     uint64_t uptime_ns = 0;
     int64_t inflight = 0;
     Totals totals;
+    std::vector<ListenerSnapshot> listeners;
     std::vector<WorkerSnapshot> workers;
     std::vector<ModuleSnapshot> modules;
   };
@@ -342,7 +360,7 @@ class Runtime : public InvokeBroker {
   std::unique_ptr<Dispatcher> dispatcher_;
   AdmissionController admission_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::unique_ptr<Listener> listener_;
+  std::vector<std::unique_ptr<Listener>> listeners_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<int64_t> inflight_{0};       // admitted, not yet retired

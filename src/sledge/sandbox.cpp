@@ -14,6 +14,7 @@
 
 #include "common/log.hpp"
 #include "engine/trap.hpp"
+#include "sledge/worker.hpp"
 
 using sledge::engine::SbIoError;
 
@@ -154,6 +155,7 @@ void Sandbox::entry_trampoline(unsigned hi, unsigned lo) {
 }
 
 void Sandbox::entry() {
+  worker_switch_landed();  // first-dispatch switch complete
   if (t_first_run_ == 0) t_first_run_ = now_ns();
   env_.sleep_hook = [this](uint64_t ns) { sleep_yield(ns); };
   env_.connect_hook = [this](const uint8_t* h, uint32_t l, uint32_t p) {
@@ -219,6 +221,7 @@ void Sandbox::block_yield(WakeKind kind, int os_fd, uint64_t wake_at_ns) {
   uint64_t blocked_at = now_ns();
   set_state(SandboxState::kBlocked);
   ::swapcontext(&stack_->ctx, scheduler_ctx_);
+  worker_switch_landed();  // wake-dispatch switch complete
   // Resumed (the worker's event loop observed our wake condition — or a
   // kill). Blocked time is the io_wait phase; the worker already excluded
   // it from cpu_ns by stamping slice boundaries in dispatch().

@@ -214,6 +214,10 @@ class Sandbox {
   std::vector<uint8_t>& response() { return env_.response; }
   int conn_fd() const { return conn_fd_; }
   bool keep_alive() const { return keep_alive_; }
+  // Listener shard that loaned conn_fd; workers must return/discard the fd
+  // to this shard (each shard has its own epoll set and connection table).
+  int conn_shard() const { return conn_shard_; }
+  void set_conn_shard(int shard) { conn_shard_ = shard; }
   uint64_t wake_at_ns() const { return wake_at_ns_; }
 
   uint64_t created_ns() const { return t_created_; }
@@ -250,6 +254,17 @@ class Sandbox {
   ucontext_t* context() { return &stack_->ctx; }
   ucontext_t* scheduler_context() { return scheduler_ctx_; }
 
+  // True when `p` lies on this sandbox's execution stack (above the guard
+  // page). The quantum handler runs on whatever stack the signal interrupted,
+  // so it probes a local's address with this to tell "inside sandbox code"
+  // from the swapcontext mask-switch window (still on the scheduler stack)
+  // or the trap handler's sigaltstack — contexts it must never save.
+  bool on_own_stack(const void* p) const {
+    const uint8_t* u = static_cast<const uint8_t*>(p);
+    return stack_ != nullptr && u >= stack_->base + stack_->guard_size &&
+           u < stack_->base + stack_->size;
+  }
+
   // Opaque owner tag (the runtime stores its LoadedModule* here so workers
   // can attribute completions without a sandbox->runtime dependency).
   void* user_tag = nullptr;
@@ -272,6 +287,7 @@ class Sandbox {
 
   std::atomic<SandboxState> state_{SandboxState::kAllocated};
   int conn_fd_ = -1;
+  int conn_shard_ = 0;
   bool keep_alive_ = false;
 
   ExecStack* stack_ = nullptr;  // pooled: guarded stack + ucontext storage

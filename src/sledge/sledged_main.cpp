@@ -6,6 +6,7 @@
 // {
 //   "port": 8080,            // 0 = pick a free port
 //   "workers": 3,
+//   "num_listeners": 0,      // SO_REUSEPORT accept shards; 0 = min(4, cores)
 //   "quantum_us": 5000,
 //   "preemption": true,
 //   "policy": "work_stealing",   // | "global_lock" | "per_worker"
@@ -57,6 +58,7 @@ Result<runtime::RuntimeConfig> parse_config(const json::Value& doc) {
   runtime::RuntimeConfig cfg;
   cfg.port = static_cast<uint16_t>(doc["port"].as_int(0));
   cfg.workers = static_cast<int>(doc["workers"].as_int(3));
+  cfg.num_listeners = static_cast<int>(doc["num_listeners"].as_int(0));
   cfg.quantum_us = static_cast<uint64_t>(doc["quantum_us"].as_int(5000));
   if (doc["preemption"].is_bool()) cfg.preemption = doc["preemption"].as_bool();
   cfg.execution_budget_ns =

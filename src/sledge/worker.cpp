@@ -4,6 +4,7 @@
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/syscall.h>
+#include <sys/uio.h>
 #include <time.h>
 #include <unistd.h>
 
@@ -23,6 +24,21 @@ namespace sledge::runtime {
 
 namespace {
 thread_local Worker* tls_worker = nullptr;
+
+// True while a scheduler→sandbox context switch is in flight on this
+// thread: from just before the scheduler's swapcontext until the sandbox
+// side's first landing point (entry start, quantum-handler resume, or
+// block_yield resume) calls worker_switch_landed(). swapcontext is not
+// atomic — it installs the target's signal mask (unblocking SIGALRM) and
+// restores %rsp several instructions before the argument registers — so a
+// quantum signal landing mid-switch sees current_/kRunning but must not
+// save a context: it would clobber the very ucontext the interrupted
+// swapcontext is still loading from.
+thread_local std::atomic<bool> t_switch_in_flight{false};
+}
+
+void worker_switch_landed() {
+  t_switch_in_flight.store(false, std::memory_order_relaxed);
 }
 
 // Quantum expiry: save the running sandbox's context (the paper's
@@ -38,6 +54,24 @@ void worker_quantum_handler(int) {
   if (!w) return;
   Sandbox* sb = w->current_;
   if (!sb || sb->state() != SandboxState::kRunning) return;
+  // Mid-switch: preempting now would save into (and clobber) the ucontext
+  // the interrupted swapcontext is still loading from. Defer by one minimal
+  // slice; the retry lands inside sandbox code (under saturation this
+  // window was hit reliably — a pending SIGALRM is delivered the instant
+  // the switch unblocks it).
+  if (t_switch_in_flight.load(std::memory_order_relaxed)) {
+    w->rearm_timer_min();
+    return;
+  }
+  // Off-stack delivery (the trap handler's sigaltstack during a guard
+  // fault): same deferral — saving a context that points into the altstack
+  // would resume a dead frame. The handler runs on the interrupted stack,
+  // so a local's address identifies where the signal landed.
+  char probe;
+  if (!sb->on_own_stack(&probe)) {
+    w->rearm_timer_min();
+    return;
+  }
   if ((sb->kill_requested() || sb->deadline_exceeded(now_ns())) &&
       engine::in_trap_scope()) {
     sb->request_kill();
@@ -47,8 +81,10 @@ void worker_quantum_handler(int) {
   sb->note_preempted();
   w->stats_.preemptions.fetch_add(1, std::memory_order_relaxed);
   ::swapcontext(sb->context(), &w->sched_ctx_);
-  // Resumed: returning re-enters the interrupted sandbox code — unless a
-  // kill arrived while we were descheduled (wall deadline passing).
+  // Resumed: the re-dispatch switch is complete once control is back here.
+  worker_switch_landed();
+  // Returning re-enters the interrupted sandbox code — unless a kill
+  // arrived while we were descheduled (wall deadline passing).
   if (sb->kill_requested() && engine::in_trap_scope()) {
     engine::raise_trap(engine::TrapCode::kDeadlineExceeded);
   }
@@ -124,6 +160,15 @@ void Worker::arm_timer(const Sandbox* sb) {
 void Worker::disarm_timer() {
   if (!timer_valid_) return;
   itimerspec its{};  // zero = disarm
+  ::timer_settime(timer_, 0, &its, nullptr);
+}
+
+void Worker::rearm_timer_min() {
+  // Called from the quantum signal handler (timer_settime is
+  // async-signal-safe): retry the preemption after a minimal slice.
+  if (!timer_valid_) return;
+  itimerspec its{};
+  its.it_value.tv_nsec = 100'000;  // 100 us
   ::timer_settime(timer_, 0, &its, nullptr);
 }
 
@@ -208,7 +253,7 @@ void Worker::thread_main() {
   io_loop_.drain_all(&blocked);
   for (Sandbox* s : blocked) abandon(s);
   for (WriteJob& w : writes_) {
-    rt_->forget_connection(w.fd);
+    rt_->forget_connection(w.fd, w.shard);
     ::close(w.fd);
     rt_->note_write_done();
   }
@@ -254,7 +299,11 @@ void Worker::dispatch(Sandbox* sb) {
       rt_->config().preemption && policy_->allows_preemption();
   current_ = sb;
   if (preempt) arm_timer(sb);
+  // Gate the quantum handler across the non-atomic swapcontext below; the
+  // sandbox-side landing point clears it (see t_switch_in_flight).
+  t_switch_in_flight.store(true, std::memory_order_relaxed);
   sb->dispatch(&sched_ctx_);
+  t_switch_in_flight.store(false, std::memory_order_relaxed);
   if (preempt) disarm_timer();
   current_ = nullptr;
 
@@ -306,26 +355,28 @@ void Worker::finalize(Sandbox* sb) {
               /*take_response=*/st == SandboxState::kComplete);
 
   if (sb->conn_fd() >= 0) {
+    // Header and body stay separate: the body is moved (not copied) out of
+    // the sandbox and pump_writes sends both as one writev.
     int status;
-    std::string payload;
+    std::string header;
+    std::vector<uint8_t> body;
     if (st == SandboxState::kComplete) {
       status = 200;
-      payload = http::serialize_response(200, "OK", sb->response(),
-                                         sb->keep_alive());
+      body = std::move(sb->response());
+      header = http::serialize_response_header(200, "OK", body.size(),
+                                               sb->keep_alive());
     } else if (st == SandboxState::kKilled) {
       status = 504;
       std::string reason = sb->outcome().describe();
-      payload = http::serialize_response(
-          504, "Gateway Timeout",
-          std::vector<uint8_t>(reason.begin(), reason.end()),
-          sb->keep_alive());
+      body.assign(reason.begin(), reason.end());
+      header = http::serialize_response_header(504, "Gateway Timeout",
+                                               body.size(), sb->keep_alive());
     } else {
       status = 500;
       std::string reason = sb->outcome().describe();
-      payload = http::serialize_response(
-          500, "Function Error",
-          std::vector<uint8_t>(reason.begin(), reason.end()),
-          sb->keep_alive());
+      body.assign(reason.begin(), reason.end());
+      header = http::serialize_response_header(500, "Function Error",
+                                               body.size(), sb->keep_alive());
     }
     // The response-write phase outlives the sandbox: the breakdown rides on
     // the WriteJob and is recorded when the last byte reaches the kernel.
@@ -341,8 +392,9 @@ void Worker::finalize(Sandbox* sb) {
     trace.dispatches = sb->dispatch_count();
     trace.preempts = sb->preempt_count();
     rt_->note_write_queued();
-    writes_.push_back(WriteJob{sb->conn_fd(), std::move(payload), 0,
-                               sb->keep_alive(), trace});
+    writes_.push_back(WriteJob{sb->conn_fd(), std::move(header),
+                               std::move(body), 0, sb->keep_alive(),
+                               sb->conn_shard(), trace});
   }
   delete sb;
   pump_writes();
@@ -353,7 +405,7 @@ void Worker::abandon(Sandbox* sb) {
   rt_->note_retired(static_cast<LoadedModule*>(sb->user_tag));
   signal_join(sb, engine::kSbErrChildFailed, /*take_response=*/false);
   if (sb->conn_fd() >= 0) {
-    rt_->forget_connection(sb->conn_fd());
+    rt_->forget_connection(sb->conn_fd(), sb->conn_shard());
     ::close(sb->conn_fd());  // no response is coming
   }
   delete sb;
@@ -382,10 +434,32 @@ bool Worker::pump_writes() {
   bool progressed = false;
   for (size_t i = 0; i < writes_.size();) {
     WriteJob& w = writes_[i];
+    const size_t total = w.header.size() + w.body.size();
     bool done = false, dead = false;
-    while (w.offset < w.data.size()) {
-      ssize_t n = ::send(w.fd, w.data.data() + w.offset,
-                         w.data.size() - w.offset, MSG_NOSIGNAL);
+    while (w.offset < total) {
+      // Zero-copy: header and body leave as one writev, no concatenation.
+      iovec iov[2];
+      int cnt = 0;
+      if (w.offset < w.header.size()) {
+        iov[cnt].iov_base =
+            const_cast<char*>(w.header.data()) + w.offset;
+        iov[cnt].iov_len = w.header.size() - w.offset;
+        ++cnt;
+        if (!w.body.empty()) {
+          iov[cnt].iov_base = w.body.data();
+          iov[cnt].iov_len = w.body.size();
+          ++cnt;
+        }
+      } else {
+        size_t boff = w.offset - w.header.size();
+        iov[cnt].iov_base = w.body.data() + boff;
+        iov[cnt].iov_len = w.body.size() - boff;
+        ++cnt;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<size_t>(cnt);
+      ssize_t n = ::sendmsg(w.fd, &msg, MSG_NOSIGNAL);
       if (n > 0) {
         w.offset += static_cast<size_t>(n);
         progressed = true;
@@ -396,15 +470,15 @@ bool Worker::pump_writes() {
       dead = true;  // peer went away
       break;
     }
-    if (w.offset == w.data.size()) done = true;
+    if (w.offset == total) done = true;
 
     if (done || dead) {
       io_loop_.unwatch_write_fd(w.fd);
       complete_write(w, now_ns(), done && !dead);
       if (done && w.keep_alive && !dead) {
-        rt_->return_connection(w.fd);
+        rt_->return_connection(w.fd, w.shard);
       } else {
-        rt_->forget_connection(w.fd);
+        rt_->forget_connection(w.fd, w.shard);
         ::close(w.fd);
       }
       rt_->note_write_done();
@@ -421,8 +495,9 @@ bool Worker::pump_writes() {
 
 void Worker::complete_write(const WriteJob& w, uint64_t now, bool write_ok) {
   const RequestTrace& t = w.trace;
+  const size_t total = w.header.size() + w.body.size();
   uint64_t write_ns = now > t.done_ns ? now - t.done_ns : 0;
-  if (write_ok) rt_->record_response_write(t.mod, write_ns, w.data.size());
+  if (write_ok) rt_->record_response_write(t.mod, write_ns, total);
   if (!rt_->access_log_enabled() || t.mod == nullptr) return;
 
   uint64_t e2e_ns = now > t.created_ns ? now - t.created_ns : 0;
@@ -433,7 +508,7 @@ void Worker::complete_write(const WriteJob& w, uint64_t now, bool write_ok) {
       "\"queue_wait_us\":%.1f,\"startup_us\":%.1f,\"exec_cpu_us\":%.1f,"
       "\"io_wait_us\":%.1f,\"response_write_us\":%.1f,\"e2e_us\":%.1f,"
       "\"dispatches\":%u,\"preempts\":%u,\"write_ok\":%s}\n",
-      t.mod->name.c_str(), t.status, w.data.size(), index_,
+      t.mod->name.c_str(), t.status, total, index_,
       static_cast<double>(t.queue_wait_ns) / 1e3,
       static_cast<double>(t.startup_ns) / 1e3,
       static_cast<double>(t.exec_cpu_ns) / 1e3,

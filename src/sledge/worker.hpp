@@ -25,6 +25,13 @@ namespace sledge::runtime {
 class Runtime;
 struct LoadedModule;
 
+// Marks the scheduler→sandbox context switch on this thread complete.
+// Called by the sandbox-side landing points (Sandbox::entry start,
+// block_yield resume, quantum-handler resume); the quantum handler defers
+// preemption while a switch is in flight because swapcontext is not atomic
+// (it unblocks SIGALRM and restores registers in several steps).
+void worker_switch_landed();
+
 class Worker {
  public:
   Worker(Runtime* rt, int index);
@@ -71,11 +78,17 @@ class Worker {
     uint32_t preempts = 0;
   };
 
+  // Response bytes are kept as header + body and written as a writev of
+  // two iovecs (zero-copy: the body is moved out of the sandbox, never
+  // concatenated into a temporary). `offset` indexes the logical
+  // header·body concatenation.
   struct WriteJob {
     int fd;
-    std::string data;
+    std::string header;
+    std::vector<uint8_t> body;
     size_t offset = 0;
     bool keep_alive = false;
+    int shard = 0;  // owning listener shard (fd return address)
     RequestTrace trace;
   };
 
@@ -100,6 +113,10 @@ class Worker {
   // wall deadline so kills land promptly, not at the next full quantum.
   void arm_timer(const Sandbox* sb);
   void disarm_timer();
+  // Async-signal-safe: re-arms a minimal (100us) slice. Used by the quantum
+  // handler to defer a preemption that landed off the sandbox stack (the
+  // swapcontext mask-switch window).
+  void rearm_timer_min();
 
   Runtime* rt_;
   int index_;

@@ -166,6 +166,172 @@ TEST(RequestParserTest, HeaderKeysLowercasedValuesTrimmed) {
   EXPECT_EQ(p.request().headers.at("x-foo"), "Bar Baz");
 }
 
+// ---- Strict Content-Length (table-driven) ----
+//
+// strtoull was too lax: it accepted empty values, leading whitespace and
+// +/- signs ("-1" wrapped past the body cap). Only all-digit values parse.
+
+TEST(RequestParserTest, ContentLengthStrictTable) {
+  struct Case {
+    const char* value;
+    bool ok;
+    size_t body_len;  // only meaningful when ok
+  };
+  const Case cases[] = {
+      {"5", true, 5},
+      {"0", true, 0},
+      {"007", true, 7},  // leading zeros are still all-digit
+      {"", false, 0},
+      {"+5", false, 0},
+      {"-1", false, 0},
+      {"-5", false, 0},
+      {" 5", true, 5},   // header value trim eats surrounding whitespace
+      {"5 ", true, 5},
+      {"5x", false, 0},
+      {"x5", false, 0},
+      {"4 2", false, 0},
+      {"0x10", false, 0},
+      {"5\t", true, 5},  // trailing tab trimmed with the header value
+      {"99999999999999999999999999", false, 0},  // uint64 overflow
+      {"18446744073709551615", false, 0},        // UINT64_MAX > body cap
+  };
+  for (const Case& c : cases) {
+    RequestParser p;
+    std::string req = "POST /x HTTP/1.1\r\nContent-Length: " +
+                      std::string(c.value) + "\r\n\r\n";
+    std::string body(c.ok ? c.body_len : 0, 'b');
+    req += body;
+    int used = p.feed(req.data(), req.size());
+    if (c.ok) {
+      ASSERT_GE(used, 0) << "value '" << c.value << "'";
+      ASSERT_TRUE(p.done()) << "value '" << c.value << "'";
+      EXPECT_EQ(p.request().body.size(), c.body_len)
+          << "value '" << c.value << "'";
+    } else {
+      EXPECT_TRUE(used < 0 && p.failed()) << "value '" << c.value << "'";
+    }
+  }
+}
+
+TEST(RequestParserTest, DuplicateContentLengthDistinctRejected) {
+  // Two distinct Content-Length values = request smuggling vector; the old
+  // header map silently kept the last one.
+  RequestParser p;
+  const char req[] =
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n";
+  int used = p.feed(req, sizeof(req) - 1);
+  EXPECT_TRUE(used < 0 && p.failed());
+}
+
+TEST(RequestParserTest, DuplicateContentLengthSameValueAccepted) {
+  RequestParser p;
+  const char req[] =
+      "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nXY";
+  int used = p.feed(req, sizeof(req) - 1);
+  ASSERT_EQ(used, static_cast<int>(sizeof(req) - 1));
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().body.size(), 2u);
+}
+
+// ---- Chunked transfer encoding: framed-and-discarded ----
+//
+// The parser walks the chunk framing to find the request boundary (so the
+// byte stream stays in sync for pipelined successors) but stores no body;
+// done() + chunked() tells the server to answer 501.
+
+TEST(RequestParserTest, ChunkedFramedAndFlagged) {
+  RequestParser p;
+  const char req[] =
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+  int used = p.feed(req, sizeof(req) - 1);
+  ASSERT_EQ(used, static_cast<int>(sizeof(req) - 1));
+  ASSERT_TRUE(p.done());
+  EXPECT_TRUE(p.chunked());
+  EXPECT_TRUE(p.request().body.empty());  // discarded, not stored
+}
+
+TEST(RequestParserTest, ChunkedStopsAtBoundaryBeforePipelinedRequest) {
+  // The old parser ignored Transfer-Encoding, treated the body as empty,
+  // and re-parsed the chunk bytes as the *next* request (garbage 400 or a
+  // smuggled request). The framing walk must stop exactly at the boundary.
+  std::string chunked =
+      "POST /a HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n";
+  std::string next = "POST /b HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+  std::string all = chunked + next;
+  RequestParser p;
+  int used = p.feed(all.data(), all.size());
+  ASSERT_TRUE(p.done());
+  EXPECT_TRUE(p.chunked());
+  ASSERT_EQ(used, static_cast<int>(chunked.size()));
+  p.reset();
+  EXPECT_FALSE(p.chunked());  // reset clears the flag
+  used = p.feed(all.data() + chunked.size(), next.size());
+  ASSERT_TRUE(p.done());
+  EXPECT_FALSE(p.chunked());
+  EXPECT_EQ(p.request().target, "/b");
+}
+
+TEST(RequestParserTest, ChunkedByteAtATimeWithExtensionsAndTrailers) {
+  const char req[] =
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4;ext=1\r\nWiki\r\n0\r\nTrailer: v\r\n\r\n";
+  RequestParser p;
+  for (size_t i = 0; i < sizeof(req) - 1; ++i) {
+    int used = p.feed(req + i, 1);
+    ASSERT_GE(used, 0) << "at byte " << i;
+  }
+  ASSERT_TRUE(p.done());
+  EXPECT_TRUE(p.chunked());
+}
+
+TEST(RequestParserTest, ChunkedTakesPrecedenceOverContentLength) {
+  // RFC 7230: Transfer-Encoding wins; honoring both is a smuggling vector.
+  const char req[] =
+      "POST /x HTTP/1.1\r\nContent-Length: 100\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+  RequestParser p;
+  int used = p.feed(req, sizeof(req) - 1);
+  ASSERT_EQ(used, static_cast<int>(sizeof(req) - 1));
+  ASSERT_TRUE(p.done());
+  EXPECT_TRUE(p.chunked());
+}
+
+TEST(RequestParserTest, ChunkedMalformedFraming) {
+  for (const char* tail :
+       {"Z\r\n",                // non-hex size
+        "\r\n",                 // empty size line
+        "3\r\nabcX",            // bad chunk terminator
+        "ffffffffffffffff1\r\n"  // size overflow
+       }) {
+    RequestParser p;
+    std::string req =
+        "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    req += tail;
+    int used = p.feed(req.data(), req.size());
+    EXPECT_TRUE(used < 0 && p.failed()) << "tail: " << tail;
+  }
+}
+
+TEST(RequestParserTest, UnsupportedTransferEncodingRejected) {
+  RequestParser p;
+  const char req[] = "POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n";
+  int used = p.feed(req, sizeof(req) - 1);
+  EXPECT_TRUE(used < 0 && p.failed());
+}
+
+TEST(SerializerTest, HeaderOnlySerializerMatchesFullResponse) {
+  // The writev fast path sends serialize_response_header + body iovecs; the
+  // concatenation must be byte-identical to the legacy full serializer.
+  std::vector<uint8_t> body = {'a', 'b', 'c'};
+  std::string full =
+      serialize_response(200, "OK", body, true, "text/plain", "X-A: 1\r\n");
+  std::string header = serialize_response_header(200, "OK", body.size(), true,
+                                                 "text/plain", "X-A: 1\r\n");
+  EXPECT_EQ(full, header + "abc");
+}
+
 TEST(SerializerTest, ResponseRoundTrip) {
   std::vector<uint8_t> body = {1, 2, 3};
   std::string resp = serialize_response(200, "OK", body, true);
