@@ -19,6 +19,9 @@ ctest --preset quick -j "$(nproc)"
 echo "== listener saturation bench (smoke) =="
 ./build/bench/bench_ping_concurrency --smoke
 
+echo "== invoke dataplane bench (smoke: shm p50 must beat copy p50) =="
+./build/bench/bench_invoke --smoke
+
 echo "== asan: configure + build + sanitizer-safe tests =="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
@@ -36,5 +39,9 @@ ctest --preset tsan-dispatch -j "$(nproc)"
 echo "== tsan: multi-shard listener soak (REUSEPORT shards + stats plane) =="
 cmake --build --preset tsan -j "$(nproc)" --target listener_soak_test http_test
 ctest --preset tsan-listener -j "$(nproc)"
+
+echo "== tsan: invoke dataplane soak (transfer pool + hinted injection) =="
+cmake --build --preset tsan -j "$(nproc)" --target invoke_soak_test
+ctest --preset tsan-invoke -j "$(nproc)"
 
 echo "== all checks passed =="

@@ -89,5 +89,8 @@ int32_t mc_sb_invoke(const void*, int32_t, const void*, int32_t, void*,
                      int32_t) {
   return -1;
 }
+int32_t mc_sb_invoke_stream(const void*, int32_t, const void*, int32_t) {
+  return -1;
+}
 
 }  // extern "C"

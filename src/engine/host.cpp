@@ -26,10 +26,15 @@ wasm::FuncType sig(std::vector<ValType> params, std::vector<ValType> results) {
 void register_serverless_abi(HostRegistry& r) {
   using V = ValType;
 
+  // The req_* / resp_* lambdas go through ServerlessEnv's view-aware
+  // accessors: on the shm invoke dataplane the request bytes live in a
+  // pooled TransferBuffer (req_data/req_size) and response bytes land in
+  // the buffer's response region (resp_append), with identical semantics
+  // to the heap-vector path.
   r.register_fn("env", "req_len", sig({}, {V::kI32}),
                 [](HostCallCtx& ctx, const Slot*) {
                   return Slot::from_u32(
-                      static_cast<uint32_t>(env_of(ctx)->request.size()));
+                      static_cast<uint32_t>(env_of(ctx)->req_size()));
                 });
 
   // req_read(dst, src_off, len) -> bytes copied
@@ -40,14 +45,14 @@ void register_serverless_abi(HostRegistry& r) {
         uint32_t dst = args[0].u32();
         uint32_t off = args[1].u32();
         uint32_t len = args[2].u32();
-        uint32_t avail = off < env->request.size()
-                             ? static_cast<uint32_t>(env->request.size()) - off
+        uint32_t avail = off < env->req_size()
+                             ? static_cast<uint32_t>(env->req_size()) - off
                              : 0;
         uint32_t n = len < avail ? len : avail;
         // Validate dst even when nothing will be copied (n == 0): a zero-
         // length copy to a pointer past the end of linear memory still traps.
         uint8_t* p = ctx.mem.check_range(dst, n);
-        if (n != 0) std::memcpy(p, env->request.data() + off, n);
+        if (n != 0) std::memcpy(p, env->req_data() + off, n);
         return Slot::from_u32(n);
       });
 
@@ -58,7 +63,7 @@ void register_serverless_abi(HostRegistry& r) {
                   uint32_t src = args[0].u32();
                   uint32_t len = args[1].u32();
                   const uint8_t* p = ctx.mem.check_range(src, len);
-                  env->response.insert(env->response.end(), p, p + len);
+                  env->resp_append(p, len);
                   return Slot::from_u32(len);
                 });
 
@@ -69,8 +74,8 @@ void register_serverless_abi(HostRegistry& r) {
                   ServerlessEnv* env = env_of(ctx);
                   uint32_t off = args[0].u32();
                   double v = 0;
-                  if (static_cast<uint64_t>(off) + 8 <= env->request.size()) {
-                    std::memcpy(&v, env->request.data() + off, 8);
+                  if (static_cast<uint64_t>(off) + 8 <= env->req_size()) {
+                    std::memcpy(&v, env->req_data() + off, 8);
                   }
                   return Slot::from_f64(v);
                 });
@@ -78,8 +83,7 @@ void register_serverless_abi(HostRegistry& r) {
                 [](HostCallCtx& ctx, const Slot* args) {
                   ServerlessEnv* env = env_of(ctx);
                   double v = args[0].f64();
-                  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
-                  env->response.insert(env->response.end(), p, p + 8);
+                  env->resp_append(&v, 8);
                   return Slot{};
                 });
   r.register_fn("env", "req_i32", sig({V::kI32}, {V::kI32}),
@@ -87,8 +91,8 @@ void register_serverless_abi(HostRegistry& r) {
                   ServerlessEnv* env = env_of(ctx);
                   uint32_t off = args[0].u32();
                   int32_t v = 0;
-                  if (static_cast<uint64_t>(off) + 4 <= env->request.size()) {
-                    std::memcpy(&v, env->request.data() + off, 4);
+                  if (static_cast<uint64_t>(off) + 4 <= env->req_size()) {
+                    std::memcpy(&v, env->req_data() + off, 4);
                   }
                   return Slot::from_i32(v);
                 });
@@ -96,8 +100,7 @@ void register_serverless_abi(HostRegistry& r) {
                 [](HostCallCtx& ctx, const Slot* args) {
                   ServerlessEnv* env = env_of(ctx);
                   int32_t v = args[0].i32();
-                  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
-                  env->response.insert(env->response.end(), p, p + 4);
+                  env->resp_append(&v, 4);
                   return Slot{};
                 });
 
@@ -197,6 +200,26 @@ void register_serverless_abi(HostRegistry& r) {
         return Slot::from_i32(env->invoke_hook(name, args[1].u32(), req,
                                                args[3].u32(), resp,
                                                args[5].u32()));
+      });
+
+  // sb_invoke_stream(module_ptr, module_len, req_ptr, req_len)
+  //   -> 0 on hand-off | negative error
+  // Pipelined chains: the caller's response channel (HTTP connection or
+  // upstream join) transfers to the child, and the caller finishes without
+  // waiting — chain latency is bounded by the longest stage, not the sum
+  // of stop-and-wait joins.
+  r.register_fn(
+      "env", "sb_invoke_stream",
+      sig({V::kI32, V::kI32, V::kI32, V::kI32}, {V::kI32}),
+      [](HostCallCtx& ctx, const Slot* args) {
+        ServerlessEnv* env = env_of(ctx);
+        const uint8_t* name = ctx.mem.check_range(args[0].u32(), args[1].u32());
+        const uint8_t* req = ctx.mem.check_range(args[2].u32(), args[3].u32());
+        if (!env->invoke_stream_hook) {
+          return Slot::from_i32(kSbErrUnsupported);
+        }
+        return Slot::from_i32(
+            env->invoke_stream_hook(name, args[1].u32(), req, args[3].u32()));
       });
 
   // libm bridge: transcendental functions that Wasm MVP has no opcodes for.

@@ -89,6 +89,8 @@ enum SbIoError : int32_t {
   kSbErrOverload = -7,     // sb_invoke: child admission shed (503 analogue)
   kSbErrDepth = -8,        // sb_invoke: invoke-chain depth cap (cycle guard)
   kSbErrChildFailed = -9,  // sb_invoke: child trapped / was killed
+  kSbErrNoChannel = -10,   // sb_invoke_stream: caller has no response
+                           // channel (conn or join) left to hand off
 };
 
 // The serverless request/response environment backing the standard "env"
@@ -96,6 +98,43 @@ enum SbIoError : int32_t {
 struct ServerlessEnv {
   std::vector<uint8_t> request;
   std::vector<uint8_t> response;
+
+  // ---- Zero-copy invoke dataplane views ----
+  //
+  // When a sandbox is an invoke child on the shm dataplane, its request
+  // bytes live in a pooled TransferBuffer rather than `request`
+  // (`req_view`), and its response bytes append into the transfer buffer's
+  // response region (`resp_sink`) so the parent reads them without a heap
+  // hop. The sink spills into `response` on overflow — `resp_append` copies
+  // the sink prefix across first, so byte order is always preserved and
+  // the copy/shm dataplanes stay byte-identical.
+  const uint8_t* req_view = nullptr;
+  size_t req_view_len = 0;
+  uint8_t* resp_sink = nullptr;
+  size_t resp_sink_cap = 0;
+  size_t resp_sink_len = 0;
+
+  const uint8_t* req_data() const {
+    return req_view ? req_view : request.data();
+  }
+  size_t req_size() const { return req_view ? req_view_len : request.size(); }
+  size_t resp_size() const { return resp_sink_len + response.size(); }
+  void resp_append(const void* p, size_t n) {
+    if (resp_sink) {
+      if (resp_sink_len + n <= resp_sink_cap) {
+        std::memcpy(resp_sink + resp_sink_len, p, n);
+        resp_sink_len += n;
+        return;
+      }
+      // Overflow: move what the sink holds into the heap vector and retire
+      // the sink for the rest of this response.
+      response.insert(response.end(), resp_sink, resp_sink + resp_sink_len);
+      resp_sink = nullptr;
+      resp_sink_len = 0;
+    }
+    const uint8_t* bytes = static_cast<const uint8_t*>(p);
+    response.insert(response.end(), bytes, bytes + n);
+  }
   // Optional cooperative-yield hook installed by the Sledge scheduler so a
   // sandbox can block (e.g. env.sleep_ms) without holding its worker core.
   std::function<void(uint64_t ns)> sleep_hook;
@@ -120,6 +159,13 @@ struct ServerlessEnv {
                         const uint8_t* req, uint32_t req_len, uint8_t* resp,
                         uint32_t resp_cap)>
       invoke_hook;
+  // sb_invoke_stream: hand the caller's response channel (HTTP connection
+  // or upstream InvokeJoin) to a child of `name` running on `req`, without
+  // a stop-and-wait join. Returns 0 on hand-off or a negative SbIoError;
+  // after success the caller's own response bytes are discarded.
+  std::function<int32_t(const uint8_t* name, uint32_t name_len,
+                        const uint8_t* req, uint32_t req_len)>
+      invoke_stream_hook;
 };
 
 // Registers the standard Sledge serverless ABI plus libm-style math imports

@@ -21,6 +21,7 @@ const std::vector<Builtin>& builtins() {
       {"sb_recv", "iai", 'i', BuiltinLower::kImport, Op::kNop, "sb_recv", "mc_sb_recv"},
       {"sb_close", "i", 'i', BuiltinLower::kImport, Op::kNop, "sb_close", "mc_sb_close"},
       {"sb_invoke", "aiaiai", 'i', BuiltinLower::kImport, Op::kNop, "sb_invoke", "mc_sb_invoke"},
+      {"sb_invoke_stream", "aiai", 'i', BuiltinLower::kImport, Op::kNop, "sb_invoke_stream", "mc_sb_invoke_stream"},
       // math with Wasm opcodes
       {"sqrt", "d", 'd', BuiltinLower::kOpcode, Op::kF64Sqrt, "", "sqrt"},
       {"fabs", "d", 'd', BuiltinLower::kOpcode, Op::kF64Abs, "", "fabs"},

@@ -32,6 +32,9 @@ Distributor::Distributor(DistPolicy policy, int workers)
       per_worker_.push_back(std::make_unique<PerWorkerQ>());
     }
   }
+  for (int i = 0; i < workers; ++i) {
+    hinted_.push_back(std::make_unique<HintQ>());
+  }
 }
 
 void Distributor::push(Sandbox* sb) { push_batch(&sb, 1); }
@@ -64,7 +67,21 @@ void Distributor::push_batch(Sandbox* const* sbs, size_t n) {
   }
 }
 
-void Distributor::inject(Sandbox* sb) {
+void Distributor::inject(Sandbox* sb, int worker_hint) {
+  // Locality-hinted placement: land the child on its parent's worker so it
+  // runs with warm caches and a zero-hop join wake. Advisory — a hinted
+  // queue deeper than the cap means the worker is busier than the caller's
+  // slack check believed, so fall back to the shared entrance where any
+  // worker can pick the child up.
+  if (worker_hint >= 0 && worker_hint < workers_) {
+    HintQ& hq = *hinted_[worker_hint];
+    if (hq.count.load(std::memory_order_relaxed) < 16) {
+      std::lock_guard<std::mutex> lock(hq.mu);
+      hq.q.push_back(sb);
+      hq.count.fetch_add(1, std::memory_order_release);
+      return;
+    }
+  }
   // Worker-thread-safe side entrance: the Chase–Lev owner end belongs to
   // the listener, so children bypass it through a small mutexed queue that
   // fetch() probes with a relaxed counter (zero-cost when unused).
@@ -74,6 +91,21 @@ void Distributor::inject(Sandbox* sb) {
 }
 
 bool Distributor::fetch(int worker_index, Sandbox** out) {
+  // Own hinted queue first: children placed here were aimed at this
+  // worker specifically, and serving them before stolen/global work keeps
+  // the parent->child locality the hint paid for.
+  if (worker_index >= 0 && worker_index < workers_) {
+    HintQ& hq = *hinted_[worker_index];
+    if (hq.count.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(hq.mu);
+      if (!hq.q.empty()) {
+        *out = hq.q.front();
+        hq.q.pop_front();
+        hq.count.fetch_sub(1, std::memory_order_release);
+        return true;
+      }
+    }
+  }
   if (inject_count_.load(std::memory_order_acquire) > 0) {
     std::lock_guard<std::mutex> lock(inject_mu_);
     if (!inject_q_.empty()) {
@@ -107,6 +139,9 @@ bool Distributor::fetch(int worker_index, Sandbox** out) {
 
 int64_t Distributor::backlog_estimate() const {
   int64_t injected = inject_count_.load(std::memory_order_acquire);
+  for (const auto& hq : hinted_) {
+    injected += hq->count.load(std::memory_order_acquire);
+  }
   switch (policy_) {
     case DistPolicy::kWorkStealing:
       return injected + deque_.size_estimate();
@@ -144,7 +179,9 @@ class WorkStealingDispatcher : public Dispatcher {
   void push_batch(Sandbox* const* sbs, size_t n) override {
     dist_.push_batch(sbs, n);
   }
-  void inject(Sandbox* sb) override { dist_.inject(sb); }
+  void inject(Sandbox* sb, int worker_hint) override {
+    dist_.inject(sb, worker_hint);
+  }
   bool fetch(int worker_index, Sandbox** out) override {
     return dist_.fetch(worker_index, out);
   }
@@ -166,7 +203,8 @@ class GlobalEdfDispatcher : public Dispatcher {
   DispatchPolicy kind() const override { return DispatchPolicy::kGlobalEdf; }
 
   void push(Sandbox* sb) override { place(sb); }
-  void inject(Sandbox* sb) override { place(sb); }
+  // Locality hints are ignored: global deadline order IS the policy here.
+  void inject(Sandbox* sb, int) override { place(sb); }
 
   bool fetch(int, Sandbox** out) override {
     std::lock_guard<std::mutex> lock(mu_);
@@ -228,7 +266,8 @@ class ShardedByModuleDispatcher : public Dispatcher {
   }
 
   void push(Sandbox* sb) override { place(sb); }
-  void inject(Sandbox* sb) override { place(sb); }
+  // Locality hints are ignored: module affinity IS the policy here.
+  void inject(Sandbox* sb, int) override { place(sb); }
 
   bool fetch(int worker_index, Sandbox** out) override {
     if (worker_index < 0 || worker_index >= workers_) return false;

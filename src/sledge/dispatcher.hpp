@@ -64,7 +64,11 @@ class Distributor {
   // Batched admission: one owner-end session / lock acquisition for the
   // whole epoll tick instead of one per request.
   void push_batch(Sandbox* const* sbs, size_t n);
-  void inject(Sandbox* sb);
+  // `worker_hint` >= 0 asks for placement on that worker's hinted queue
+  // (invoke locality: the child runs where the parent's caches are warm).
+  // The hint is advisory — a full hinted queue falls back to the shared
+  // side entrance, and any worker's fetch() can still serve global work.
+  void inject(Sandbox* sb, int worker_hint = -1);
   bool fetch(int worker_index, Sandbox** out);
   int64_t backlog_estimate() const;
 
@@ -86,6 +90,15 @@ class Distributor {
     std::deque<Sandbox*> q;
   };
   std::vector<std::unique_ptr<PerWorkerQ>> per_worker_;
+  // Locality-hinted inject queues, one per worker, drained by that worker's
+  // fetch() ahead of everything else. Counts are lock-free probes so the
+  // hot fetch path pays one relaxed load when locality is unused.
+  struct HintQ {
+    std::mutex mu;
+    std::deque<Sandbox*> q;
+    std::atomic<int32_t> count{0};
+  };
+  std::vector<std::unique_ptr<HintQ>> hinted_;
   std::atomic<uint64_t> rr_cursor_{0};
 };
 
@@ -111,7 +124,10 @@ class Dispatcher {
   virtual void push_batch(Sandbox* const* sbs, size_t n) {
     for (size_t i = 0; i < n; ++i) push(sbs[i]);
   }
-  virtual void inject(Sandbox* sb) = 0;
+  // `worker_hint` >= 0 prefers that worker (invoke locality). Dispatchers
+  // whose placement semantics dominate (global deadline order, module
+  // affinity) may ignore it; work-stealing honors it.
+  virtual void inject(Sandbox* sb, int worker_hint = -1) = 0;
   virtual bool fetch(int worker_index, Sandbox** out) = 0;
   virtual int64_t backlog_estimate() const = 0;
 

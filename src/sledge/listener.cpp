@@ -69,13 +69,28 @@ Listener::Listener(Runtime* rt, int shard) : rt_(rt), shard_(shard) {}
 
 Listener::~Listener() {
   join();
+  // The loop stopped pumping the return/discard queues the moment
+  // running() flipped, but workers may have queued entries right up to
+  // their own exit. Returned fds are open keep-alive connections nobody
+  // owns anymore — close them here or they leak for the process lifetime.
+  // (Queues are quiet now: workers and this thread are joined.)
+  {
+    std::lock_guard<std::mutex> lock(ret_mu_);
+    for (const auto& [fd, gen] : returned_) {
+      auto it = loaned_.find(fd);
+      if (it != loaned_.end() && it->second->gen == gen) loaned_.erase(it);
+      ::close(fd);
+    }
+    returned_.clear();
+    discarded_.clear();  // fds already closed worker-side; just drop state
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (event_fd_ >= 0) ::close(event_fd_);
   if (reserve_fd_ >= 0) ::close(reserve_fd_);
   for (auto& [fd, conn] : conns_) ::close(fd);
-  // loaned_ fds belong to workers (already closed worker-side by now);
-  // closing them here could hit a recycled descriptor.
+  // Remaining loaned_ fds belong to workers (already closed worker-side by
+  // now); closing them here could hit a recycled descriptor.
 }
 
 Status Listener::init(uint16_t port, uint16_t* bound_port) {
@@ -138,18 +153,18 @@ void Listener::wake() {
   }
 }
 
-void Listener::return_connection(int fd) {
+void Listener::return_connection(int fd, uint64_t gen) {
   {
     std::lock_guard<std::mutex> lock(ret_mu_);
-    returned_.push_back(fd);
+    returned_.emplace_back(fd, gen);
   }
   wake();
 }
 
-void Listener::discard_connection(int fd) {
+void Listener::discard_connection(int fd, uint64_t gen) {
   {
     std::lock_guard<std::mutex> lock(ret_mu_);
-    discarded_.push_back(fd);
+    discarded_.emplace_back(fd, gen);
   }
   wake();
 }
@@ -158,19 +173,28 @@ void Listener::drain_returned() {
   uint64_t junk;
   while (::read(event_fd_, &junk, sizeof(junk)) > 0) {
   }
-  std::vector<int> fds;
-  std::vector<int> gone;
+  std::vector<std::pair<int, uint64_t>> fds;
+  std::vector<std::pair<int, uint64_t>> gone;
   {
     std::lock_guard<std::mutex> lock(ret_mu_);
     fds.swap(returned_);
     gone.swap(discarded_);
   }
   // Discards first: a stale loaned entry must never shadow a reattach.
-  for (int fd : gone) {
-    loaned_conns_.fetch_sub(static_cast<int64_t>(loaned_.erase(fd)),
-                            std::memory_order_relaxed);
+  // The generation check makes "stale" precise in the other direction too:
+  // after a worker closes fd N and queues this discard, the kernel may
+  // recycle N into a brand-new connection that gets admitted (and loaned)
+  // before the discard is processed — erasing by fd alone would destroy
+  // the NEW loan's parked state. A discard only lands on the exact loan
+  // generation it was issued for.
+  for (const auto& [fd, gen] : gone) {
+    auto it = loaned_.find(fd);
+    if (it != loaned_.end() && it->second->gen == gen) {
+      loaned_.erase(it);
+      loaned_conns_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
-  for (int fd : fds) reattach_connection(fd);
+  for (const auto& [fd, gen] : fds) reattach_connection(fd, gen);
 }
 
 void Listener::add_connection(int fd) {
@@ -187,10 +211,10 @@ void Listener::add_connection(int fd) {
   open_conns_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Listener::reattach_connection(int fd) {
+void Listener::reattach_connection(int fd, uint64_t gen) {
   std::unique_ptr<Conn> conn;
   auto it = loaned_.find(fd);
-  if (it != loaned_.end()) {
+  if (it != loaned_.end() && it->second->gen == gen) {
     conn = std::move(it->second);
     loaned_.erase(it);
     loaned_conns_.fetch_sub(1, std::memory_order_relaxed);
@@ -543,6 +567,10 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
     }
     sb->user_tag = mod;
     sb->set_conn_shard(shard_);  // workers return the fd to this shard
+    // New loan generation: the worker echoes it in return/discard so a
+    // recycled fd number can never alias a newer loan (see drain_returned).
+    conn->gen = ++loan_gen_;
+    sb->set_conn_gen(conn->gen);
 
     // Resolve limits: per-module override, else runtime default.
     const RuntimeConfig& rc = rt_->config();
@@ -557,6 +585,9 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
     sb->set_io_config(rt_, static_cast<uint32_t>(rc.max_sandbox_fds),
                       /*depth=*/0,
                       static_cast<uint32_t>(rc.max_invoke_depth));
+    // Top-level requests seed the inter-function dataplane for any
+    // sb_invoke chain they start (per-module override, else config-wide).
+    sb->set_invoke_shm(rt_->module_invoke_shm(mod));
 
     {
       std::lock_guard<std::mutex> lock(mod->stats.mu);

@@ -49,11 +49,14 @@ class Listener {
 
   int shard() const { return shard_; }
 
-  // Thread-safe: workers return kept-alive connections here.
-  void return_connection(int fd);
+  // Thread-safe: workers return kept-alive connections here. `gen` is the
+  // loan generation stamped into the sandbox at admission; a mismatch with
+  // the parked Conn marks the message as stale (the fd number was recycled
+  // into a newer loan) and it is ignored instead of touching live state.
+  void return_connection(int fd, uint64_t gen);
   // Thread-safe: workers report a loaned fd they closed, so the listener
   // can drop the parked Conn state (stashed pipelined bytes) for it.
-  void discard_connection(int fd);
+  void discard_connection(int fd, uint64_t gen);
   // Wakes the epoll loop (used by stop()).
   void wake();
 
@@ -86,6 +89,11 @@ class Listener {
     // Bytes of the next pipelined request received before the previous one
     // was admitted; replayed when the worker returns the connection.
     std::string stash;
+    // Loan generation (stamped at admission, echoed by worker-side
+    // return/discard messages). Guards against the fd-recycle race: a
+    // worker's discard of a closed fd arriving after the kernel reissued
+    // that fd number to a new, live loan must not erase the new loan.
+    uint64_t gen = 0;
   };
 
   // Whether the caller may keep touching the Conn / parsing its input.
@@ -124,8 +132,9 @@ class Listener {
   void set_events(Conn* conn, uint32_t events);
   void add_connection(int fd);
   // Re-registers a worker-returned fd, restoring parked state and
-  // replaying any stashed pipelined bytes.
-  void reattach_connection(int fd);
+  // replaying any stashed pipelined bytes. Parked state is only restored
+  // when the loan generation matches (see return_connection).
+  void reattach_connection(int fd, uint64_t gen);
   // Moves the Conn out of the epoll set into `loaned_` (sandbox admitted;
   // the worker owns the fd until return/close).
   void detach_to_loaned(Conn* conn);
@@ -149,9 +158,11 @@ class Listener {
   std::unordered_map<int, std::unique_ptr<Conn>> loaned_;
   // Sandboxes admitted this epoll tick, flushed in one dispatcher batch.
   std::vector<Sandbox*> pending_admits_;
+  // Monotone loan-generation counter (listener thread only).
+  uint64_t loan_gen_ = 0;
   std::mutex ret_mu_;
-  std::vector<int> returned_;
-  std::vector<int> discarded_;
+  std::vector<std::pair<int, uint64_t>> returned_;   // (fd, loan gen)
+  std::vector<std::pair<int, uint64_t>> discarded_;  // (fd, loan gen)
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> accept_errors_{0};
   std::atomic<int64_t> open_conns_{0};

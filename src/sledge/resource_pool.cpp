@@ -2,6 +2,8 @@
 
 #include <sys/mman.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "engine/trap.hpp"
@@ -46,13 +48,36 @@ ExecStack* create_stack(size_t stack_size, size_t guard_size) {
 struct ThreadCache {
   std::vector<engine::LinearMemory> memories;
   std::vector<ExecStack*> stacks;
+  std::vector<TransferBuffer*> transfers;
   bool acquirer = false;
+  // Tracked separately from `acquirer`: transfer buffers are acquired by
+  // worker threads (the parent's sb_invoke hostcall), which are
+  // release-only for memories/stacks and must not start hoarding those.
+  bool transfer_acquirer = false;
   ~ThreadCache();
 };
 
 thread_local ThreadCache t_cache;
 
+constexpr size_t kTransferMinCap = 4096;
+
+size_t round_up_pow2(size_t n) {
+  size_t cap = kTransferMinCap;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+void destroy_transfer(TransferBuffer* tb) {
+  if (!tb) return;
+  std::free(tb->data);
+  delete tb;
+}
+
 }  // namespace
+
+TransferLoan::~TransferLoan() {
+  if (tb_) SandboxResourcePool::instance().release_transfer(tb_);
+}
 
 SandboxResourcePool& SandboxResourcePool::instance() {
   // Intentionally leaked: thread-local caches flush here at thread exit,
@@ -70,6 +95,9 @@ ThreadCache::~ThreadCache() {
   }
   for (ExecStack* stack : stacks) {
     if (!pool.pool_stack_global(stack)) destroy_stack(stack);
+  }
+  for (TransferBuffer* tb : transfers) {
+    if (!pool.pool_transfer_global(tb)) destroy_transfer(tb);
   }
 }
 
@@ -220,6 +248,94 @@ void SandboxResourcePool::release_stack(ExecStack* stack) {
   }
 }
 
+TransferBuffer* SandboxResourcePool::acquire_transfer(size_t min_cap,
+                                                      uint64_t tenant,
+                                                      bool* from_pool) {
+  if (from_pool) *from_pool = false;
+  const size_t cap = round_up_pow2(min_cap);
+  t_cache.transfer_acquirer = true;
+  if (enabled_.load(std::memory_order_acquire)) {
+    TransferBuffer* pooled = nullptr;
+    // Thread-local tier first (lock-free; with locality-hinted placement
+    // the same worker releases and re-acquires, so the hot invoke path
+    // never touches the global mutex). Newest first — warmest cache lines.
+    for (size_t i = t_cache.transfers.size(); i-- > 0;) {
+      if (t_cache.transfers[i]->cap == cap) {
+        pooled = t_cache.transfers[i];
+        t_cache.transfers.erase(t_cache.transfers.begin() +
+                                static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (!pooled) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (TransferBucket& bucket : transfer_buckets_) {
+        if (bucket.cap == cap && !bucket.free.empty()) {
+          pooled = bucket.free.back();
+          bucket.free.pop_back();
+          break;
+        }
+      }
+    }
+    if (pooled) {
+      if (pooled->tenant != tenant) {
+        // Cross-tenant reuse: scrub the previous occupant's payload, same
+        // contract as zero-on-reuse linear memories.
+        std::memset(pooled->data, 0, pooled->cap);
+        pooled->tenant = tenant;
+      }
+      pooled->len = 0;
+      transfer_hits_.fetch_add(1, std::memory_order_relaxed);
+      transfer_outstanding_.fetch_add(1, std::memory_order_relaxed);
+      if (from_pool) *from_pool = true;
+      return pooled;
+    }
+  }
+  void* data = std::calloc(1, cap);
+  if (!data) return nullptr;
+  TransferBuffer* tb = new TransferBuffer();
+  tb->data = static_cast<uint8_t*>(data);
+  tb->cap = cap;
+  tb->tenant = tenant;
+  transfer_misses_.fetch_add(1, std::memory_order_relaxed);
+  transfer_outstanding_.fetch_add(1, std::memory_order_relaxed);
+  return tb;
+}
+
+void SandboxResourcePool::release_transfer(TransferBuffer* tb) {
+  if (!tb) return;
+  transfer_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  if (enabled_.load(std::memory_order_acquire)) {
+    int cap = per_thread_cap_.load(std::memory_order_acquire);
+    if (t_cache.transfer_acquirer &&
+        static_cast<int>(t_cache.transfers.size()) < cap) {
+      t_cache.transfers.push_back(tb);
+      return;
+    }
+    if (pool_transfer_global(tb)) return;
+  }
+  released_.fetch_add(1, std::memory_order_relaxed);
+  destroy_transfer(tb);
+}
+
+bool SandboxResourcePool::pool_transfer_global(TransferBuffer* tb) {
+  int cap = global_cap_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(mu_);
+  TransferBucket* bucket = nullptr;
+  int64_t total = 0;
+  for (TransferBucket& b : transfer_buckets_) {
+    total += static_cast<int64_t>(b.free.size());
+    if (b.cap == tb->cap) bucket = &b;
+  }
+  if (total >= cap) return false;  // reclaim watermark: release to the OS
+  if (!bucket) {
+    transfer_buckets_.push_back(TransferBucket{tb->cap, {}});
+    bucket = &transfer_buckets_.back();
+  }
+  bucket->free.push_back(tb);
+  return true;
+}
+
 bool SandboxResourcePool::pool_stack_global(ExecStack* stack) {
   int cap = global_cap_.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(mu_);
@@ -235,6 +351,10 @@ SandboxResourcePool::Counters SandboxResourcePool::counters() const {
   c.stack_hits = stack_hits_.load(std::memory_order_relaxed);
   c.stack_misses = stack_misses_.load(std::memory_order_relaxed);
   c.released = released_.load(std::memory_order_relaxed);
+  c.transfer_hits = transfer_hits_.load(std::memory_order_relaxed);
+  c.transfer_misses = transfer_misses_.load(std::memory_order_relaxed);
+  c.transfer_outstanding =
+      transfer_outstanding_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -244,21 +364,31 @@ void SandboxResourcePool::reset_counters() {
   stack_hits_.store(0, std::memory_order_relaxed);
   stack_misses_.store(0, std::memory_order_relaxed);
   released_.store(0, std::memory_order_relaxed);
+  transfer_hits_.store(0, std::memory_order_relaxed);
+  transfer_misses_.store(0, std::memory_order_relaxed);
+  // transfer_outstanding_ deliberately survives resets: it is a live gauge.
 }
 
 void SandboxResourcePool::purge() {
   t_cache.memories.clear();  // LinearMemory destructors unmap
   for (ExecStack* stack : t_cache.stacks) destroy_stack(stack);
   t_cache.stacks.clear();
+  for (TransferBuffer* tb : t_cache.transfers) destroy_transfer(tb);
+  t_cache.transfers.clear();
 
   std::vector<MemBucket> buckets;
   std::vector<ExecStack*> stacks;
+  std::vector<TransferBucket> transfers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     buckets.swap(mem_buckets_);
     stacks.swap(stacks_);
+    transfers.swap(transfer_buckets_);
   }
   for (ExecStack* stack : stacks) destroy_stack(stack);
+  for (TransferBucket& bucket : transfers) {
+    for (TransferBuffer* tb : bucket.free) destroy_transfer(tb);
+  }
   // `buckets` destructs here, unmapping the pooled memories.
 }
 

@@ -51,6 +51,35 @@ struct ExecStack {
   ucontext_t ctx;
 };
 
+// A reusable payload carrier for the zero-copy invoke dataplane: the parent
+// writes its request at [0, len), the child reads it through its
+// MemView-checked hostcalls and appends its response after the request
+// region — neither payload ever transits a per-request heap vector.
+// Buffers are bucketed by power-of-two capacity and, like pooled linear
+// memories, zeroed when the tenant key changes between uses so one chain's
+// payload can never leak into another tenant's buffer.
+struct TransferBuffer {
+  uint8_t* data = nullptr;
+  size_t cap = 0;
+  size_t len = 0;       // valid request bytes (written by the parent)
+  uint64_t tenant = 0;  // key of the last (parent, child) pair served
+};
+
+// RAII loan of a TransferBuffer: whichever holder drops the last reference
+// (parent hostcall frame, InvokeJoin, child sandbox — any of which may be
+// killed or abandoned first) returns the buffer to the pool exactly once.
+class TransferLoan {
+ public:
+  explicit TransferLoan(TransferBuffer* tb) : tb_(tb) {}
+  ~TransferLoan();
+  TransferLoan(const TransferLoan&) = delete;
+  TransferLoan& operator=(const TransferLoan&) = delete;
+  TransferBuffer* get() const { return tb_; }
+
+ private:
+  TransferBuffer* tb_;
+};
+
 class SandboxResourcePool {
  public:
   struct Config {
@@ -68,6 +97,9 @@ class SandboxResourcePool {
     uint64_t stack_hits = 0;
     uint64_t stack_misses = 0;
     uint64_t released = 0;  // resources dropped at the reclaim watermark
+    uint64_t transfer_hits = 0;
+    uint64_t transfer_misses = 0;
+    uint64_t transfer_outstanding = 0;  // loans not yet returned (leak probe)
   };
 
   // Process-wide pool (sandbox creation is a static path; tests and benches
@@ -94,6 +126,14 @@ class SandboxResourcePool {
                            bool* from_pool = nullptr);
   void release_stack(ExecStack* stack);
 
+  // Pops a transfer buffer with cap >= min_cap (power-of-two bucketed,
+  // floor 4 KiB). A pooled buffer whose last tenant differs from `tenant`
+  // is zeroed before handout; fresh buffers start zeroed. Returns nullptr
+  // only on allocation failure (callers fall back to the copy dataplane).
+  TransferBuffer* acquire_transfer(size_t min_cap, uint64_t tenant,
+                                   bool* from_pool = nullptr);
+  void release_transfer(TransferBuffer* tb);
+
   Counters counters() const;
   void reset_counters();
 
@@ -106,6 +146,7 @@ class SandboxResourcePool {
   // bypassing the thread-local list. False when the watermark is hit.
   bool pool_memory_global(engine::LinearMemory* mem);
   bool pool_stack_global(ExecStack* stack);
+  bool pool_transfer_global(TransferBuffer* tb);
 
  private:
   SandboxResourcePool() = default;
@@ -127,10 +168,23 @@ class SandboxResourcePool {
   std::atomic<uint64_t> stack_hits_{0};
   std::atomic<uint64_t> stack_misses_{0};
   std::atomic<uint64_t> released_{0};
+  std::atomic<uint64_t> transfer_hits_{0};
+  std::atomic<uint64_t> transfer_misses_{0};
+  std::atomic<uint64_t> transfer_outstanding_{0};
 
   mutable std::mutex mu_;
   std::vector<MemBucket> mem_buckets_;
   std::vector<ExecStack*> stacks_;
+  // Transfer buffers: one free list per power-of-two capacity. Acquiring
+  // threads (workers running sb_invoke parents) front this with a
+  // thread-local tier — with locality-hinted placement the same worker
+  // usually releases and re-acquires a buffer, so the hot chain path never
+  // takes this mutex. Cross-worker releases overflow here.
+  struct TransferBucket {
+    size_t cap;
+    std::vector<TransferBuffer*> free;
+  };
+  std::vector<TransferBucket> transfer_buckets_;
 };
 
 }  // namespace sledge::runtime

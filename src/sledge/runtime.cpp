@@ -16,6 +16,23 @@
 
 namespace sledge::runtime {
 
+const char* to_string(InvokeDataplane d) {
+  switch (d) {
+    case InvokeDataplane::kCopy: return "copy";
+    case InvokeDataplane::kShm: return "shm";
+  }
+  return "?";
+}
+
+namespace {
+
+// A hinted child only lands on the parent's worker when that worker's
+// runnable backlog is at most this deep — beyond it, the chain would
+// serialize behind unrelated work and global placement wins.
+constexpr uint32_t kInvokeLocalitySlack = 2;
+
+}  // namespace
+
 // ---- Runtime ----------------------------------------------------------
 
 Runtime::Runtime(RuntimeConfig config)
@@ -127,12 +144,13 @@ Status Runtime::start() {
   for (auto& l : listeners_) l->start();
   SLEDGE_LOG_INFO(
       "sledge runtime on port %u (%d listeners, %d workers, quantum %lu us, "
-      "%s, dispatcher=%s, sched=%s, admission=%s, pool=%s)",
+      "%s, dispatcher=%s, sched=%s, admission=%s, pool=%s, dataplane=%s)",
       bound_port_, shards, config_.workers,
       static_cast<unsigned long>(config_.quantum_us),
       to_string(config_.policy), to_string(config_.dispatcher),
       to_string(config_.sched), to_string(config_.admission),
-      config_.pool.enabled ? "on" : "off");
+      config_.pool.enabled ? "on" : "off",
+      to_string(config_.invoke_dataplane));
   return Status::ok();
 }
 
@@ -172,6 +190,23 @@ void Runtime::stop() {
   for (auto& l : listeners_) l->wake();
   for (auto& w : workers_) w->join();
   for (auto& l : listeners_) l->join();
+  // Workers are joined before listeners, so a listener's final admission
+  // flush can still hand the dispatcher sandboxes nobody will ever fetch.
+  // Drain them here — the same bookkeeping as a worker abandon — so
+  // shutdown leaks neither sandboxes nor their connection fds.
+  Sandbox* orphan = nullptr;
+  for (int i = 0; i < config_.workers; ++i) {
+    while (dispatcher_->fetch(i, &orphan)) {
+      retired_totals_.drained++;
+      note_retired(static_cast<LoadedModule*>(orphan->user_tag));
+      if (const auto& join = orphan->result_join()) {
+        join->status = engine::kSbErrChildFailed;
+        join->done.store(true, std::memory_order_release);
+      }
+      if (orphan->conn_fd() >= 0) ::close(orphan->conn_fd());
+      delete orphan;
+    }
+  }
   // Fold worker counters into the retired totals before tearing down.
   for (const auto& w : workers_) {
     retired_totals_.completed +=
@@ -203,36 +238,35 @@ void Runtime::stop() {
   }
 }
 
-void Runtime::return_connection(int fd, int shard) {
+void Runtime::return_connection(int fd, int shard, uint64_t gen) {
   if (running() && shard >= 0 &&
       shard < static_cast<int>(listeners_.size())) {
-    listeners_[shard]->return_connection(fd);
+    listeners_[shard]->return_connection(fd, gen);
   } else {
     ::close(fd);
   }
 }
 
-void Runtime::forget_connection(int fd, int shard) {
+void Runtime::forget_connection(int fd, int shard, uint64_t gen) {
   if (running() && shard >= 0 &&
       shard < static_cast<int>(listeners_.size())) {
-    listeners_[shard]->discard_connection(fd);
+    listeners_[shard]->discard_connection(fd, gen);
   }
 }
 
-bool Runtime::invoke_child(Sandbox* parent, const std::string& name,
-                           std::vector<uint8_t> request,
-                           std::shared_ptr<InvokeJoin> join, int32_t* err) {
+LoadedModule* Runtime::admit_invoke_module(const std::string& name,
+                                           int32_t* err) {
   LoadedModule* mod = find_module(name);
   if (!mod) {
     *err = engine::kSbErrNoModule;
-    return false;
+    return nullptr;
   }
   // Children obey the same admission control as listener requests: a
   // draining or saturated runtime sheds the invoke instead of queueing it.
   if (!running() || draining()) {
     note_shed(mod);
     *err = engine::kSbErrOverload;
-    return false;
+    return nullptr;
   }
   switch (admission_check(mod)) {
     case AdmitVerdict::kAdmit:
@@ -240,24 +274,19 @@ bool Runtime::invoke_child(Sandbox* parent, const std::string& name,
     case AdmitVerdict::kShedOverload:
       note_shed(mod);
       *err = engine::kSbErrOverload;
-      return false;
+      return nullptr;
     case AdmitVerdict::kShedDeadline:
       // The child's deadline is unmeetable per the predictor; the parent
       // sees the same overload error either way (no HTTP status here).
       note_shed_deadline(mod);
       *err = engine::kSbErrOverload;
-      return false;
+      return nullptr;
   }
-  std::unique_ptr<Sandbox> child =
-      Sandbox::create(&mod->module, std::move(request));
-  if (!child) {
-    note_shed(mod);
-    *err = engine::kSbErrOverload;
-    return false;
-  }
-  child->user_tag = mod;
-  child->set_result_join(std::move(join));
+  return mod;
+}
 
+void Runtime::configure_invoke_child(Sandbox* parent, LoadedModule* mod,
+                                     Sandbox* child) {
   // The child gets its module's budget, but its wall deadline is clipped to
   // the parent's: when a blocked parent is killed at its deadline (504),
   // the child dies at the same wall instant on its own — no cross-thread
@@ -278,18 +307,115 @@ bool Runtime::invoke_child(Sandbox* parent, const std::string& name,
   child->set_io_config(this, static_cast<uint32_t>(config_.max_sandbox_fds),
                        parent->invoke_depth() + 1,
                        static_cast<uint32_t>(config_.max_invoke_depth));
+  // Grandchildren follow the child module's dataplane (override or config).
+  child->set_invoke_shm(module_invoke_shm(mod));
+  child->mark_invoke_child();
+}
 
+void Runtime::place_invoke_child(Sandbox* parent, LoadedModule* mod,
+                                 std::unique_ptr<Sandbox> child,
+                                 bool zerocopy) {
+  // Locality: prefer the parent's worker when its runnable backlog has
+  // slack — the child starts on warm caches and the join wake is zero-hop.
+  // Only computed for work-stealing, the one dispatcher that honors hints
+  // (deadline order / module affinity dominate in the others), so the
+  // invoke_local counter reflects placements actually requested.
+  int hint = -1;
+  if (config_.invoke_locality &&
+      dispatcher_->kind() == DispatchPolicy::kWorkStealing) {
+    int pw = parent->owner_worker();
+    if (pw >= 0 && pw < static_cast<int>(workers_.size()) &&
+        workers_[pw]->backlog_hint() <= kInvokeLocalitySlack) {
+      hint = pw;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mod->stats.mu);
     mod->stats.requests++;
     mod->stats.startup.record(child->startup_cost_ns());
     (child->pooled() ? mod->stats.startup_pooled : mod->stats.startup_cold)
         .record(child->startup_cost_ns());
+    if (hint >= 0) ++mod->stats.invoke_local;
+    if (zerocopy) ++mod->stats.invoke_zerocopy;
   }
   invokes_.fetch_add(1, std::memory_order_relaxed);
   note_admitted(mod);
-  dispatcher_->inject(child.release());
-  notify_workers();  // the parent's own worker may be the only idle core
+  dispatcher_->inject(child.release(), hint);
+  if (hint >= 0) {
+    notify_worker(hint);
+  } else {
+    notify_workers();  // the parent's own worker may be the only idle core
+  }
+}
+
+bool Runtime::invoke_child(Sandbox* parent, const std::string& name,
+                           std::vector<uint8_t> request,
+                           std::shared_ptr<InvokeJoin> join, int32_t* err) {
+  LoadedModule* mod = admit_invoke_module(name, err);
+  if (!mod) return false;
+  // Zero-copy dataplane: the parent staged its request in a transfer
+  // buffer — the child reads it in place and writes its response into the
+  // buffer's response region, so neither payload crosses a heap copy.
+  //
+  // Copy dataplane: heap ownership does not cross sandbox boundaries — the
+  // child gets its own copy of the request bytes, as any hand-off through
+  // a socket, pipe, or process boundary would (these boundary copies are
+  // precisely what the transfer-buffer plane eliminates).
+  const bool zerocopy = join && join->xfer != nullptr;
+  std::unique_ptr<Sandbox> child = Sandbox::create(
+      &mod->module,
+      zerocopy ? std::vector<uint8_t>() : std::vector<uint8_t>(request));
+  if (!child) {
+    note_shed(mod);
+    *err = engine::kSbErrOverload;
+    return false;
+  }
+  child->user_tag = mod;
+  if (zerocopy) {
+    child->adopt_request_view(join->xfer, join->xfer->get()->len);
+  }
+  child->set_result_join(std::move(join));
+  if (zerocopy) child->wire_result_sink();
+  configure_invoke_child(parent, mod, child.get());
+  place_invoke_child(parent, mod, std::move(child), zerocopy);
+  return true;
+}
+
+bool Runtime::invoke_stream_child(Sandbox* parent, const std::string& name,
+                                  std::vector<uint8_t> request,
+                                  std::shared_ptr<TransferLoan> loan,
+                                  size_t req_len, int32_t* err) {
+  LoadedModule* mod = admit_invoke_module(name, err);
+  if (!mod) return false;
+  // Same boundary semantics as invoke_child: the copy dataplane hands the
+  // child its own copy of the request bytes.
+  const bool zerocopy = loan != nullptr;
+  std::unique_ptr<Sandbox> child = Sandbox::create(
+      &mod->module,
+      zerocopy ? std::vector<uint8_t>() : std::vector<uint8_t>(request));
+  if (!child) {
+    note_shed(mod);
+    *err = engine::kSbErrOverload;
+    return false;
+  }
+  child->user_tag = mod;
+  if (zerocopy) child->adopt_request_view(std::move(loan), req_len);
+  configure_invoke_child(parent, mod, child.get());
+  // Channel transfer happens last — after every failure path above — so a
+  // shed invoke leaves the parent still owning its response channel and
+  // able to answer the error itself. The child inherits either the
+  // parent's HTTP connection (top-level parent) or the parent's upstream
+  // join (parent is itself an invoke child); the hostcall already refused
+  // parents with neither.
+  if (parent->conn_fd() >= 0) {
+    child->adopt_connection(parent->conn_fd(), parent->keep_alive(),
+                            parent->conn_shard(), parent->conn_gen());
+    parent->release_connection();
+  } else {
+    child->set_result_join(parent->take_result_join());
+    child->wire_result_sink();
+  }
+  place_invoke_child(parent, mod, std::move(child), zerocopy);
   return true;
 }
 
@@ -321,6 +447,11 @@ void Runtime::record_completion(Sandbox* sb, SandboxState final_state) {
   mod->stats.predictor.record(sb->queue_wait_ns(), sb->cpu_ns());
   if (sb->io_wait_ns() != 0) mod->stats.io_wait.record(sb->io_wait_ns());
   mod->stats.preemptions += sb->preempt_count();
+  if (sb->is_invoke_child() && sb->first_run_ns() != 0) {
+    // Admission (parent hostcall) -> first dispatch: the hand-off latency
+    // the locality hint exists to shrink.
+    mod->stats.invoke_handoff.record(sb->first_run_ns() - sb->created_ns());
+  }
 }
 
 void Runtime::record_response_write(LoadedModule* mod, uint64_t write_ns,
@@ -406,6 +537,8 @@ Runtime::StatsSnapshot Runtime::snapshot() const {
     ms.shed_deadline = mod->stats.shed_deadline;
     ms.preemptions = mod->stats.preemptions;
     ms.response_bytes = mod->stats.response_bytes;
+    ms.invoke_local = mod->stats.invoke_local;
+    ms.invoke_zerocopy = mod->stats.invoke_zerocopy;
     ms.end_to_end = mod->stats.end_to_end.summary();
     ms.startup = mod->stats.startup.summary();
     ms.startup_pooled = mod->stats.startup_pooled.summary();
@@ -414,6 +547,7 @@ Runtime::StatsSnapshot Runtime::snapshot() const {
     ms.exec_cpu = mod->stats.exec_cpu.summary();
     ms.response_write = mod->stats.response_write.summary();
     ms.io_wait = mod->stats.io_wait.summary();
+    ms.invoke_handoff = mod->stats.invoke_handoff.summary();
     s.modules.push_back(std::move(ms));
   }
   return s;
@@ -512,6 +646,9 @@ std::string Runtime::stats_json() const {
     o["preemptions"] = json::Value(static_cast<double>(m.preemptions));
     o["response_bytes"] =
         json::Value(static_cast<double>(m.response_bytes));
+    o["invoke_local"] = json::Value(static_cast<double>(m.invoke_local));
+    o["invoke_zerocopy"] =
+        json::Value(static_cast<double>(m.invoke_zerocopy));
     o["end_to_end"] = hist_to_json(m.end_to_end);
     o["startup"] = hist_to_json(m.startup);
     o["startup_pooled"] = hist_to_json(m.startup_pooled);
@@ -520,6 +657,7 @@ std::string Runtime::stats_json() const {
     o["exec_cpu"] = hist_to_json(m.exec_cpu);
     o["response_write"] = hist_to_json(m.response_write);
     o["io_wait"] = hist_to_json(m.io_wait);
+    o["invoke_handoff"] = hist_to_json(m.invoke_handoff);
     modules[m.name] = json::Value(std::move(o));
   }
   root["modules"] = json::Value(std::move(modules));
@@ -599,6 +737,8 @@ std::string Runtime::stats_prometheus() const {
       {"sledge_module_shed_deadline_total", &ModuleSnapshot::shed_deadline},
       {"sledge_module_preemptions_total", &ModuleSnapshot::preemptions},
       {"sledge_response_bytes_total", &ModuleSnapshot::response_bytes},
+      {"sledge_invoke_local_total", &ModuleSnapshot::invoke_local},
+      {"sledge_invoke_zerocopy_total", &ModuleSnapshot::invoke_zerocopy},
   };
   for (const ModCounter& c : mod_counters) {
     emit("# TYPE %s counter\n", c.name);
@@ -619,6 +759,7 @@ std::string Runtime::stats_prometheus() const {
       {"sledge_io_wait_seconds", &ModuleSnapshot::io_wait},
       {"sledge_response_write_seconds", &ModuleSnapshot::response_write},
       {"sledge_end_to_end_seconds", &ModuleSnapshot::end_to_end},
+      {"sledge_invoke_handoff_seconds", &ModuleSnapshot::invoke_handoff},
   };
   for (const Phase& p : phases) {
     emit("# TYPE %s summary\n", p.name);
@@ -649,7 +790,7 @@ std::string Runtime::stats_report() const {
                 "runtime: completed=%llu failed=%llu killed=%llu "
                 "drained=%llu shed=%llu shed_deadline=%llu preemptions=%llu "
                 "steals=%llu blocked=%llu woken=%llu invokes=%llu "
-                "(dispatcher=%s sched=%s admission=%s)\n",
+                "(dispatcher=%s sched=%s admission=%s dataplane=%s)\n",
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.failed),
                 static_cast<unsigned long long>(t.killed),
@@ -662,7 +803,8 @@ std::string Runtime::stats_report() const {
                 static_cast<unsigned long long>(t.woken),
                 static_cast<unsigned long long>(t.invokes),
                 to_string(config_.dispatcher), to_string(config_.sched),
-                to_string(config_.admission));
+                to_string(config_.admission),
+                to_string(config_.invoke_dataplane));
   out += buf;
 
   const SandboxResourcePool::Counters pc =
@@ -682,6 +824,12 @@ std::string Runtime::stats_report() const {
                 static_cast<unsigned long long>(pc.stack_hits),
                 static_cast<unsigned long long>(pc.stack_misses),
                 static_cast<unsigned long long>(pc.released));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "xfer: hit/miss=%llu/%llu outstanding=%llu\n",
+                static_cast<unsigned long long>(pc.transfer_hits),
+                static_cast<unsigned long long>(pc.transfer_misses),
+                static_cast<unsigned long long>(pc.transfer_outstanding));
   out += buf;
 
   auto p50_us = [](const LatencyHistogram& h) {
@@ -709,6 +857,18 @@ std::string Runtime::stats_report() const {
         mod->stats.startup_cold.count(), p50_us(mod->stats.startup_cold),
         mod->stats.startup_cold.p99_us());
     out += buf;
+    if (mod->stats.invoke_local != 0 || mod->stats.invoke_zerocopy != 0 ||
+        mod->stats.invoke_handoff.count() != 0) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "  %-12s invoke local=%llu zerocopy=%llu "
+          "handoff(p50=%.1fus p99=%.1fus)\n",
+          "", static_cast<unsigned long long>(mod->stats.invoke_local),
+          static_cast<unsigned long long>(mod->stats.invoke_zerocopy),
+          p50_us(mod->stats.invoke_handoff),
+          mod->stats.invoke_handoff.p99_us());
+      out += buf;
+    }
   }
   return out;
 }

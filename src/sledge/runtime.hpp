@@ -31,6 +31,24 @@ namespace sledge::runtime {
 class Worker;
 class Listener;
 
+// How sb_invoke / sb_invoke_stream payloads travel between parent and
+// child sandboxes:
+//   kCopy — request and response are copied through per-request heap
+//           vectors (the PR 4 baseline; the network-shaped path).
+//   kShm  — payloads ride pooled TransferBuffers: the parent writes its
+//           request into a loaned buffer the child reads directly, and the
+//           child's response comes back in the same buffer (CWASI-style
+//           zero-copy for co-located function-to-function calls).
+enum class InvokeDataplane : uint8_t { kCopy, kShm };
+
+// Per-module dataplane selection: kInherit uses the runtime-wide
+// RuntimeConfig::invoke_dataplane; kCopy/kShm pin it for chains started by
+// sandboxes of that module (useful to quarantine one module onto the copy
+// path, or to A/B the dataplanes inside a single runtime).
+enum class InvokeDataplaneOverride : uint8_t { kInherit, kCopy, kShm };
+
+const char* to_string(InvokeDataplane d);
+
 struct RuntimeConfig {
   uint16_t port = 0;  // 0 = pick a free port (see Runtime::bound_port)
   int workers = 3;
@@ -78,6 +96,13 @@ struct RuntimeConfig {
   // Maximum sb_invoke chain depth (top-level request = depth 0); bounds
   // fan-out loops and recursive self-invocation.
   int max_invoke_depth = 4;
+  // Inter-function payload path: zero-copy pooled transfer buffers (kShm,
+  // default) or the per-request vector copies of the baseline (kCopy).
+  InvokeDataplane invoke_dataplane = InvokeDataplane::kShm;
+  // Prefer placing sb_invoke children on the parent's worker when its
+  // runnable backlog has slack (warm caches, zero-hop join wake). Off =
+  // always use the configured dispatcher's normal placement.
+  bool invoke_locality = true;
 
   // ---- Observability plane ----
   // Serve GET /admin/stats (JSON) and GET /admin/metrics (Prometheus text)
@@ -97,6 +122,8 @@ struct ModuleLimits {
   // Weighted fair share of the admission window (admission = slack only);
   // 0 inherits the default weight of 1.
   uint32_t tenant_weight = 0;
+  // Inter-function dataplane for chains this module's sandboxes start.
+  InvokeDataplaneOverride invoke_dataplane = InvokeDataplaneOverride::kInherit;
 };
 
 struct ModuleStats {
@@ -108,6 +135,11 @@ struct ModuleStats {
   uint64_t shed_deadline = 0;  // admission 504-earlys (unmeetable deadline)
   uint64_t preemptions = 0;       // quantum expiries across all requests
   uint64_t response_bytes = 0;    // HTTP bytes written (incl. headers)
+  // Inter-function dataplane: children of this module placed on their
+  // parent's worker (locality hint honored at inject), and children whose
+  // request rode a zero-copy transfer buffer instead of a heap copy.
+  uint64_t invoke_local = 0;
+  uint64_t invoke_zerocopy = 0;
   LatencyHistogram end_to_end;  // sandbox creation -> completion
   LatencyHistogram startup;     // sandbox allocation cost (all requests)
   // Pooled-vs-cold split of `startup`: warm starts (every resource off a
@@ -123,6 +155,9 @@ struct ModuleStats {
   // Wall time spent blocked on I/O wake conditions (outbound sockets,
   // sleeps, child invocations) — the overlap the event loop buys.
   LatencyHistogram io_wait;
+  // sb_invoke child hand-off: admission (parent hostcall) -> first dispatch
+  // on a worker. The latency the locality hint exists to shrink.
+  LatencyHistogram invoke_handoff;
   // Sliding-window queue_wait/exec_cpu p99 predictor feeding expected-slack
   // admission (record() under `mu`; reads are lock-free).
   SlackPredictor predictor;
@@ -176,6 +211,20 @@ class Runtime : public InvokeBroker {
   Status update_module_limits(const std::string& name,
                               const ModuleLimits& limits);
 
+  // Resolved dataplane for chains started by `mod`'s sandboxes: the
+  // per-module override when set, the runtime-wide config otherwise.
+  bool module_invoke_shm(const LoadedModule* mod) const {
+    switch (mod->limits.invoke_dataplane) {
+      case InvokeDataplaneOverride::kCopy:
+        return false;
+      case InvokeDataplaneOverride::kShm:
+        return true;
+      case InvokeDataplaneOverride::kInherit:
+        break;
+    }
+    return config_.invoke_dataplane == InvokeDataplane::kShm;
+  }
+
   const RuntimeConfig& config() const { return config_; }
   Dispatcher& dispatcher() { return *dispatcher_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -186,11 +235,13 @@ class Runtime : public InvokeBroker {
   // Worker -> listener: hand a kept-alive connection back after a response.
   // `shard` is the owning listener shard (Sandbox::conn_shard) — each shard
   // has its own epoll set and parked-Conn table, so the fd must go home.
-  void return_connection(int fd, int shard);
+  // `gen` is the loan generation (Sandbox::conn_gen), checked by the shard
+  // so messages about a recycled fd number cannot touch a newer loan.
+  void return_connection(int fd, int shard, uint64_t gen);
   // Worker -> listener: a loaned connection fd was closed worker-side; the
   // owning shard must discard any parked state (e.g. stashed pipelined
   // bytes) it still holds for that fd.
-  void forget_connection(int fd, int shard);
+  void forget_connection(int fd, int shard, uint64_t gen);
   // Resolved shard count (config.num_listeners, 0 -> min(4, cores)).
   int num_listeners() const;
 
@@ -201,6 +252,13 @@ class Runtime : public InvokeBroker {
   bool invoke_child(Sandbox* parent, const std::string& name,
                     std::vector<uint8_t> request,
                     std::shared_ptr<InvokeJoin> join, int32_t* err) override;
+  // sb_invoke_stream: admits a child that inherits the parent's response
+  // channel (HTTP connection or upstream join) instead of rendezvousing —
+  // pipelined chains pay one hand-off per stage, not a join per stage.
+  bool invoke_stream_child(Sandbox* parent, const std::string& name,
+                           std::vector<uint8_t> request,
+                           std::shared_ptr<TransferLoan> loan, size_t req_len,
+                           int32_t* err) override;
   // Pings one worker's (or every worker's) event loop: new injected work,
   // child completion, or stop. Out-of-range index = no-op.
   void notify_worker(int index);
@@ -302,6 +360,8 @@ class Runtime : public InvokeBroker {
     uint64_t shed_deadline = 0;
     uint64_t preemptions = 0;
     uint64_t response_bytes = 0;
+    uint64_t invoke_local = 0;
+    uint64_t invoke_zerocopy = 0;
     int64_t inflight = 0;
     uint32_t tenant_weight = 1;
     // Live predictor state (what the admission gate sees).
@@ -315,6 +375,7 @@ class Runtime : public InvokeBroker {
     LatencyHistogram::Summary exec_cpu;
     LatencyHistogram::Summary response_write;
     LatencyHistogram::Summary io_wait;
+    LatencyHistogram::Summary invoke_handoff;
   };
   struct WorkerSnapshot {
     int id = 0;
@@ -354,6 +415,18 @@ class Runtime : public InvokeBroker {
  private:
   friend class Worker;
   friend class Listener;
+
+  // Shared front half of sb_invoke / sb_invoke_stream admission: resolves
+  // the module and applies the same admission control as listener requests.
+  // nullptr = shed (err set); counters already recorded.
+  LoadedModule* admit_invoke_module(const std::string& name, int32_t* err);
+  // Budget/deadline clipping + I/O config + dataplane flags for an admitted
+  // invoke child.
+  void configure_invoke_child(Sandbox* parent, LoadedModule* mod,
+                              Sandbox* child);
+  // Back half: stats, locality-hinted dispatch, worker notification.
+  void place_invoke_child(Sandbox* parent, LoadedModule* mod,
+                          std::unique_ptr<Sandbox> child, bool zerocopy);
 
   RuntimeConfig config_;
   std::map<std::string, std::unique_ptr<LoadedModule>> modules_;

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -24,6 +25,34 @@ namespace {
 constexpr size_t kStackSize = 512 * 1024;
 constexpr size_t kGuardSize = 4096;
 std::atomic<Sandbox::CreateFaultHook> g_create_fault_hook{nullptr};
+
+// Transfer-buffer sizing: leave room for a same-order response after the
+// 16-byte-aligned request region so typical request->response chains never
+// spill to the heap vector. The reserve scales with the request (echo-shaped
+// responses are the common case); 4 KiB is the floor for tiny requests with
+// larger replies. A response that still overflows spills to the heap vector.
+constexpr size_t kTransferRespReserve = 4096;
+
+size_t align16(size_t n) { return (n + 15) & ~size_t{15}; }
+
+size_t transfer_acquire_size(size_t req_len) {
+  size_t req_aligned = align16(req_len);
+  return req_aligned + std::max(kTransferRespReserve, req_aligned);
+}
+
+// Tenant key for zero-on-reuse: a (caller module, callee name) pair. Two
+// hops of the same chain shape share buffers without scrubbing; any other
+// pair forces a zero fill before handout. splitmix64 over the caller tag.
+uint64_t transfer_tenant_key(const void* caller_tag, const uint8_t* name,
+                             uint32_t name_len) {
+  uint64_t h = reinterpret_cast<uintptr_t>(caller_tag) + 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  for (uint32_t i = 0; i < name_len; ++i) {
+    h = (h ^ name[i]) * 0x100000001b3ull;
+  }
+  return h ^ (h >> 31);
+}
 }  // namespace
 
 const char* to_string(SandboxState s) {
@@ -171,6 +200,10 @@ void Sandbox::entry() {
   env_.invoke_hook = [this](const uint8_t* n, uint32_t nl, const uint8_t* rq,
                             uint32_t rl, uint8_t* rs, uint32_t rc) {
     return io_invoke(n, nl, rq, rl, rs, rc);
+  };
+  env_.invoke_stream_hook = [this](const uint8_t* n, uint32_t nl,
+                                   const uint8_t* rq, uint32_t rl) {
+    return io_invoke_stream(n, nl, rq, rl);
   };
 
   if (kill_requested()) {
@@ -360,10 +393,28 @@ int32_t Sandbox::io_invoke(const uint8_t* name, uint32_t name_len,
   // destructor even across a longjmp unwind) and by the child sandbox.
   pending_join_ = std::make_shared<InvokeJoin>();
   pending_join_->waiter_worker = owner_worker_;
+
+  // Zero-copy (shm) dataplane: stage the request in a pooled transfer
+  // buffer the child reads directly; its response comes back in the same
+  // buffer. Acquire failure silently falls back to the copy dataplane.
+  std::vector<uint8_t> request;
+  if (invoke_shm_) {
+    TransferBuffer* tb = SandboxResourcePool::instance().acquire_transfer(
+        transfer_acquire_size(req_len),
+        transfer_tenant_key(user_tag, name, name_len));
+    if (tb) {
+      if (req_len != 0) std::memcpy(tb->data, req, req_len);
+      tb->len = req_len;
+      pending_join_->xfer = std::make_shared<TransferLoan>(tb);
+      pending_join_->xfer_resp_off = align16(req_len);
+    }
+  }
+  if (!pending_join_->xfer) request.assign(req, req + req_len);
+
   int32_t err = 0;
   if (!broker_->invoke_child(
           this, std::string(reinterpret_cast<const char*>(name), name_len),
-          std::vector<uint8_t>(req, req + req_len), pending_join_, &err)) {
+          std::move(request), pending_join_, &err)) {
     pending_join_.reset();
     return err;
   }
@@ -375,12 +426,57 @@ int32_t Sandbox::io_invoke(const uint8_t* name, uint32_t name_len,
     pending_join_.reset();
     return status;
   }
-  const std::vector<uint8_t>& r = pending_join_->response;
-  uint32_t n = static_cast<uint32_t>(
-      r.size() < resp_cap ? r.size() : resp_cap);
-  if (n != 0) std::memcpy(resp, r.data(), n);
-  pending_join_.reset();
+  // Response location (published before the `done` release-store): the
+  // transfer buffer's response region on the shm fast path, the heap
+  // vector on the copy dataplane or after a sink spill.
+  const uint8_t* src;
+  size_t len;
+  if (pending_join_->resp_in_xfer) {
+    src = pending_join_->xfer->get()->data + pending_join_->xfer_resp_off;
+    len = pending_join_->xfer_resp_len;
+  } else {
+    src = pending_join_->response.data();
+    len = pending_join_->response.size();
+  }
+  uint32_t n = static_cast<uint32_t>(len < resp_cap ? len : resp_cap);
+  if (n != 0) std::memcpy(resp, src, n);
+  pending_join_.reset();  // drops the transfer loan with it
   return static_cast<int32_t>(n);
+}
+
+int32_t Sandbox::io_invoke_stream(const uint8_t* name, uint32_t name_len,
+                                  const uint8_t* req, uint32_t req_len) {
+  if (!broker_) return SbIoError::kSbErrUnsupported;
+  if (invoke_depth_ + 1 > max_invoke_depth_) return SbIoError::kSbErrDepth;
+  if (name_len >= 64) return SbIoError::kSbErrNoModule;
+  // The hand-off needs a channel to give away: either our HTTP connection
+  // or the upstream join we would have answered. Without one the child's
+  // response would have nowhere to go.
+  if (conn_fd_ < 0 && !result_join_) return SbIoError::kSbErrNoChannel;
+
+  std::shared_ptr<TransferLoan> loan;
+  std::vector<uint8_t> request;
+  if (invoke_shm_) {
+    TransferBuffer* tb = SandboxResourcePool::instance().acquire_transfer(
+        transfer_acquire_size(req_len),
+        transfer_tenant_key(user_tag, name, name_len));
+    if (tb) {
+      if (req_len != 0) std::memcpy(tb->data, req, req_len);
+      tb->len = req_len;
+      loan = std::make_shared<TransferLoan>(tb);
+    }
+  }
+  if (!loan) request.assign(req, req + req_len);
+
+  int32_t err = 0;
+  if (!broker_->invoke_stream_child(
+          this, std::string(reinterpret_cast<const char*>(name), name_len),
+          std::move(request), std::move(loan), req_len, &err)) {
+    return err;
+  }
+  // Channel transferred: we finish as a detached stage. Anything we
+  // resp_write from here on is discarded at retirement.
+  return 0;
 }
 
 void Sandbox::mark_killed_undispatched() {

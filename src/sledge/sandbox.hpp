@@ -62,6 +62,17 @@ struct InvokeJoin {
   std::vector<uint8_t> response;
   int waiter_worker = -1;  // worker index to notify on completion
   std::atomic<bool> done{false};
+
+  // ---- Zero-copy (shm) dataplane ----
+  //
+  // When set, the request bytes live at xfer[0, request len) and the child
+  // appends its response at xfer_resp_off. The loan is shared with the
+  // parent's hostcall frame and the child sandbox, so the buffer returns to
+  // the pool only after every party (in any death order) lets go.
+  std::shared_ptr<TransferLoan> xfer;
+  size_t xfer_resp_off = 0;   // response region start (16-byte aligned)
+  size_t xfer_resp_len = 0;   // child's response bytes in the xfer region
+  bool resp_in_xfer = false;  // response lives in xfer, not `response`
 };
 
 // How a sandbox reaches back into the runtime to spawn a child request
@@ -77,6 +88,15 @@ class InvokeBroker {
                             std::vector<uint8_t> request,
                             std::shared_ptr<InvokeJoin> join,
                             int32_t* err) = 0;
+  // sb_invoke_stream: admits a child that INHERITS the parent's response
+  // channel (HTTP connection or upstream join) — no join back to the
+  // parent. On the shm dataplane `request` is empty and the payload rides
+  // `loan`; otherwise `loan` is null. On failure (false, *err set) the
+  // parent's channel is untouched.
+  virtual bool invoke_stream_child(Sandbox* parent, const std::string& name,
+                                   std::vector<uint8_t> request,
+                                   std::shared_ptr<TransferLoan> loan,
+                                   size_t req_len, int32_t* err) = 0;
 };
 
 class Sandbox {
@@ -113,6 +133,8 @@ class Sandbox {
   int32_t io_invoke(const uint8_t* name, uint32_t name_len,
                     const uint8_t* req, uint32_t req_len, uint8_t* resp,
                     uint32_t resp_cap);
+  int32_t io_invoke_stream(const uint8_t* name, uint32_t name_len,
+                           const uint8_t* req, uint32_t req_len);
 
   // Per-sandbox I/O limits and the runtime broker for sb_invoke; set at
   // admission (before the first dispatch). `depth` is this request's
@@ -144,6 +166,77 @@ class Sandbox {
   const std::shared_ptr<InvokeJoin>& result_join() const {
     return result_join_;
   }
+
+  // ---- Zero-copy (shm) invoke dataplane ----
+  //
+  // Set at admission alongside set_io_config; when true, this sandbox's
+  // outbound sb_invoke / sb_invoke_stream calls carry their request in a
+  // pooled TransferBuffer instead of a heap vector.
+  void set_invoke_shm(bool on) { invoke_shm_ = on; }
+  bool invoke_shm() const { return invoke_shm_; }
+  // Child side (shm): read the request straight out of the loaned transfer
+  // buffer. The loan is retained so the bytes outlive every death order.
+  void adopt_request_view(std::shared_ptr<TransferLoan> loan, size_t req_len) {
+    env_.req_view = loan->get()->data;
+    env_.req_view_len = req_len;
+    req_hold_ = std::move(loan);
+  }
+  // Child side (shm): append response bytes into the result join's transfer
+  // buffer so the waiting parent reads them without a heap hop. No-op when
+  // there is no join or no buffer (HTTP-channeled or copy-dataplane child).
+  void wire_result_sink() {
+    if (!result_join_ || !result_join_->xfer) return;
+    TransferBuffer* tb = result_join_->xfer->get();
+    if (result_join_->xfer_resp_off >= tb->cap) return;
+    env_.resp_sink = tb->data + result_join_->xfer_resp_off;
+    env_.resp_sink_cap = tb->cap - result_join_->xfer_resp_off;
+    env_.resp_sink_len = 0;
+  }
+  // Worker side, at retirement: hand the response to the waiting parent —
+  // either by publishing the sink length (bytes are already in the transfer
+  // buffer) or by moving the heap vector. Must run strictly before the
+  // join's `done` release-store.
+  void harvest_response(InvokeJoin* join) {
+    if (env_.resp_sink && join == result_join_.get()) {
+      if (env_.response.empty()) {
+        join->xfer_resp_len = env_.resp_sink_len;
+        join->resp_in_xfer = true;
+      } else {
+        // Sink overflow: the oversized response spilled to the heap
+        // vector; hand it over without a further copy.
+        join->response = std::move(env_.response);
+      }
+    } else {
+      // Copy dataplane: the response crosses the sandbox boundary by
+      // value — the join owns its own bytes, mirroring the request-side
+      // hand-off (see Runtime::invoke_child).
+      join->response = env_.response;
+    }
+  }
+
+  // ---- Stream hand-off (sb_invoke_stream) ----
+  //
+  // The broker moves the parent's response channel to the child: exactly
+  // one of an HTTP connection or an upstream join transfers.
+  void adopt_connection(int fd, bool keep_alive, int shard, uint64_t gen) {
+    conn_fd_ = fd;
+    keep_alive_ = keep_alive;
+    conn_shard_ = shard;
+    conn_gen_ = gen;
+  }
+  void release_connection() {
+    conn_fd_ = -1;
+    keep_alive_ = false;
+    conn_gen_ = 0;
+  }
+  std::shared_ptr<InvokeJoin> take_result_join() {
+    return std::move(result_join_);
+  }
+
+  // Marks sandboxes admitted via sb_invoke / sb_invoke_stream so completion
+  // accounting can record the hand-off phase (created -> first run).
+  void mark_invoke_child() { invoke_child_ = true; }
+  bool is_invoke_child() const { return invoke_child_; }
 
   // Worker that currently owns this sandbox (dispatching it or holding it
   // blocked); -1 before first dispatch. Single-writer: the owning worker.
@@ -218,6 +311,10 @@ class Sandbox {
   // to this shard (each shard has its own epoll set and connection table).
   int conn_shard() const { return conn_shard_; }
   void set_conn_shard(int shard) { conn_shard_ = shard; }
+  // Loan generation of conn_fd (stamped by the listener at admission);
+  // echoed in return/discard so recycled fd numbers cannot alias loans.
+  uint64_t conn_gen() const { return conn_gen_; }
+  void set_conn_gen(uint64_t gen) { conn_gen_ = gen; }
   uint64_t wake_at_ns() const { return wake_at_ns_; }
 
   uint64_t created_ns() const { return t_created_; }
@@ -288,6 +385,7 @@ class Sandbox {
   std::atomic<SandboxState> state_{SandboxState::kAllocated};
   int conn_fd_ = -1;
   int conn_shard_ = 0;
+  uint64_t conn_gen_ = 0;
   bool keep_alive_ = false;
 
   ExecStack* stack_ = nullptr;  // pooled: guarded stack + ucontext storage
@@ -307,6 +405,10 @@ class Sandbox {
   // unwind cannot leak the join: the destructor drops the reference.
   std::shared_ptr<InvokeJoin> pending_join_;
   std::shared_ptr<InvokeJoin> result_join_;  // set when we ARE the child
+  // Keeps the transfer buffer backing env_.req_view alive (shm children).
+  std::shared_ptr<TransferLoan> req_hold_;
+  bool invoke_shm_ = false;
+  bool invoke_child_ = false;
   int owner_worker_ = -1;
   uint64_t io_wait_ns_ = 0;
 

@@ -24,13 +24,16 @@
 //   "drain_grace_ms": 2000,  // graceful-stop bound for in-flight requests
 //   "max_sandbox_fds": 8,    // per-sandbox open outbound-socket cap
 //   "max_invoke_depth": 4,   // sb_invoke chain depth cap (top level = 0)
+//   "invoke_dataplane": "shm",  // | "copy" (per-request vector copies)
+//   "invoke_locality": true,    // place invoke children on parent's worker
 //   "admin_endpoint": true,  // GET /admin/stats (JSON) + /admin/metrics
 //   "access_log": "",        // per-request JSON lines file ("" = off)
 //   "modules": [
 //     {"name": "fib", "wasm": "path/to/fib.wasm"},
 //     {"name": "ekf", "minicc": "src/apps/wasm_src/ekf.mc",
 //      "budget_us": 50000, "deadline_us": 200000,   // per-module overrides
-//      "tenant_weight": 2}   // fair-share weight (admission = "slack")
+//      "tenant_weight": 2,   // fair-share weight (admission = "slack")
+//      "invoke_dataplane": "copy"}  // | "shm" (unset = inherit global)
 //   ]
 // }
 //
@@ -69,6 +72,18 @@ Result<runtime::RuntimeConfig> parse_config(const json::Value& doc) {
       static_cast<uint64_t>(doc["drain_grace_ms"].as_int(2000)) * 1'000'000;
   cfg.max_sandbox_fds = static_cast<int>(doc["max_sandbox_fds"].as_int(8));
   cfg.max_invoke_depth = static_cast<int>(doc["max_invoke_depth"].as_int(4));
+  const std::string& dataplane = doc["invoke_dataplane"].as_string();
+  if (dataplane == "copy") {
+    cfg.invoke_dataplane = runtime::InvokeDataplane::kCopy;
+  } else if (dataplane.empty() || dataplane == "shm") {
+    cfg.invoke_dataplane = runtime::InvokeDataplane::kShm;
+  } else {
+    return Result<runtime::RuntimeConfig>::error("unknown invoke_dataplane: " +
+                                                 dataplane);
+  }
+  if (doc["invoke_locality"].is_bool()) {
+    cfg.invoke_locality = doc["invoke_locality"].as_bool();
+  }
   if (doc["admin_endpoint"].is_bool()) {
     cfg.admin_endpoint = doc["admin_endpoint"].as_bool();
   }
@@ -220,6 +235,16 @@ int main(int argc, char** argv) {
         static_cast<uint64_t>(module["deadline_us"].as_int(0)) * 1000;
     limits.tenant_weight =
         static_cast<uint32_t>(module["tenant_weight"].as_int(0));
+    const std::string& mod_dataplane = module["invoke_dataplane"].as_string();
+    if (mod_dataplane == "copy") {
+      limits.invoke_dataplane = runtime::InvokeDataplaneOverride::kCopy;
+    } else if (mod_dataplane == "shm") {
+      limits.invoke_dataplane = runtime::InvokeDataplaneOverride::kShm;
+    } else if (!mod_dataplane.empty()) {
+      std::fprintf(stderr, "module %s: unknown invoke_dataplane: %s\n",
+                   name.c_str(), mod_dataplane.c_str());
+      return 1;
+    }
     Status s = rt.register_module(name, wasm_bytes, limits);
     if (!s.is_ok()) {
       std::fprintf(stderr, "%s\n", s.message().c_str());

