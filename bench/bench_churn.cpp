@@ -5,30 +5,39 @@
 //   * fork + exec + wait of the equivalent native function binary (the
 //     Nuclio-model per-invocation cost).
 // Reports avg and p99 over SLEDGE_BENCH_ITERS iterations (default 300;
-// paper used 10k), plus the creation-only component.
+// paper used 10k), plus the creation-only component — for each of the
+// three instantiation tiers:
+//   cold     fresh mmap reservation per sandbox (resource pool bypassed)
+//   pooled   recycled reservation from the sandbox resource pool
+//   snapshot pooled reservation + MAP_PRIVATE mmap of the sealed memfd
+//            template (post-start image materializes copy-on-write; no
+//            zeroing, no data-segment copies, no start function)
+// Emits BENCH_churn.json (override path with SLEDGE_BENCH_OUT).
 //
-// --smoke: instead of the fork+exec comparison, measure sandbox creation
-// with the resource pool disabled (cold) and enabled (warm) in this one
-// binary and fail (exit 1) unless warm p50 < cold p50. CI-sized pool
-// acceptance check.
+// --smoke: measure just the three creation tiers at reduced iterations and
+// fail (exit 1) unless snapshot p50 < pooled p50 < cold p50. CI-sized
+// acceptance gate for the snapshot/COW subsystem (scripts/check.sh).
 #include <cstring>
 
 #include "bench_util.hpp"
 #include "procfaas/procfaas.hpp"
 #include "sledge/runtime.hpp"
+#include "sledge/snapshot.hpp"
 
 using namespace sledge;
 using namespace sledge::bench;
 
 namespace {
 
-// One cold-or-warm measurement pass: reconfigure + drain the process-wide
-// pool, warm unrelated caches with a throwaway request, then time
-// Sandbox::create over `iters` full create/run/teardown cycles (teardown is
-// what refills the free lists between pooled iterations).
+// One per-tier measurement pass: reconfigure + drain the process-wide pool,
+// warm unrelated caches with a throwaway request (which also builds the
+// snapshot template on the snapshot tier), then time Sandbox::create over
+// `iters` full create/run/teardown cycles (teardown is what refills the
+// free lists between pooled iterations).
 bool measure_create(const engine::WasmModule* mod,
                     const std::vector<uint8_t>& request, int iters,
-                    bool pool_enabled, LatencyHistogram* create_only) {
+                    runtime::InstantiationMode mode, bool pool_enabled,
+                    LatencyHistogram* create_only) {
   auto& pool = runtime::SandboxResourcePool::instance();
   runtime::SandboxResourcePool::Config pc;
   pc.enabled = pool_enabled;
@@ -36,13 +45,13 @@ bool measure_create(const engine::WasmModule* mod,
   pool.purge();
   pool.reset_counters();
   {
-    auto sb = runtime::Sandbox::create(mod, request);
+    auto sb = runtime::Sandbox::create(mod, request, -1, false, mode);
     if (!sb) return false;
     runtime::run_sandbox_inline(sb.get());
   }
   for (int i = 0; i < iters; ++i) {
     Stopwatch sw;
-    auto sb = runtime::Sandbox::create(mod, request);
+    auto sb = runtime::Sandbox::create(mod, request, -1, false, mode);
     uint64_t create_ns = sw.elapsed_ns();
     if (!sb) return false;
     create_only->record(create_ns);
@@ -51,43 +60,105 @@ bool measure_create(const engine::WasmModule* mod,
   return true;
 }
 
-int run_smoke(const engine::WasmModule* mod,
-              const std::vector<uint8_t>& request, int iters) {
-  LatencyHistogram cold, warm;
-  if (!measure_create(mod, request, iters, /*pool_enabled=*/false, &cold) ||
-      !measure_create(mod, request, iters, /*pool_enabled=*/true, &warm)) {
-    std::fprintf(stderr, "sandbox creation failed\n");
+struct Tiers {
+  LatencyHistogram cold, pooled, snapshot;
+};
+
+// Cold runs with the pool disabled AND the cold mode (fresh reservation,
+// fresh stack); pooled/snapshot run with the pool enabled so recycled
+// reservations are what get measured.
+bool measure_tiers(const engine::WasmModule* mod,
+                   const std::vector<uint8_t>& request, int iters, Tiers* t) {
+  using runtime::InstantiationMode;
+  runtime::SnapshotRegistry::instance().reset_counters();
+  return measure_create(mod, request, iters, InstantiationMode::kCold,
+                        /*pool_enabled=*/false, &t->cold) &&
+         measure_create(mod, request, iters, InstantiationMode::kPooled,
+                        /*pool_enabled=*/true, &t->pooled) &&
+         measure_create(mod, request, iters, InstantiationMode::kSnapshot,
+                        /*pool_enabled=*/true, &t->snapshot);
+}
+
+double p50_us(const LatencyHistogram& h) {
+  return static_cast<double>(h.percentile_ns(0.5)) / 1000.0;
+}
+
+void print_tiers(const Tiers& t) {
+  std::printf("%-36s %12s %12s\n", "", "50%", "99%");
+  std::printf("%-36s %10.1fus %10.1fus\n", "create, cold (fresh mmap)",
+              p50_us(t.cold), t.cold.p99_us());
+  std::printf("%-36s %10.1fus %10.1fus\n", "create, pooled (recycled rsv)",
+              p50_us(t.pooled), t.pooled.p99_us());
+  std::printf("%-36s %10.1fus %10.1fus\n", "create, snapshot (COW template)",
+              p50_us(t.snapshot), t.snapshot.p99_us());
+  std::printf("%-36s %11.2fx\n", "cold / pooled p50 ratio",
+              p50_us(t.cold) / p50_us(t.pooled));
+  std::printf("%-36s %11.2fx\n", "pooled / snapshot p50 ratio",
+              p50_us(t.pooled) / p50_us(t.snapshot));
+  const runtime::SnapshotRegistry::Counters sc =
+      runtime::SnapshotRegistry::instance().counters();
+  std::printf("snapshot registry: hits=%llu misses=%llu builds=%llu "
+              "failures=%llu\n",
+              static_cast<unsigned long long>(sc.hits),
+              static_cast<unsigned long long>(sc.misses),
+              static_cast<unsigned long long>(sc.builds),
+              static_cast<unsigned long long>(sc.build_failures));
+}
+
+bool write_json(const Tiers& t, int iters, const LatencyHistogram* fork_exec) {
+  const char* out_path = std::getenv("SLEDGE_BENCH_OUT");
+  if (!out_path || !out_path[0]) out_path = "BENCH_churn.json";
+  FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return false;
+  }
+  auto tier = [&](const char* name, const LatencyHistogram& h,
+                  const char* trail) {
+    std::fprintf(f,
+                 "    {\"tier\": \"%s\", \"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"mean_us\": %.2f}%s\n",
+                 name, p50_us(h), h.p99_us(), h.mean_us(), trail);
+  };
+  std::fprintf(f,
+               "{\n  \"bench\": \"churn\",\n"
+               "  \"workload\": {\"app\": \"ekf\", \"iters\": %d},\n"
+               "  \"tiers\": [\n",
+               iters);
+  tier("cold", t.cold, ",");
+  tier("pooled", t.pooled, ",");
+  tier("snapshot", t.snapshot, fork_exec ? "," : "");
+  if (fork_exec) tier("fork_exec_native", *fork_exec, "");
+  std::fprintf(f,
+               "  ],\n  \"headline\": {\"cold_over_pooled_p50\": %.3f, "
+               "\"pooled_over_snapshot_p50\": %.3f, "
+               "\"cold_over_snapshot_p50\": %.3f}\n}\n",
+               p50_us(t.cold) / p50_us(t.pooled),
+               p50_us(t.pooled) / p50_us(t.snapshot),
+               p50_us(t.cold) / p50_us(t.snapshot));
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return true;
+}
+
+// The CI gate: the tiers must actually be ordered, or the subsystem is not
+// earning its keep.
+int check_ordering(const Tiers& t) {
+  if (p50_us(t.snapshot) >= p50_us(t.pooled)) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot create p50 (%.1fus) not below pooled p50 "
+                 "(%.1fus)\n",
+                 p50_us(t.snapshot), p50_us(t.pooled));
     return 1;
   }
-  auto& pool = runtime::SandboxResourcePool::instance();
-  runtime::SandboxResourcePool::Counters c = pool.counters();
-  pool.purge();
-
-  auto p50_us = [](const LatencyHistogram& h) {
-    return static_cast<double>(h.percentile_ns(0.5)) / 1000.0;
-  };
-  std::printf("%-36s %12s %12s\n", "", "50%", "99%");
-  std::printf("%-36s %10.1fus %10.1fus\n", "create, pool disabled (cold)",
-              p50_us(cold), cold.p99_us());
-  std::printf("%-36s %10.1fus %10.1fus\n", "create, pool enabled (warm)",
-              p50_us(warm), warm.p99_us());
-  std::printf("%-36s %11.2fx\n", "cold / warm p50 ratio",
-              p50_us(cold) / p50_us(warm));
-  std::printf("warm pass pool counters: mem hit/miss=%llu/%llu "
-              "stack hit/miss=%llu/%llu\n",
-              static_cast<unsigned long long>(c.memory_hits),
-              static_cast<unsigned long long>(c.memory_misses),
-              static_cast<unsigned long long>(c.stack_hits),
-              static_cast<unsigned long long>(c.stack_misses));
-
-  if (p50_us(warm) >= p50_us(cold)) {
+  if (p50_us(t.pooled) >= p50_us(t.cold)) {
     std::fprintf(stderr,
                  "FAIL: pooled create p50 (%.1fus) not below cold p50 "
                  "(%.1fus)\n",
-                 p50_us(warm), p50_us(cold));
+                 p50_us(t.pooled), p50_us(t.cold));
     return 1;
   }
-  std::printf("PASS: pooled create p50 below cold p50\n");
+  std::printf("PASS: snapshot p50 < pooled p50 < cold p50\n");
   return 0;
 }
 
@@ -95,9 +166,10 @@ int run_smoke(const engine::WasmModule* mod,
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  print_header(smoke ? "Churn smoke: pooled vs cold sandbox startup (GPS-EKF)"
-                     : "Churn: Sledge sandbox vs fork+exec+wait (GPS-EKF)",
-               "Table 3");
+  print_header(
+      smoke ? "Churn smoke: cold vs pooled vs snapshot startup (GPS-EKF)"
+            : "Churn: Sledge sandbox vs fork+exec+wait (GPS-EKF)",
+      "Table 3");
 
   const int iters = static_cast<int>(env_long("SLEDGE_BENCH_ITERS", 300));
   std::vector<uint8_t> request = apps::app_request("ekf");
@@ -114,28 +186,38 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (smoke) return run_smoke(&mod.value(), request, iters);
+  Tiers tiers;
+  if (!measure_tiers(&mod.value(), request, iters, &tiers)) {
+    std::fprintf(stderr, "sandbox creation failed\n");
+    return 1;
+  }
+  print_tiers(tiers);
 
-  // Warm both paths.
+  if (smoke) {
+    int rc = check_ordering(tiers);
+    if (rc == 0 && !write_json(tiers, iters, nullptr)) rc = 1;
+    runtime::SandboxResourcePool::instance().purge();
+    runtime::SnapshotRegistry::instance().clear();
+    return rc;
+  }
+
+  // Full mode: add the fork+exec+wait comparison (the per-invocation
+  // process-isolation baseline) and the create+run+teardown cycle time.
   {
-    auto sb = runtime::Sandbox::create(&mod.value(), request);
-    runtime::run_sandbox_inline(sb.get());
     std::vector<uint8_t> resp;
     procfaas::spawn_function_process(fn_path("ekf"), request, &resp);
   }
 
-  LatencyHistogram create_only, sandbox_full, fork_exec;
-
+  LatencyHistogram sandbox_full, fork_exec;
   for (int i = 0; i < iters; ++i) {
     Stopwatch sw;
-    auto sb = runtime::Sandbox::create(&mod.value(), request);
-    create_only.record(sw.elapsed_ns());
+    auto sb = runtime::Sandbox::create(&mod.value(), request, -1, false,
+                                       runtime::InstantiationMode::kSnapshot);
     if (!sb) return 1;
     runtime::run_sandbox_inline(sb.get());
     sb.reset();  // teardown included
     sandbox_full.record(sw.elapsed_ns());
   }
-
   for (int i = 0; i < iters; ++i) {
     std::vector<uint8_t> resp;
     Stopwatch sw;
@@ -147,10 +229,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%-36s %12s %12s\n", "", "Avg", "99%");
-  std::printf("%-36s %10.1fus %10.1fus\n", "Sledge sandbox create only",
-              create_only.mean_us(), create_only.p99_us());
   std::printf("%-36s %10.1fus %10.1fus\n",
-              "Sledge sandbox create+run+teardown", sandbox_full.mean_us(),
+              "Sledge create+run+teardown (snap)", sandbox_full.mean_us(),
               sandbox_full.p99_us());
   std::printf("%-36s %10.1fus %10.1fus\n", "fork + exec + wait (native)",
               fork_exec.mean_us(), fork_exec.p99_us());
@@ -161,5 +241,10 @@ int main(int argc, char** argv) {
 
   std::printf("\nPaper (Table 3): Sledge sandbox 61us avg / 146us p99; "
               "fork+exec+wait 487us avg / 588us p99 (~8x avg).\n");
-  return 0;
+
+  int rc = check_ordering(tiers);
+  if (!write_json(tiers, iters, &fork_exec)) rc = 1;
+  runtime::SandboxResourcePool::instance().purge();
+  runtime::SnapshotRegistry::instance().clear();
+  return rc;
 }

@@ -22,6 +22,9 @@ echo "== listener saturation bench (smoke) =="
 echo "== invoke dataplane bench (smoke: shm p50 must beat copy p50) =="
 ./build/bench/bench_invoke --smoke
 
+echo "== churn bench (smoke: snapshot p50 < pooled p50 < cold p50) =="
+./build/bench/bench_churn --smoke
+
 echo "== asan: configure + build + sanitizer-safe tests =="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
@@ -43,5 +46,9 @@ ctest --preset tsan-listener -j "$(nproc)"
 echo "== tsan: invoke dataplane soak (transfer pool + hinted injection) =="
 cmake --build --preset tsan -j "$(nproc)" --target invoke_soak_test
 ctest --preset tsan-invoke -j "$(nproc)"
+
+echo "== tsan: snapshot/COW soak (template registry + warm-pool races) =="
+cmake --build --preset tsan -j "$(nproc)" --target snapshot_soak_test
+ctest --preset tsan-snapshot -j "$(nproc)"
 
 echo "== all checks passed =="

@@ -34,12 +34,16 @@ class AotInstanceHandle {
 
   bool valid() const { return inst_ != nullptr; }
   LinearMemory& memory() { return memory_; }
+  const LinearMemory& memory() const { return memory_; }
   // Per-request host context (ServerlessEnv*).
   void set_host_user(void* user) { run_ctx_->host_user = user; }
 
   InvokeOutcome invoke(uint32_t func_index, const std::vector<Value>& args);
   InvokeOutcome invoke_export(const std::string& name,
                               const std::vector<Value>& args);
+
+  // Raw instance block (header + trailing globals), for snapshot capture.
+  const uint8_t* inst_block() const { return inst_storage_.get(); }
 
   // Shared with the AotEnv callbacks (generated code -> runtime).
   struct RunContext {
@@ -83,6 +87,17 @@ class AotModule {
   // instead of a fresh mapping (the warm-start path).
   Result<AotInstanceHandle> instantiate(
       LinearMemory recycled = LinearMemory()) const;
+
+  // Snapshot path: `memory` is already populated (COW template mapping) and
+  // `inst_block` is a captured post-init instance block (inst_size() bytes).
+  // The block is copied and its per-instance pointers (mem, bnd, env, rt)
+  // re-anchored; the table pointer inside is .so-static and stays valid for
+  // the module's lifetime. awsm_inst_init — and with it globals init, table
+  // fill and data-segment copies — is skipped entirely.
+  Result<AotInstanceHandle> instantiate_seeded(
+      LinearMemory memory, const std::vector<uint8_t>& inst_block) const;
+
+  uint32_t inst_size() const { return desc_->inst_size; }
 
   // Resolved host binding for import `idx` (joint function index space).
   const HostBinding* import_binding(uint32_t idx) const {

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -109,6 +110,36 @@ bool read_response(int fd, int* status, std::vector<uint8_t>* body,
 
 }  // namespace
 
+double schedule_rate_at(const ArrivalSchedule& schedule, double t_s) {
+  double rate = schedule.base_rps;
+  if (schedule.diurnal_amplitude > 0.0 && schedule.diurnal_period_s > 0.0) {
+    rate *= 1.0 + schedule.diurnal_amplitude *
+                      std::sin(2.0 * M_PI * t_s / schedule.diurnal_period_s);
+  }
+  if (schedule.burst_every_s > 0.0 && schedule.burst_len_s > 0.0 &&
+      schedule.burst_multiplier > 1.0) {
+    if (std::fmod(t_s, schedule.burst_every_s) < schedule.burst_len_s) {
+      rate *= schedule.burst_multiplier;
+    }
+  }
+  return rate < 0.1 ? 0.1 : rate;
+}
+
+std::vector<double> schedule_arrival_times(const ArrivalSchedule& schedule,
+                                           uint64_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  double t = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    // Inter-arrival gap from the rate at the *previous* arrival: the
+    // discrete analogue of a time-varying Poisson mean, deterministic so
+    // runs (and tests) are reproducible.
+    t += 1.0 / schedule_rate_at(schedule, t);
+    out.push_back(t);
+  }
+  return out;
+}
+
 Result<std::vector<uint8_t>> single_request(const std::string& host,
                                             uint16_t port,
                                             const std::string& path,
@@ -168,6 +199,16 @@ Result<Report> run_load(const Options& options) {
   std::string request_bytes = http::serialize_request(
       "POST", options.path, options.body, options.keep_alive);
 
+  // Open-loop mode: precompute the deterministic arrival offsets; clients
+  // sleep until each ticket's scheduled time and measure latency from it,
+  // so a slow server shows up as latency instead of a lower offered rate.
+  std::vector<double> arrivals;
+  if (options.schedule.enabled) {
+    arrivals = schedule_arrival_times(options.schedule,
+                                      options.total_requests);
+  }
+  uint64_t t_start = 0;  // schedule epoch; set when the clock starts below
+
   auto client = [&]() {
     LatencyHistogram local;
     std::map<int, uint64_t> local_statuses;
@@ -177,6 +218,18 @@ Result<Report> run_load(const Options& options) {
       if (ticket >= options.total_requests) break;
 
       uint64_t t0 = now_ns();
+      if (!arrivals.empty()) {
+        uint64_t due =
+            t_start + static_cast<uint64_t>(arrivals[ticket] * 1e9);
+        while (true) {
+          uint64_t now = now_ns();
+          if (now >= due) break;
+          uint64_t gap = due - now;
+          ::usleep(static_cast<useconds_t>(
+              gap > 1'000'000 ? 1000 : gap / 1000 + 1));
+        }
+        t0 = due;
+      }
       bool success = false;
       int observed = 0;  // 0 = no HTTP response at all
       for (int attempt = 0; attempt < 2 && !success; ++attempt) {
@@ -220,6 +273,7 @@ Result<Report> run_load(const Options& options) {
   };
 
   Stopwatch sw;
+  t_start = now_ns();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(options.concurrency));
   for (int i = 0; i < options.concurrency; ++i) {

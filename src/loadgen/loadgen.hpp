@@ -14,6 +14,31 @@
 
 namespace sledge::loadgen {
 
+// Open-loop arrival process: a base rate modulated by a sinusoidal diurnal
+// cycle and periodic burst spikes (the edge traffic shapes the warm-pool
+// autoscaler is sized against). Fully deterministic — arrival times follow
+// t += 1/rate(t) — so tests can assert the schedule math exactly.
+struct ArrivalSchedule {
+  bool enabled = false;  // false = closed-loop back-to-back clients
+  double base_rps = 100.0;
+  // rate(t) *= 1 + amplitude * sin(2*pi*t / period): 0 disables.
+  double diurnal_amplitude = 0.0;  // fraction of base, [0, 1)
+  double diurnal_period_s = 60.0;
+  // Every burst_every_s seconds the rate is multiplied by burst_multiplier
+  // for burst_len_s seconds (burst_every_s = 0 disables).
+  double burst_multiplier = 1.0;
+  double burst_every_s = 0.0;
+  double burst_len_s = 0.0;
+};
+
+// Instantaneous target arrival rate at time t (seconds since load start),
+// floored at 0.1 rps so a deep diurnal trough cannot stall the schedule.
+double schedule_rate_at(const ArrivalSchedule& schedule, double t_s);
+
+// The first n arrival offsets (seconds since load start) of the schedule.
+std::vector<double> schedule_arrival_times(const ArrivalSchedule& schedule,
+                                           uint64_t n);
+
 struct Options {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
@@ -28,6 +53,11 @@ struct Options {
   // phase finishes and store the body in Report::server_stats, so benches
   // can print server-side phase breakdowns next to client-side latency.
   std::string scrape_path;
+  // When schedule.enabled, clients pace requests open-loop to the schedule
+  // instead of issuing back-to-back; latency is measured from each
+  // request's *scheduled* arrival (counts client-side lag — no
+  // coordinated omission).
+  ArrivalSchedule schedule;
 };
 
 struct Report {

@@ -553,7 +553,7 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
 
     std::vector<uint8_t> body = std::move(req.body);
     std::unique_ptr<Sandbox> sb =
-        Sandbox::create(&mod->module, std::move(body), conn->fd, keep_alive);
+        rt_->create_sandbox(mod, std::move(body), conn->fd, keep_alive);
     if (!sb) {
       rt_->note_shed(mod);
       std::string header = http::serialize_response_header(
@@ -593,7 +593,9 @@ Listener::Consume Listener::process_bytes(Conn* conn, const char* data,
       std::lock_guard<std::mutex> lock(mod->stats.mu);
       mod->stats.requests++;
       mod->stats.startup.record(sb->startup_cost_ns());
-      (sb->pooled() ? mod->stats.startup_pooled : mod->stats.startup_cold)
+      (sb->snapshot_backed() ? mod->stats.startup_snapshot
+       : sb->pooled()        ? mod->stats.startup_pooled
+                             : mod->stats.startup_cold)
           .record(sb->startup_cost_ns());
     }
 

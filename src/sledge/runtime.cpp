@@ -33,6 +33,14 @@ constexpr uint32_t kInvokeLocalitySlack = 2;
 
 }  // namespace
 
+LoadedModule::~LoadedModule() {
+  // Drop the snapshot template with the module: a reloaded module must
+  // rebuild from its own post-start image, never instantiate from a stale
+  // one. (warm_pool is declared after `module`, so its pre-built sandboxes
+  // are destroyed before the engine module they reference.)
+  SnapshotRegistry::instance().invalidate(&module);
+}
+
 // ---- Runtime ----------------------------------------------------------
 
 Runtime::Runtime(RuntimeConfig config)
@@ -142,6 +150,10 @@ Status Runtime::start() {
     workers_.back()->start();
   }
   for (auto& l : listeners_) l->start();
+  if (config_.warm_pool.enabled) {
+    replenish_run_.store(true, std::memory_order_release);
+    replenisher_ = std::thread([this] { replenisher_main(); });
+  }
   SLEDGE_LOG_INFO(
       "sledge runtime on port %u (%d listeners, %d workers, quantum %lu us, "
       "%s, dispatcher=%s, sched=%s, admission=%s, pool=%s, dataplane=%s)",
@@ -186,6 +198,15 @@ void Runtime::stop() {
     }
   }
   if (!running_.exchange(false)) return;
+  // The replenisher goes first: nothing may pre-build sandboxes while the
+  // pools drain, and the warm pools release their resources before the
+  // resource pool's consumers are gone.
+  replenish_run_.store(false, std::memory_order_release);
+  if (replenisher_.joinable()) replenisher_.join();
+  for (auto& [name, mod] : modules_) {
+    mod->warm_pool.set_target(0);
+    mod->warm_pool.clear();
+  }
   for (auto& w : workers_) w->notify();  // interrupt idle epoll sleeps
   for (auto& l : listeners_) l->wake();
   for (auto& w : workers_) w->join();
@@ -251,6 +272,60 @@ void Runtime::forget_connection(int fd, int shard, uint64_t gen) {
   if (running() && shard >= 0 &&
       shard < static_cast<int>(listeners_.size())) {
     listeners_[shard]->discard_connection(fd, gen);
+  }
+}
+
+std::unique_ptr<Sandbox> Runtime::create_sandbox(LoadedModule* mod,
+                                                 std::vector<uint8_t> request,
+                                                 int conn_fd,
+                                                 bool keep_alive) {
+  Stopwatch sw;
+  mod->warm_pool.arrivals.note_arrival(now_ns());
+  InstantiationMode mode = module_instantiation(mod);
+  if (mode == InstantiationMode::kSnapshot && config_.warm_pool.enabled) {
+    if (std::unique_ptr<Sandbox> sb = mod->warm_pool.pop()) {
+      // Pre-built by the replenisher; the request only pays the pop.
+      sb->adopt_request(std::move(request), conn_fd, keep_alive,
+                        sw.elapsed_ns());
+      return sb;
+    }
+  }
+  return Sandbox::create(&mod->module, std::move(request), conn_fd,
+                         keep_alive, mode);
+}
+
+void Runtime::replenisher_main() {
+  const WarmPoolConfig& wp = config_.warm_pool;
+  while (replenish_run_.load(std::memory_order_acquire)) {
+    for (auto& [name, mod] : modules_) {
+      if (module_instantiation(mod.get()) != InstantiationMode::kSnapshot) {
+        continue;
+      }
+      WarmPool& pool = mod->warm_pool;
+      uint64_t now = now_ns();
+      uint64_t last = pool.arrivals.last_arrival_ns();
+      uint64_t idle = last == 0 ? ~uint64_t{0} : now - last;
+      int target =
+          warm_pool_target(pool.arrivals.rate_per_sec(now), idle, wp);
+      pool.set_target(target);
+      if (target == 0) {
+        // Idle decay: the pre-built sandboxes flow back to the resource
+        // pool (memory recycled, stacks kept warm for other modules).
+        if (pool.size() != 0) pool.clear();
+        continue;
+      }
+      while (static_cast<int>(pool.size()) < target &&
+             replenish_run_.load(std::memory_order_acquire)) {
+        std::unique_ptr<Sandbox> sb = Sandbox::create(
+            &mod->module, {}, -1, false, InstantiationMode::kSnapshot);
+        if (!sb) break;
+        sb->user_tag = mod.get();
+        // push() refuses once the target was reached (or decayed) under a
+        // concurrent pop — the spare build is simply dropped back.
+        if (!pool.push(std::move(sb))) break;
+      }
+    }
+    ::usleep(static_cast<useconds_t>(wp.replenish_interval_us));
   }
 }
 
@@ -333,7 +408,10 @@ void Runtime::place_invoke_child(Sandbox* parent, LoadedModule* mod,
     std::lock_guard<std::mutex> lock(mod->stats.mu);
     mod->stats.requests++;
     mod->stats.startup.record(child->startup_cost_ns());
-    (child->pooled() ? mod->stats.startup_pooled : mod->stats.startup_cold)
+    (child->snapshot_backed()
+         ? mod->stats.startup_snapshot
+         : child->pooled() ? mod->stats.startup_pooled
+                           : mod->stats.startup_cold)
         .record(child->startup_cost_ns());
     if (hint >= 0) ++mod->stats.invoke_local;
     if (zerocopy) ++mod->stats.invoke_zerocopy;
@@ -362,9 +440,9 @@ bool Runtime::invoke_child(Sandbox* parent, const std::string& name,
   // a socket, pipe, or process boundary would (these boundary copies are
   // precisely what the transfer-buffer plane eliminates).
   const bool zerocopy = join && join->xfer != nullptr;
-  std::unique_ptr<Sandbox> child = Sandbox::create(
-      &mod->module,
-      zerocopy ? std::vector<uint8_t>() : std::vector<uint8_t>(request));
+  std::unique_ptr<Sandbox> child = create_sandbox(
+      mod, zerocopy ? std::vector<uint8_t>() : std::vector<uint8_t>(request),
+      -1, false);
   if (!child) {
     note_shed(mod);
     *err = engine::kSbErrOverload;
@@ -390,9 +468,9 @@ bool Runtime::invoke_stream_child(Sandbox* parent, const std::string& name,
   // Same boundary semantics as invoke_child: the copy dataplane hands the
   // child its own copy of the request bytes.
   const bool zerocopy = loan != nullptr;
-  std::unique_ptr<Sandbox> child = Sandbox::create(
-      &mod->module,
-      zerocopy ? std::vector<uint8_t>() : std::vector<uint8_t>(request));
+  std::unique_ptr<Sandbox> child = create_sandbox(
+      mod, zerocopy ? std::vector<uint8_t>() : std::vector<uint8_t>(request),
+      -1, false);
   if (!child) {
     note_shed(mod);
     *err = engine::kSbErrOverload;
@@ -529,6 +607,10 @@ Runtime::StatsSnapshot Runtime::snapshot() const {
         mod->limits.tenant_weight == 0 ? 1 : mod->limits.tenant_weight;
     ms.predicted_queue_p99_ns = mod->stats.predictor.queue_wait_p99_ns();
     ms.predicted_exec_p99_ns = mod->stats.predictor.exec_cpu_p99_ns();
+    ms.warm_hits = mod->warm_pool.hits();
+    ms.warm_refills = mod->warm_pool.refills();
+    ms.warm_size = mod->warm_pool.size();
+    ms.warm_target = mod->warm_pool.target();
     std::lock_guard<std::mutex> lock(mod->stats.mu);
     ms.requests = mod->stats.requests;
     ms.failures = mod->stats.failures;
@@ -543,6 +625,7 @@ Runtime::StatsSnapshot Runtime::snapshot() const {
     ms.startup = mod->stats.startup.summary();
     ms.startup_pooled = mod->stats.startup_pooled.summary();
     ms.startup_cold = mod->stats.startup_cold.summary();
+    ms.startup_snapshot = mod->stats.startup_snapshot.summary();
     ms.queue_wait = mod->stats.queue_wait.summary();
     ms.exec_cpu = mod->stats.exec_cpu.summary();
     ms.response_write = mod->stats.response_write.summary();
@@ -601,6 +684,18 @@ std::string Runtime::stats_json() const {
       json::Value(static_cast<double>(s.totals.accept_errors));
   root["totals"] = json::Value(std::move(totals));
 
+  {
+    const SnapshotRegistry::Counters sc =
+        SnapshotRegistry::instance().counters();
+    json::Object snap;
+    snap["hits"] = json::Value(static_cast<double>(sc.hits));
+    snap["misses"] = json::Value(static_cast<double>(sc.misses));
+    snap["builds"] = json::Value(static_cast<double>(sc.builds));
+    snap["build_failures"] =
+        json::Value(static_cast<double>(sc.build_failures));
+    root["snapshot"] = json::Value(std::move(snap));
+  }
+
   json::Array listeners;
   for (const ListenerSnapshot& l : s.listeners) {
     json::Object o;
@@ -649,10 +744,15 @@ std::string Runtime::stats_json() const {
     o["invoke_local"] = json::Value(static_cast<double>(m.invoke_local));
     o["invoke_zerocopy"] =
         json::Value(static_cast<double>(m.invoke_zerocopy));
+    o["warm_hits"] = json::Value(static_cast<double>(m.warm_hits));
+    o["warm_refills"] = json::Value(static_cast<double>(m.warm_refills));
+    o["warm_pool_size"] = json::Value(static_cast<double>(m.warm_size));
+    o["warm_pool_target"] = json::Value(static_cast<double>(m.warm_target));
     o["end_to_end"] = hist_to_json(m.end_to_end);
     o["startup"] = hist_to_json(m.startup);
     o["startup_pooled"] = hist_to_json(m.startup_pooled);
     o["startup_cold"] = hist_to_json(m.startup_cold);
+    o["startup_snapshot"] = hist_to_json(m.startup_snapshot);
     o["queue_wait"] = hist_to_json(m.queue_wait);
     o["exec_cpu"] = hist_to_json(m.exec_cpu);
     o["response_write"] = hist_to_json(m.response_write);
@@ -699,7 +799,19 @@ std::string Runtime::stats_prometheus() const {
       {"sledge_accepted_total", s.totals.accepted},
       {"sledge_accept_errors_total", s.totals.accept_errors},
   };
+  const SnapshotRegistry::Counters snap =
+      SnapshotRegistry::instance().counters();
+  const Counter snap_counters[] = {
+      {"sledge_snapshot_hits_total", snap.hits},
+      {"sledge_snapshot_misses_total", snap.misses},
+      {"sledge_snapshot_builds_total", snap.builds},
+      {"sledge_snapshot_build_failures_total", snap.build_failures},
+  };
   for (const Counter& c : counters) {
+    emit("# TYPE %s counter\n%s %llu\n", c.name, c.name,
+         static_cast<unsigned long long>(c.value));
+  }
+  for (const Counter& c : snap_counters) {
     emit("# TYPE %s counter\n%s %llu\n", c.name, c.name,
          static_cast<unsigned long long>(c.value));
   }
@@ -739,6 +851,8 @@ std::string Runtime::stats_prometheus() const {
       {"sledge_response_bytes_total", &ModuleSnapshot::response_bytes},
       {"sledge_invoke_local_total", &ModuleSnapshot::invoke_local},
       {"sledge_invoke_zerocopy_total", &ModuleSnapshot::invoke_zerocopy},
+      {"sledge_warm_pool_hits_total", &ModuleSnapshot::warm_hits},
+      {"sledge_warm_pool_refills_total", &ModuleSnapshot::warm_refills},
   };
   for (const ModCounter& c : mod_counters) {
     emit("# TYPE %s counter\n", c.name);
@@ -752,9 +866,21 @@ std::string Runtime::stats_prometheus() const {
     const char* name;
     LatencyHistogram::Summary ModuleSnapshot::* field;
   };
+  emit("# TYPE sledge_warm_pool_size gauge\n");
+  for (const ModuleSnapshot& m : s.modules) {
+    emit("sledge_warm_pool_size{module=\"%s\"} %llu\n", m.name.c_str(),
+         static_cast<unsigned long long>(m.warm_size));
+  }
+  emit("# TYPE sledge_warm_pool_target gauge\n");
+  for (const ModuleSnapshot& m : s.modules) {
+    emit("sledge_warm_pool_target{module=\"%s\"} %d\n", m.name.c_str(),
+         m.warm_target);
+  }
+
   const Phase phases[] = {
       {"sledge_queue_wait_seconds", &ModuleSnapshot::queue_wait},
       {"sledge_startup_seconds", &ModuleSnapshot::startup},
+      {"sledge_startup_snapshot_seconds", &ModuleSnapshot::startup_snapshot},
       {"sledge_exec_cpu_seconds", &ModuleSnapshot::exec_cpu},
       {"sledge_io_wait_seconds", &ModuleSnapshot::io_wait},
       {"sledge_response_write_seconds", &ModuleSnapshot::response_write},
@@ -831,6 +957,14 @@ std::string Runtime::stats_report() const {
                 static_cast<unsigned long long>(pc.transfer_misses),
                 static_cast<unsigned long long>(pc.transfer_outstanding));
   out += buf;
+  const SnapshotRegistry::Counters sc = SnapshotRegistry::instance().counters();
+  std::snprintf(buf, sizeof(buf),
+                "snapshot: hit/miss=%llu/%llu builds=%llu failures=%llu\n",
+                static_cast<unsigned long long>(sc.hits),
+                static_cast<unsigned long long>(sc.misses),
+                static_cast<unsigned long long>(sc.builds),
+                static_cast<unsigned long long>(sc.build_failures));
+  out += buf;
 
   auto p50_us = [](const LatencyHistogram& h) {
     return static_cast<double>(h.percentile_ns(0.5)) / 1e3;
@@ -851,12 +985,27 @@ std::string Runtime::stats_report() const {
     std::snprintf(
         buf, sizeof(buf),
         "  %-12s startup pooled n=%zu (p50=%.1fus p99=%.1fus) "
-        "cold n=%zu (p50=%.1fus p99=%.1fus)\n",
+        "cold n=%zu (p50=%.1fus p99=%.1fus) "
+        "snapshot n=%zu (p50=%.1fus p99=%.1fus)\n",
         "", mod->stats.startup_pooled.count(),
         p50_us(mod->stats.startup_pooled), mod->stats.startup_pooled.p99_us(),
         mod->stats.startup_cold.count(), p50_us(mod->stats.startup_cold),
-        mod->stats.startup_cold.p99_us());
+        mod->stats.startup_cold.p99_us(),
+        mod->stats.startup_snapshot.count(),
+        p50_us(mod->stats.startup_snapshot),
+        mod->stats.startup_snapshot.p99_us());
     out += buf;
+    if (mod->warm_pool.hits() != 0 || mod->warm_pool.refills() != 0 ||
+        mod->warm_pool.target() != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-12s warm-pool hits=%llu refills=%llu size=%zu "
+                    "target=%d\n",
+                    "",
+                    static_cast<unsigned long long>(mod->warm_pool.hits()),
+                    static_cast<unsigned long long>(mod->warm_pool.refills()),
+                    mod->warm_pool.size(), mod->warm_pool.target());
+      out += buf;
+    }
     if (mod->stats.invoke_local != 0 || mod->stats.invoke_zerocopy != 0 ||
         mod->stats.invoke_handoff.count() != 0) {
       std::snprintf(

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -25,6 +26,7 @@
 #include "sledge/resource_pool.hpp"
 #include "sledge/sandbox.hpp"
 #include "sledge/scheduler_policy.hpp"
+#include "sledge/snapshot.hpp"
 
 namespace sledge::runtime {
 
@@ -70,6 +72,15 @@ struct RuntimeConfig {
   // Runtime construction; pool.enabled=false is the cold-start ablation.
   SandboxResourcePool::Config pool;
   engine::WasmModule::Config engine;  // default tier/bounds for modules
+  // Startup tier for sandbox instantiation (per-module override in
+  // ModuleLimits): cold = fresh mapping per request (ablation), pooled =
+  // recycled zeroed memory (PR 2 warm path), snapshot = COW memfd template
+  // of the post-start image (falls back to pooled when no template builds).
+  InstantiationMode instantiation = InstantiationMode::kPooled;
+  // Warm-pool autoscaler: a background replenisher pre-builds
+  // snapshot-backed sandboxes per module, sized from the observed arrival
+  // rate. Only engages for modules resolved to the snapshot tier.
+  WarmPoolConfig warm_pool;
 
   // ---- Deadline enforcement & overload defaults (0 = unlimited) ----
   // Per-request CPU budget across preemptions; over-budget sandboxes are
@@ -115,6 +126,16 @@ struct RuntimeConfig {
   std::string access_log_path;
 };
 
+// Per-module startup-tier selection: kInherit follows the runtime-wide
+// RuntimeConfig::instantiation; the rest pin the tier for this module
+// (in-process A/B of cold vs pooled vs snapshot instantiation).
+enum class InstantiationOverride : uint8_t {
+  kInherit,
+  kCold,
+  kPooled,
+  kSnapshot,
+};
+
 // Per-module overrides for the RuntimeConfig-wide limits (0 = inherit).
 struct ModuleLimits {
   uint64_t execution_budget_ns = 0;
@@ -124,6 +145,8 @@ struct ModuleLimits {
   uint32_t tenant_weight = 0;
   // Inter-function dataplane for chains this module's sandboxes start.
   InvokeDataplaneOverride invoke_dataplane = InvokeDataplaneOverride::kInherit;
+  // Startup tier for this module's sandboxes.
+  InstantiationOverride instantiation = InstantiationOverride::kInherit;
 };
 
 struct ModuleStats {
@@ -142,10 +165,12 @@ struct ModuleStats {
   uint64_t invoke_zerocopy = 0;
   LatencyHistogram end_to_end;  // sandbox creation -> completion
   LatencyHistogram startup;     // sandbox allocation cost (all requests)
-  // Pooled-vs-cold split of `startup`: warm starts (every resource off a
-  // pool free list) against starts that paid at least one fresh allocation.
+  // Startup-tier split of `startup`: snapshot-backed starts (COW template
+  // mapping), warm starts (every resource off a pool free list), and starts
+  // that paid at least one fresh allocation.
   LatencyHistogram startup_pooled;
   LatencyHistogram startup_cold;
+  LatencyHistogram startup_snapshot;
   // Phase breakdown (paper §5's latency splits, live instead of post-hoc):
   // admission->first-dispatch wait, CPU consumed across slices, and
   // response flush (completion -> last byte handed to the kernel).
@@ -171,6 +196,13 @@ struct LoadedModule {
   // In-flight slots this module holds (admitted, not yet retired) — the
   // fair-share accounting input. Touched by listener and workers.
   std::atomic<int64_t> inflight{0};
+  // Pre-built snapshot-backed sandboxes + the arrival-rate estimator that
+  // sizes the pool (see snapshot.hpp; filled by the replenisher thread).
+  WarmPool warm_pool;
+
+  // Out of line: drops the module's snapshot template on unload so a
+  // reloaded module can never instantiate from a stale image.
+  ~LoadedModule();
 };
 
 class Runtime : public InvokeBroker {
@@ -210,6 +242,31 @@ class Runtime : public InvokeBroker {
   // of limits, then tighten the deadline).
   Status update_module_limits(const std::string& name,
                               const ModuleLimits& limits);
+
+  // Resolved startup tier for `mod`: the per-module override when set, the
+  // runtime-wide config otherwise.
+  InstantiationMode module_instantiation(const LoadedModule* mod) const {
+    switch (mod->limits.instantiation) {
+      case InstantiationOverride::kCold:
+        return InstantiationMode::kCold;
+      case InstantiationOverride::kPooled:
+        return InstantiationMode::kPooled;
+      case InstantiationOverride::kSnapshot:
+        return InstantiationMode::kSnapshot;
+      case InstantiationOverride::kInherit:
+        break;
+    }
+    return config_.instantiation;
+  }
+
+  // Admission-path sandbox creation, shared by the listener shards and the
+  // invoke broker: notes the arrival for the warm-pool autoscaler, adopts a
+  // pre-built sandbox from the module's warm pool when one is ready, and
+  // otherwise builds at the module's resolved tier. nullptr = resource
+  // exhaustion (the caller sheds with 503 / kSbErrOverload).
+  std::unique_ptr<Sandbox> create_sandbox(LoadedModule* mod,
+                                          std::vector<uint8_t> request,
+                                          int conn_fd, bool keep_alive);
 
   // Resolved dataplane for chains started by `mod`'s sandboxes: the
   // per-module override when set, the runtime-wide config otherwise.
@@ -367,10 +424,16 @@ class Runtime : public InvokeBroker {
     // Live predictor state (what the admission gate sees).
     uint64_t predicted_queue_p99_ns = 0;
     uint64_t predicted_exec_p99_ns = 0;
+    // Warm-pool autoscaler state (live gauge reads; hits/refills monotone).
+    uint64_t warm_hits = 0;
+    uint64_t warm_refills = 0;
+    uint64_t warm_size = 0;
+    int warm_target = 0;
     LatencyHistogram::Summary end_to_end;
     LatencyHistogram::Summary startup;
     LatencyHistogram::Summary startup_pooled;
     LatencyHistogram::Summary startup_cold;
+    LatencyHistogram::Summary startup_snapshot;
     LatencyHistogram::Summary queue_wait;
     LatencyHistogram::Summary exec_cpu;
     LatencyHistogram::Summary response_write;
@@ -428,12 +491,19 @@ class Runtime : public InvokeBroker {
   void place_invoke_child(Sandbox* parent, LoadedModule* mod,
                           std::unique_ptr<Sandbox> child, bool zerocopy);
 
+  // Warm-pool replenisher: a background thread that periodically sizes each
+  // snapshot-tier module's warm pool from its arrival-rate estimator and
+  // pre-builds sandboxes up to the target (decaying idle modules to zero).
+  void replenisher_main();
+
   RuntimeConfig config_;
   std::map<std::string, std::unique_ptr<LoadedModule>> modules_;
   std::unique_ptr<Dispatcher> dispatcher_;
   AdmissionController admission_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<Listener>> listeners_;
+  std::thread replenisher_;
+  std::atomic<bool> replenish_run_{false};
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<int64_t> inflight_{0};       // admitted, not yet retired

@@ -48,6 +48,20 @@ enum class WakeKind : uint8_t { kNone, kTimer, kFdRead, kFdWrite, kChild };
 
 const char* to_string(WakeKind k);
 
+// How Sandbox::create obtains a sandbox's initial state (the startup-tier
+// A/B knob — RuntimeConfig::instantiation / per-module override):
+//   kCold     — fresh linear-memory mapping, full instantiation (mmap +
+//               globals + data segments + start function). The ablation
+//               baseline; bypasses the pooled memory free list.
+//   kPooled   — recycled zeroed memory off the SandboxResourcePool, full
+//               instantiation on top (the PR 2 warm path).
+//   kSnapshot — memfd template of the post-start image mapped MAP_PRIVATE
+//               (copy-on-write); globals/data/start are all skipped. Falls
+//               back to kPooled when no template can be built.
+enum class InstantiationMode : uint8_t { kCold, kPooled, kSnapshot };
+
+const char* to_string(InstantiationMode m);
+
 class Sandbox;
 
 // Parent<->child rendezvous for sb_invoke. Shared (shared_ptr) between the
@@ -103,10 +117,10 @@ class Sandbox {
  public:
   // Creation = the cheap per-request path. `module` must outlive the
   // sandbox. Returns nullptr only on resource exhaustion.
-  static std::unique_ptr<Sandbox> create(const engine::WasmModule* module,
-                                         std::vector<uint8_t> request,
-                                         int conn_fd = -1,
-                                         bool keep_alive = false);
+  static std::unique_ptr<Sandbox> create(
+      const engine::WasmModule* module, std::vector<uint8_t> request,
+      int conn_fd = -1, bool keep_alive = false,
+      InstantiationMode mode = InstantiationMode::kPooled);
   ~Sandbox();
 
   Sandbox(const Sandbox&) = delete;
@@ -347,6 +361,16 @@ class Sandbox {
   // True when every pooled resource (memory if the module has one, stack)
   // came off a free list — the warm-start path, no allocation syscalls.
   bool pooled() const { return pooled_; }
+  // True when the linear memory is a COW mapping of the module's snapshot
+  // template (the snapshot startup tier; implies the start function was
+  // skipped). Drives the startup_snapshot histogram split.
+  bool snapshot_backed() const { return snapshot_backed_; }
+
+  // Warm-pool adoption: re-arms a pre-built, never-dispatched sandbox with
+  // a real request. `startup_ns` is the cost the request actually observed
+  // (the pool pop), replacing the build-time cost for phase accounting.
+  void adopt_request(std::vector<uint8_t> request, int conn_fd,
+                     bool keep_alive, uint64_t startup_ns);
 
   ucontext_t* context() { return &stack_->ctx; }
   ucontext_t* scheduler_context() { return scheduler_ctx_; }
@@ -390,6 +414,7 @@ class Sandbox {
 
   ExecStack* stack_ = nullptr;  // pooled: guarded stack + ucontext storage
   bool pooled_ = false;
+  bool snapshot_backed_ = false;
   ucontext_t* scheduler_ctx_ = nullptr;  // valid while running
   uint64_t wake_at_ns_ = 0;
   WakeKind wake_kind_ = WakeKind::kNone;

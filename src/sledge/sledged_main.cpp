@@ -16,6 +16,12 @@
 //   "pool": true,                // sandbox resource pool (warm startup)
 //   "pool_per_thread": 8,        // free-list entries kept per thread
 //   "pool_global": 64,           // global overflow cap / reclaim watermark
+//   "instantiation": "pooled",   // | "cold" | "snapshot" (COW templates)
+//   "warm_pool": true,           // autoscaled pre-built snapshot sandboxes
+//   "warm_pool_max": 8,          // per-module cap on pre-built sandboxes
+//   "warm_pool_interval_us": 2000,   // replenisher period / sizing horizon
+//   "warm_pool_headroom": 1.5,   // over-provisioning factor on arrival rate
+//   "warm_pool_idle_decay_ms": 2000, // idle modules decay to target 0
 //   "tier": "aot",               // | "aot_o1" | "interp_fast" | "interp"
 //   "bounds": "vm_guard",        // | "software" | "mpx_sim" | "none"
 //   "budget_us": 0,          // per-request CPU budget; over-budget -> 504
@@ -33,6 +39,7 @@
 //     {"name": "ekf", "minicc": "src/apps/wasm_src/ekf.mc",
 //      "budget_us": 50000, "deadline_us": 200000,   // per-module overrides
 //      "tenant_weight": 2,   // fair-share weight (admission = "slack")
+//      "instantiation": "snapshot",  // per-module tier (unset = inherit)
 //      "invoke_dataplane": "copy"}  // | "shm" (unset = inherit global)
 //   ]
 // }
@@ -140,6 +147,32 @@ Result<runtime::RuntimeConfig> parse_config(const json::Value& doc) {
   cfg.pool.global_cap =
       static_cast<int>(doc["pool_global"].as_int(cfg.pool.global_cap));
 
+  const std::string& inst = doc["instantiation"].as_string();
+  if (inst == "cold") {
+    cfg.instantiation = runtime::InstantiationMode::kCold;
+  } else if (inst == "snapshot") {
+    cfg.instantiation = runtime::InstantiationMode::kSnapshot;
+  } else if (inst.empty() || inst == "pooled") {
+    cfg.instantiation = runtime::InstantiationMode::kPooled;
+  } else {
+    return Result<runtime::RuntimeConfig>::error("unknown instantiation: " +
+                                                 inst);
+  }
+  if (doc["warm_pool"].is_bool()) {
+    cfg.warm_pool.enabled = doc["warm_pool"].as_bool();
+  }
+  cfg.warm_pool.max_per_module = static_cast<int>(
+      doc["warm_pool_max"].as_int(cfg.warm_pool.max_per_module));
+  cfg.warm_pool.replenish_interval_us = static_cast<uint64_t>(
+      doc["warm_pool_interval_us"].as_int(
+          static_cast<int64_t>(cfg.warm_pool.replenish_interval_us)));
+  cfg.warm_pool.headroom =
+      doc["warm_pool_headroom"].as_number(cfg.warm_pool.headroom);
+  cfg.warm_pool.idle_decay_us =
+      static_cast<uint64_t>(doc["warm_pool_idle_decay_ms"].as_int(
+          static_cast<int64_t>(cfg.warm_pool.idle_decay_us / 1000))) *
+      1000;
+
   const std::string& tier = doc["tier"].as_string();
   if (tier == "interp") {
     cfg.engine.tier = engine::Tier::kInterp;
@@ -235,6 +268,18 @@ int main(int argc, char** argv) {
         static_cast<uint64_t>(module["deadline_us"].as_int(0)) * 1000;
     limits.tenant_weight =
         static_cast<uint32_t>(module["tenant_weight"].as_int(0));
+    const std::string& mod_inst = module["instantiation"].as_string();
+    if (mod_inst == "cold") {
+      limits.instantiation = runtime::InstantiationOverride::kCold;
+    } else if (mod_inst == "pooled") {
+      limits.instantiation = runtime::InstantiationOverride::kPooled;
+    } else if (mod_inst == "snapshot") {
+      limits.instantiation = runtime::InstantiationOverride::kSnapshot;
+    } else if (!mod_inst.empty()) {
+      std::fprintf(stderr, "module %s: unknown instantiation: %s\n",
+                   name.c_str(), mod_inst.c_str());
+      return 1;
+    }
     const std::string& mod_dataplane = module["invoke_dataplane"].as_string();
     if (mod_dataplane == "copy") {
       limits.invoke_dataplane = runtime::InvokeDataplaneOverride::kCopy;
